@@ -1,0 +1,268 @@
+package triggerman
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"triggerman/internal/types"
+)
+
+func salesSource(t testing.TB, sys *System) *TableSource {
+	t.Helper()
+	s, err := sys.DefineTableSource("sales",
+		types.Column{Name: "region", Kind: types.KindVarchar},
+		types.Column{Name: "amount", Kind: types.KindInt},
+		types.Column{Name: "rep", Kind: types.KindVarchar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sale(region string, amount int64, rep string) types.Tuple {
+	return types.Tuple{types.NewString(region), types.NewInt(amount), types.NewString(rep)}
+}
+
+func TestAggregateHotRegion(t *testing.T) {
+	// The paper's §2 aggregate example shape: fire when a region's sale
+	// count crosses a threshold.
+	sys := syncSystem(t)
+	sales := salesSource(t, sys)
+	err := sys.CreateTrigger(`create trigger hot from sales
+		group by region
+		having count(region) > 2
+		do raise event HotRegion(sales.region, count(region))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := sys.Subscribe("HotRegion", 8)
+
+	sales.Insert(sale("north", 10, "a"))
+	sales.Insert(sale("south", 20, "a"))
+	sales.Insert(sale("north", 30, "b"))
+	select {
+	case n := <-sub.C():
+		t.Fatalf("premature fire: %v", n)
+	default:
+	}
+	// Third northern sale crosses the threshold.
+	sales.Insert(sale("north", 40, "c"))
+	select {
+	case n := <-sub.C():
+		if n.Args[0].Str() != "north" || n.Args[1].Int() != 3 {
+			t.Errorf("args = %v", n.Args)
+		}
+	default:
+		t.Fatal("HotRegion did not fire")
+	}
+	// Further northern sales do not re-fire (no transition).
+	sales.Insert(sale("north", 50, "d"))
+	select {
+	case n := <-sub.C():
+		t.Fatalf("re-fire without transition: %v", n)
+	default:
+	}
+	// Deleting two re-arms; crossing again fires again.
+	sales.Delete(sale("north", 10, "a"))
+	sales.Delete(sale("north", 30, "b"))
+	sales.Delete(sale("north", 40, "c")) // count 1
+	sales.Insert(sale("north", 60, "e"))
+	sales.Insert(sale("north", 70, "f")) // count 3 again
+	select {
+	case n := <-sub.C():
+		if n.Args[1].Int() != 3 {
+			t.Errorf("re-fire args = %v", n.Args)
+		}
+	default:
+		t.Fatal("did not re-fire after re-arming")
+	}
+}
+
+func TestAggregateWithSelection(t *testing.T) {
+	// The when clause filters which rows feed the aggregates.
+	sys := syncSystem(t)
+	sales := salesSource(t, sys)
+	err := sys.CreateTrigger(`create trigger big from sales
+		when sales.amount >= 100
+		group by region
+		having count(region) > 1
+		do raise event BigSales(sales.region)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := sys.Subscribe("BigSales", 4)
+	sales.Insert(sale("west", 50, "a"))  // filtered out
+	sales.Insert(sale("west", 150, "a")) // counts
+	sales.Insert(sale("west", 60, "b"))  // filtered out
+	select {
+	case n := <-sub.C():
+		t.Fatalf("premature: %v", n)
+	default:
+	}
+	sales.Insert(sale("west", 200, "b")) // second counting row -> fire
+	select {
+	case n := <-sub.C():
+		if n.Args[0].Str() != "west" {
+			t.Errorf("args = %v", n.Args)
+		}
+	default:
+		t.Fatal("no fire")
+	}
+}
+
+func TestAggregateSumInExecSQL(t *testing.T) {
+	// Aggregate values substitute into execSQL actions too.
+	sys := syncSystem(t)
+	sales := salesSource(t, sys)
+	if _, err := sys.DB().CreateTable("alerts", types.MustSchema(
+		types.Column{Name: "region", Kind: types.KindVarchar},
+		types.Column{Name: "total", Kind: types.KindFloat})); err != nil {
+		t.Fatal(err)
+	}
+	err := sys.CreateTrigger(`create trigger rev from sales
+		group by region
+		having sum(amount) > 100
+		do execSQL 'insert into alerts values (:NEW.sales.region, sum(amount))'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sales.Insert(sale("east", 60, "a"))
+	sales.Insert(sale("east", 70, "b")) // sum 130 -> fire
+	res, err := sys.Exec("select region, total from alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "east" || res.Rows[0][1].Float() != 130 {
+		t.Fatalf("alerts = %v", res.Rows)
+	}
+}
+
+func TestAggregateGroupsIndependent(t *testing.T) {
+	sys := syncSystem(t)
+	sales := salesSource(t, sys)
+	err := sys.CreateTrigger(`create trigger t from sales
+		group by region, rep
+		having count(amount) > 1
+		do raise event Pair(sales.region, sales.rep)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired int64
+	sys.FireHook = func(uint64, []types.Tuple) { atomic.AddInt64(&fired, 1) }
+	// Composite grouping: (north,a) twice fires once; (north,b) separate.
+	sales.Insert(sale("north", 1, "a"))
+	sales.Insert(sale("north", 1, "b"))
+	sales.Insert(sale("north", 1, "a"))
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	sales.Insert(sale("north", 1, "b"))
+	if fired != 2 {
+		t.Fatalf("fired = %d", fired)
+	}
+}
+
+func TestAggregateUpdateMovesGroups(t *testing.T) {
+	sys := syncSystem(t)
+	sales := salesSource(t, sys)
+	err := sys.CreateTrigger(`create trigger t from sales
+		group by region
+		having count(region) > 1
+		do raise event Two(sales.region)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := sys.Subscribe("Two", 4)
+	sales.Insert(sale("a", 1, "r"))
+	sales.Insert(sale("b", 1, "r"))
+	// Move b's row into region a: fires for a.
+	sales.Update(sale("b", 1, "r"), sale("a", 1, "r"))
+	select {
+	case n := <-sub.C():
+		if n.Args[0].Str() != "a" {
+			t.Errorf("args = %v", n.Args)
+		}
+	default:
+		t.Fatal("update did not fire")
+	}
+}
+
+func TestAggregateDisabledTriggerInert(t *testing.T) {
+	sys := syncSystem(t)
+	sales := salesSource(t, sys)
+	if err := sys.CreateTrigger(`create trigger t from sales
+		group by region having count(region) > 1
+		do raise event E(sales.region)`); err != nil {
+		t.Fatal(err)
+	}
+	sys.DisableTrigger("t")
+	var fired int64
+	sys.FireHook = func(uint64, []types.Tuple) { atomic.AddInt64(&fired, 1) }
+	sales.Insert(sale("x", 1, "r"))
+	sales.Insert(sale("x", 1, "r"))
+	if fired != 0 {
+		t.Fatal("disabled aggregate trigger fired")
+	}
+}
+
+func TestAggregateAsync(t *testing.T) {
+	sys, err := Open(Options{Drivers: 4, Queue: MemoryQueue, Threshold: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sales := salesSource(t, sys)
+	if err := sys.CreateTrigger(`create trigger t from sales
+		group by region having count(region) > 99
+		do raise event Century(sales.region, count(region))`); err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := sys.Subscribe("Century", 16)
+	for i := 0; i < 300; i++ {
+		region := fmt.Sprintf("r%d", i%3)
+		if err := sales.Insert(sale(region, 1, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Drain()
+	if sys.Errors() != 0 {
+		t.Fatalf("async errors: %v", sys.LastError())
+	}
+	// Each of the 3 regions reaches 100 exactly once.
+	got := map[string]bool{}
+	for len(sub.C()) > 0 {
+		n := <-sub.C()
+		if got[n.Args[0].Str()] {
+			t.Fatalf("region %s fired twice", n.Args[0].Str())
+		}
+		if n.Args[1].Int() != 100 {
+			t.Fatalf("count = %v", n.Args[1])
+		}
+		got[n.Args[0].Str()] = true
+	}
+	if len(got) != 3 {
+		t.Fatalf("regions fired = %d", len(got))
+	}
+}
+
+func TestAggregateDropCleansState(t *testing.T) {
+	sys := syncSystem(t)
+	sales := salesSource(t, sys)
+	if err := sys.CreateTrigger(`create trigger t from sales
+		group by region having count(region) > 0
+		do raise event E(sales.region)`); err != nil {
+		t.Fatal(err)
+	}
+	sales.Insert(sale("x", 1, "r"))
+	if err := sys.DropTrigger("t"); err != nil {
+		t.Fatal(err)
+	}
+	var fired int64
+	sys.FireHook = func(uint64, []types.Tuple) { atomic.AddInt64(&fired, 1) }
+	sales.Insert(sale("x", 1, "r"))
+	if fired != 0 {
+		t.Fatal("dropped aggregate trigger fired")
+	}
+}

@@ -1,0 +1,211 @@
+// Package client is the TriggerMan client application library
+// (Figure 1): it connects to a trigger processor daemon (cmd/tmand),
+// issues commands, registers for events, receives notifications, and
+// pushes update descriptors through the data source API.
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"triggerman/internal/datasource"
+	"triggerman/internal/types"
+	"triggerman/internal/wire"
+)
+
+// Notification is a delivered event.
+type Notification struct {
+	Name      string
+	Args      types.Tuple
+	TriggerID uint64
+	Seq       uint64
+}
+
+// Client is one connection to a TriggerMan daemon. Methods are safe for
+// concurrent use.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *wire.Response
+	events  chan Notification
+	readErr error
+	closed  chan struct{}
+}
+
+// Dial connects to a daemon at addr (host:port). eventBuffer bounds the
+// local notification queue.
+func Dial(addr string, eventBuffer int) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if eventBuffer < 1 {
+		eventBuffer = 256
+	}
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan *wire.Response),
+		events:  make(chan Notification, eventBuffer),
+		closed:  make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Events returns the notification stream. It is closed when the
+// connection drops or Close is called.
+func (c *Client) Events() <-chan Notification { return c.events }
+
+// Close disconnects.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Err reports the terminal read error, if the connection has failed.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readErr
+}
+
+func (c *Client) readLoop() {
+	var err error
+	for {
+		var resp wire.Response
+		if err = wire.ReadMsg(c.conn, &resp); err != nil {
+			break
+		}
+		if resp.Event != nil {
+			args, aerr := wire.ToTuple(resp.Event.Args)
+			if aerr != nil {
+				continue
+			}
+			n := Notification{
+				Name:      resp.Event.Name,
+				Args:      args,
+				TriggerID: resp.Event.TriggerID,
+				Seq:       resp.Event.Seq,
+			}
+			select {
+			case c.events <- n:
+			default: // drop on overflow, like the server side
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			r := resp
+			ch <- &r
+		}
+	}
+	c.mu.Lock()
+	c.readErr = err
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	close(c.events)
+	close(c.closed)
+}
+
+// roundTrip sends a request and waits for its response.
+func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
+	ch := make(chan *wire.Response, 1)
+	c.mu.Lock()
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := wire.WriteMsg(c.conn, req)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("client: connection closed")
+		}
+		if !resp.OK {
+			return resp, fmt.Errorf("client: %s", resp.Error)
+		}
+		return resp, nil
+	case <-c.closed:
+		return nil, fmt.Errorf("client: connection closed")
+	}
+}
+
+// Command executes one command-language statement remotely.
+func (c *Client) Command(text string) (string, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: "command", Text: text})
+	if err != nil {
+		return "", err
+	}
+	return resp.Output, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&wire.Request{Op: "ping"})
+	return err
+}
+
+// Stats fetches the server's stats summary.
+func (c *Client) Stats() (string, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: "stats"})
+	if err != nil {
+		return "", err
+	}
+	return resp.Output, nil
+}
+
+// Subscribe registers for an event by name ("" or "*" = all). Matching
+// notifications arrive on Events().
+func (c *Client) Subscribe(name string) error {
+	_, err := c.roundTrip(&wire.Request{Op: "subscribe", Event: name})
+	return err
+}
+
+// Unsubscribe cancels a registration.
+func (c *Client) Unsubscribe(name string) error {
+	_, err := c.roundTrip(&wire.Request{Op: "unsubscribe", Event: name})
+	return err
+}
+
+// PushInsert delivers an insert descriptor through the data source API.
+func (c *Client) PushInsert(source string, tuple types.Tuple) error {
+	return c.push(source, datasource.OpInsert, nil, tuple)
+}
+
+// PushDelete delivers a delete descriptor.
+func (c *Client) PushDelete(source string, tuple types.Tuple) error {
+	return c.push(source, datasource.OpDelete, tuple, nil)
+}
+
+// PushUpdate delivers an update descriptor.
+func (c *Client) PushUpdate(source string, old, new types.Tuple) error {
+	return c.push(source, datasource.OpUpdate, old, new)
+}
+
+func (c *Client) push(source string, op datasource.Op, old, new types.Tuple) error {
+	req := &wire.Request{
+		Op:      "push",
+		Source:  source,
+		TokenOp: op.String(),
+		Old:     wire.FromTuple(old),
+		New:     wire.FromTuple(new),
+	}
+	_, err := c.roundTrip(req)
+	return err
+}

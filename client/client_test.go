@@ -1,0 +1,206 @@
+package client_test
+
+import (
+	"testing"
+	"time"
+
+	"triggerman"
+	"triggerman/client"
+	"triggerman/internal/types"
+)
+
+// startServer brings up a full system + wire server on a random port.
+func startServer(t *testing.T) (addr string) {
+	t.Helper()
+	sys, err := triggerman.Open(triggerman.Options{Synchronous: true, Queue: triggerman.MemoryQueue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := sys.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		sys.Close()
+	})
+	return srv.Addr().String()
+}
+
+func dial(t *testing.T, addr string) *client.Client {
+	t.Helper()
+	c, err := client.Dial(addr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func waitEvent(t *testing.T, c *client.Client) client.Notification {
+	t.Helper()
+	select {
+	case n, ok := <-c.Events():
+		if !ok {
+			t.Fatal("event channel closed")
+		}
+		return n
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for event")
+	}
+	panic("unreachable")
+}
+
+func TestEndToEndOverNetwork(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// Define a source, create a trigger, subscribe, push a token.
+	if _, err := c.Command("define data source quotes(symbol varchar, price float)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Command(`create trigger spike from quotes when quotes.price > 100.0 do raise event Spike(quotes.symbol, quotes.price)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe("Spike"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PushInsert("quotes", types.Tuple{types.NewString("ACME"), types.NewFloat(150)}); err != nil {
+		t.Fatal(err)
+	}
+	n := waitEvent(t, c)
+	if n.Name != "Spike" || n.Args[0].Str() != "ACME" || n.Args[1].Float() != 150 {
+		t.Errorf("notification = %+v", n)
+	}
+	// Below-threshold push: no event.
+	c.PushInsert("quotes", types.Tuple{types.NewString("ACME"), types.NewFloat(50)})
+	select {
+	case n := <-c.Events():
+		t.Fatalf("unexpected event %+v", n)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Stats round-trip.
+	out, err := c.Stats()
+	if err != nil || out == "" {
+		t.Errorf("stats: %q %v", out, err)
+	}
+}
+
+func TestTwoClientsSeparateSubscriptions(t *testing.T) {
+	addr := startServer(t)
+	admin := dial(t, addr)
+	observer := dial(t, addr)
+
+	admin.Command("define data source s(x int)")
+	admin.Command(`create trigger t from s when s.x > 0 do raise event Tick(s.x)`)
+	if err := observer.Subscribe("Tick"); err != nil {
+		t.Fatal(err)
+	}
+	// Admin is NOT subscribed: only observer gets the event.
+	if err := admin.PushInsert("s", types.Tuple{types.NewInt(5)}); err != nil {
+		t.Fatal(err)
+	}
+	n := waitEvent(t, observer)
+	if n.Args[0].Int() != 5 {
+		t.Errorf("args = %v", n.Args)
+	}
+	select {
+	case n := <-admin.Events():
+		t.Fatalf("admin should not receive events: %+v", n)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	c.Command("define data source s(x int)")
+	c.Command(`create trigger t from s when s.x > 0 do raise event Tick(s.x)`)
+	if err := c.Subscribe("Tick"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe("Tick"); err == nil {
+		t.Error("double subscribe should fail")
+	}
+	if err := c.Unsubscribe("Tick"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unsubscribe("Tick"); err == nil {
+		t.Error("double unsubscribe should fail")
+	}
+	c.PushInsert("s", types.Tuple{types.NewInt(5)})
+	select {
+	case n := <-c.Events():
+		t.Fatalf("event after unsubscribe: %+v", n)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestCommandErrorsPropagate(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	if _, err := c.Command("create trigger bad from ghost when ghost.x > 1 do raise event E()"); err == nil {
+		t.Error("server-side error should propagate")
+	}
+	if err := c.PushInsert("ghost", types.Tuple{types.NewInt(1)}); err == nil {
+		t.Error("push to unknown source should fail")
+	}
+	// Connection still usable after errors.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWildcardSubscription(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	c.Command("define data source s(x int)")
+	c.Command(`create trigger a from s when s.x = 1 do raise event EvA()`)
+	c.Command(`create trigger b from s when s.x = 2 do raise event EvB()`)
+	if err := c.Subscribe("*"); err != nil {
+		t.Fatal(err)
+	}
+	c.PushInsert("s", types.Tuple{types.NewInt(1)})
+	c.PushInsert("s", types.Tuple{types.NewInt(2)})
+	got := map[string]bool{}
+	got[waitEvent(t, c).Name] = true
+	got[waitEvent(t, c).Name] = true
+	if !got["EvA"] || !got["EvB"] {
+		t.Errorf("wildcard missed events: %v", got)
+	}
+}
+
+func TestServerSurvivesClientDisconnect(t *testing.T) {
+	addr := startServer(t)
+	c1 := dial(t, addr)
+	c1.Command("define data source s(x int)")
+	c1.Subscribe("*")
+	c1.Close()
+	// A new client can still work.
+	c2 := dial(t, addr)
+	if err := c2.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.PushInsert("s", types.Tuple{types.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMiniSQLOverWire(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	c.Command("define data source emp(name varchar, salary int)")
+	if _, err := c.Command("insert into emp values ('Ada', 100)"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Command("select name from emp where salary = 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Error("empty select output")
+	}
+}

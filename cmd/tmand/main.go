@@ -1,0 +1,64 @@
+// Command tmand is the TriggerMan daemon: it hosts the trigger
+// processor and serves the wire protocol so client applications can
+// create triggers, register for events, and push update descriptors
+// (Figure 1 of the paper).
+//
+// Usage:
+//
+//	tmand [-listen :7654] [-db path.db] [-drivers N] [-level 0.5]
+//	      [-memqueue] [-partitions N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"triggerman"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":7654", "listen address")
+		dbPath     = flag.String("db", "", "database file (empty = in-memory)")
+		drivers    = flag.Int("drivers", 0, "driver count N (0 = from CPUs and -level)")
+		level      = flag.Float64("level", 1.0, "TMAN_CONCURRENCY_LEVEL in (0,1]")
+		memQueue   = flag.Bool("memqueue", false, "use the main-memory token queue (faster, not crash-safe)")
+		partitions = flag.Int("partitions", 0, "condition-level partitions (Figure 5); 0 = off")
+		cacheSize  = flag.Int("cache", 0, "trigger cache capacity (0 = 16384)")
+	)
+	flag.Parse()
+
+	opts := triggerman.Options{
+		DiskPath:            *dbPath,
+		Drivers:             *drivers,
+		ConcurrencyLevel:    *level,
+		TriggerCacheSize:    *cacheSize,
+		ConditionPartitions: *partitions,
+	}
+	if *memQueue {
+		opts.Queue = triggerman.MemoryQueue
+	}
+	sys, err := triggerman.Open(opts)
+	if err != nil {
+		log.Fatalf("tmand: %v", err)
+	}
+	srv, err := sys.Listen(*listen)
+	if err != nil {
+		log.Fatalf("tmand: %v", err)
+	}
+	fmt.Printf("tmand: listening on %s (db=%q, triggers=%d)\n",
+		srv.Addr(), *dbPath, sys.Stats().Triggers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("tmand: shutting down")
+	srv.Close()
+	if err := sys.Close(); err != nil {
+		log.Fatalf("tmand: close: %v", err)
+	}
+}

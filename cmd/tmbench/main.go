@@ -1,0 +1,634 @@
+// Command tmbench regenerates the experiments of EXPERIMENTS.md
+// (E1–E12) at configurable scale and prints row-oriented results, one
+// table per experiment. Unlike the testing.B benchmarks in
+// bench_test.go (which favor statistical stability), tmbench favors
+// large populations — up to the paper's "thousands or even millions"
+// of triggers.
+//
+// Usage:
+//
+//	tmbench -exp all            run every experiment at default scale
+//	tmbench -exp e1 -scale 3    run E1 with 10^3 x base population
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"triggerman"
+	"triggerman/internal/datasource"
+	"triggerman/internal/discrim"
+	"triggerman/internal/expr"
+	"triggerman/internal/minisql"
+	"triggerman/internal/parser"
+	"triggerman/internal/predindex"
+	"triggerman/internal/storage"
+	"triggerman/internal/types"
+	"triggerman/internal/workload"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (e1..e12) or 'all'")
+		scale = flag.Int("scale", 1, "population multiplier")
+	)
+	flag.Parse()
+	experiments := map[string]func(int){
+		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
+		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
+		"e13": e13,
+	}
+	if *exp == "all" {
+		keys := make([]string, 0, len(experiments))
+		for k := range experiments {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if len(keys[i]) != len(keys[j]) {
+				return len(keys[i]) < len(keys[j])
+			}
+			return keys[i] < keys[j]
+		})
+		for _, k := range keys {
+			experiments[k](*scale)
+		}
+		return
+	}
+	fn, ok := experiments[strings.ToLower(*exp)]
+	if !ok {
+		log.Fatalf("tmbench: unknown experiment %q", *exp)
+	}
+	fn(*scale)
+}
+
+func header(id, title string) {
+	fmt.Printf("\n=== %s: %s ===\n", strings.ToUpper(id), title)
+}
+
+// mkIndex builds a predicate index with n equality predicates over
+// distinct constants, forced to org (OrgAuto = adaptive).
+func mkIndex(n, distinct int, org predindex.Organization) *predindex.Index {
+	bp := storage.NewBufferPool(storage.NewMem(), 8192)
+	db, err := minisql.Create(bp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := []predindex.Option{predindex.WithDB(db)}
+	if org != predindex.OrgAuto {
+		opts = append(opts, predindex.WithForcedOrganization(org))
+	}
+	ix := predindex.New(opts...)
+	ix.AddSource(1, workload.EmpSchema)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("user%07d", i%distinct)
+		sig, consts := eqSig(name)
+		ref := predindex.Ref{ExprID: uint64(i + 1), TriggerID: uint64(i + 1),
+			FireMask: predindex.EventMask{AnyOp: true}}
+		if _, err := ix.AddPredicate(1, predindex.EventMask{AnyOp: true}, sig, consts, ref); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return ix
+}
+
+func eqSig(name string) (*expr.Signature, []types.Value) {
+	n := expr.Cmp(expr.OpEq, expr.Col("emp", "name"), expr.Str(name))
+	if err := workload.BindEmp(n); err != nil {
+		log.Fatal(err)
+	}
+	cnf, err := expr.ToCNF(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig, consts, err := expr.ExtractSignature(cnf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sig, consts
+}
+
+func rangeSig(c int64) (*expr.Signature, []types.Value) {
+	n := expr.Cmp(expr.OpGt, expr.Col("emp", "salary"), expr.Int(c))
+	if err := workload.BindEmp(n); err != nil {
+		log.Fatal(err)
+	}
+	cnf, err := expr.ToCNF(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig, consts, err := expr.ExtractSignature(cnf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sig, consts
+}
+
+func tok(name string, salary int64) datasource.Token {
+	return datasource.Token{SourceID: 1, Op: datasource.OpInsert,
+		New: workload.EmpRow(name, salary, "d")}
+}
+
+// probeLatency measures mean match latency over probes tokens.
+func probeLatency(ix *predindex.Index, n int, probes int, rng *rand.Rand) time.Duration {
+	start := time.Now()
+	for i := 0; i < probes; i++ {
+		t := tok(fmt.Sprintf("user%07d", rng.Intn(n)), 1)
+		ix.MatchToken(t, func(predindex.Match) bool { return true })
+	}
+	return time.Since(start) / time.Duration(probes)
+}
+
+func e1(scale int) {
+	header("e1", "predicate index vs naive scan (Figures 3-4)")
+	fmt.Printf("%-10s %14s %14s %10s\n", "triggers", "index/token", "naive/token", "speedup")
+	for _, n := range []int{1_000, 10_000, 100_000, 1_000_000 * scale / 1} {
+		if n > 1_000_000 {
+			n = 1_000_000
+		}
+		ix := mkIndex(n, n, predindex.OrgMemoryIndex)
+		rng := rand.New(rand.NewSource(1))
+		idxLat := probeLatency(ix, n, 2000, rng)
+
+		var nm workload.NaiveMatcher
+		for i := 0; i < n; i++ {
+			pred := expr.Cmp(expr.OpEq, expr.Col("emp", "name"), expr.Str(fmt.Sprintf("user%07d", i)))
+			if err := workload.BindEmp(pred); err != nil {
+				log.Fatal(err)
+			}
+			nm.Add(uint64(i+1), pred)
+		}
+		probes := 200000 / (n / 1000)
+		if probes < 3 {
+			probes = 3
+		}
+		start := time.Now()
+		for i := 0; i < probes; i++ {
+			t := tok(fmt.Sprintf("user%07d", rng.Intn(n)), 1)
+			nm.Match(t, func(uint64) bool { return true })
+		}
+		naiveLat := time.Since(start) / time.Duration(probes)
+		fmt.Printf("%-10d %14s %14s %9.0fx\n", n, idxLat, naiveLat,
+			float64(naiveLat)/float64(idxLat))
+	}
+}
+
+func e2(scale int) {
+	header("e2", "constant set organizations (§5.2)")
+	fmt.Printf("%-16s %10s %14s\n", "organization", "class", "probe")
+	orgs := []struct {
+		org   predindex.Organization
+		sizes []int
+	}{
+		{predindex.OrgMemoryList, []int{16, 1024, 65536}},
+		{predindex.OrgMemoryIndex, []int{16, 1024, 65536, 262144 * scale}},
+		{predindex.OrgTable, []int{16, 1024, 8192}},
+		{predindex.OrgIndexedTable, []int{16, 1024, 65536}},
+	}
+	for _, c := range orgs {
+		for _, size := range c.sizes {
+			if size > 1_000_000 {
+				size = 1_000_000
+			}
+			ix := mkIndex(size, size, c.org)
+			rng := rand.New(rand.NewSource(2))
+			probes := 2000
+			if c.org == predindex.OrgTable || c.org == predindex.OrgMemoryList {
+				probes = 200000 / size
+				if probes < 3 {
+					probes = 3
+				}
+			}
+			lat := probeLatency(ix, size, probes, rng)
+			fmt.Printf("%-16s %10d %14s\n", c.org, size, lat)
+		}
+	}
+}
+
+func sysWith(opts triggerman.Options) *triggerman.System {
+	if opts.Queue == 0 {
+		opts.Queue = triggerman.MemoryQueue
+	}
+	if opts.Threshold == 0 {
+		opts.Threshold = time.Millisecond
+	}
+	sys, err := triggerman.Open(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}
+
+func load(sys *triggerman.System, stmts []string) {
+	for _, s := range stmts {
+		if err := sys.CreateTrigger(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func e3(scale int) {
+	header("e3", "partitioned triggerID sets (Figure 5)")
+	m := 5000 * scale
+	fmt.Printf("shared-condition triggers: %d, drivers: 8\n", m)
+	fmt.Printf("%-12s %14s %10s\n", "partitions", "time/token", "speedup")
+	var base time.Duration
+	for _, parts := range []int{1, 2, 4, 8} {
+		sys := sysWith(triggerman.Options{Drivers: 8, ConditionPartitions: parts})
+		if _, err := sys.DefineStreamSource("emp", workload.EmpSchema.Columns...); err != nil {
+			log.Fatal(err)
+		}
+		load(sys, workload.SameConditionTriggers(m))
+		src := mustSource(sys, "emp")
+		const toks = 30
+		start := time.Now()
+		for i := 0; i < toks; i++ {
+			if err := src.Push(datasource.Token{Op: datasource.OpInsert,
+				New: workload.EmpRow("x", 1, "PENDING")}); err != nil {
+				log.Fatal(err)
+			}
+			sys.Drain()
+		}
+		lat := time.Since(start) / toks
+		if parts == 1 {
+			base = lat
+		}
+		fmt.Printf("%-12d %14s %9.2fx\n", parts, lat, float64(base)/float64(lat))
+		sys.Close()
+	}
+}
+
+func mustSource(sys *triggerman.System, name string) *triggerman.StreamSource {
+	// DefineStreamSource returns the handle at definition time; for
+	// reuse after load, re-wrap by pushing through a fresh handle.
+	src, err := sys.StreamSourceByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return src
+}
+
+func e4(scale int) {
+	header("e4", "token-level concurrency (§6)")
+	triggers := 5000 * scale
+	const batch = 3000
+	fmt.Printf("mixed triggers: %d, tokens per run: %d\n", triggers, batch)
+	fmt.Printf("%-10s %14s %12s %10s\n", "drivers", "batch time", "tokens/s", "speedup")
+	var base time.Duration
+	for _, drivers := range []int{1, 2, 4, 8} {
+		sys := sysWith(triggerman.Options{Drivers: drivers})
+		if _, err := sys.DefineStreamSource("emp", workload.EmpSchema.Columns...); err != nil {
+			log.Fatal(err)
+		}
+		load(sys, workload.MixedSignatureTriggers(triggers, 8))
+		src := mustSource(sys, "emp")
+		rng := rand.New(rand.NewSource(4))
+		toks := workload.InsertTokens(rng, batch, triggers, 1_000_000, 0)
+		start := time.Now()
+		for _, t := range toks {
+			if err := src.Push(t); err != nil {
+				log.Fatal(err)
+			}
+		}
+		sys.Drain()
+		el := time.Since(start)
+		if drivers == 1 {
+			base = el
+		}
+		fmt.Printf("%-10d %14s %12.0f %9.2fx\n", drivers, el,
+			batch/el.Seconds(), float64(base)/float64(el))
+		sys.Close()
+	}
+}
+
+func e5(scale int) {
+	header("e5", "trigger cache (§5.1)")
+	triggers := 8000 * scale
+	fmt.Printf("triggers: %d, zipf-skewed firings\n", triggers)
+	fmt.Printf("%-12s %12s %14s\n", "capacity", "hit-ratio", "time/firing")
+	for _, capacity := range []int{triggers / 16, triggers / 4, triggers} {
+		sys := sysWith(triggerman.Options{Synchronous: true, TriggerCacheSize: capacity})
+		if _, err := sys.DefineStreamSource("emp", workload.EmpSchema.Columns...); err != nil {
+			log.Fatal(err)
+		}
+		load(sys, workload.EqualityTriggers(triggers, triggers))
+		src := mustSource(sys, "emp")
+		rng := rand.New(rand.NewSource(5))
+		ids := workload.ZipfIDs(rng, 40000, triggers, 1.3)
+		start := time.Now()
+		for _, id := range ids {
+			src.Push(datasource.Token{Op: datasource.OpInsert,
+				New: workload.EmpRow(fmt.Sprintf("user%07d", id-1), 1, "d")})
+		}
+		el := time.Since(start) / time.Duration(len(ids))
+		st := sys.Stats().TriggerCache
+		ratio := float64(st.Hits) / float64(st.Hits+st.Misses)
+		fmt.Printf("%-12d %12.3f %14s\n", capacity, ratio, el)
+		sys.Close()
+	}
+}
+
+func e6(scale int) {
+	header("e6", "create trigger scaling and signature interning (§5)")
+	fmt.Printf("%-12s %12s %14s\n", "existing", "signatures", "create time")
+	for _, n := range []int{1_000, 10_000, 100_000 * scale} {
+		sys := sysWith(triggerman.Options{Synchronous: true})
+		if _, err := sys.DefineStreamSource("emp", workload.EmpSchema.Columns...); err != nil {
+			log.Fatal(err)
+		}
+		load(sys, workload.MixedSignatureTriggers(n, 8))
+		sigs := sys.SignatureCountFor("emp")
+		const creates = 200
+		start := time.Now()
+		for i := 0; i < creates; i++ {
+			stmt := fmt.Sprintf(
+				"create trigger xb%09d from emp when emp.name = 'xb%09d' do raise event B()", i, i)
+			if err := sys.CreateTrigger(stmt); err != nil {
+				log.Fatal(err)
+			}
+		}
+		el := time.Since(start) / creates
+		fmt.Printf("%-12d %12d %14s\n", n, sigs, el)
+		sys.Close()
+	}
+}
+
+func e7(scale int) {
+	header("e7", "join triggers through A-TREAT (§2-3)")
+	fmt.Printf("%-14s %16s\n", "represents", "house-insert")
+	for _, reps := range []int{10, 100, 1000 * scale} {
+		sys := sysWith(triggerman.Options{Synchronous: true})
+		mustDefine := func(name string, cols ...types.Column) *triggerman.StreamSource {
+			s, err := sys.DefineStreamSource(name, cols...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return s
+		}
+		sp := mustDefine("salesperson",
+			types.Column{Name: "spno", Kind: types.KindInt},
+			types.Column{Name: "name", Kind: types.KindVarchar})
+		house := mustDefine("house",
+			types.Column{Name: "hno", Kind: types.KindInt},
+			types.Column{Name: "nno", Kind: types.KindInt})
+		rep := mustDefine("represents",
+			types.Column{Name: "spno", Kind: types.KindInt},
+			types.Column{Name: "nno", Kind: types.KindInt})
+		err := sys.CreateTrigger(`create trigger iris on insert to house
+			from salesperson s, house h, represents r
+			when s.name = 'Iris' and s.spno = r.spno and r.nno = h.nno
+			do raise event Hit(h.hno)`)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp.Insert(types.Tuple{types.NewInt(7), types.NewString("Iris")})
+		for i := 0; i < reps; i++ {
+			rep.Insert(types.Tuple{types.NewInt(7), types.NewInt(int64(i))})
+		}
+		const inserts = 2000
+		start := time.Now()
+		for i := 0; i < inserts; i++ {
+			house.Insert(types.Tuple{types.NewInt(int64(i)), types.NewInt(int64(i % reps))})
+		}
+		fmt.Printf("%-14d %16s\n", reps, time.Since(start)/inserts)
+		sys.Close()
+	}
+}
+
+func e8(scale int) {
+	header("e8", "common sub-expression elimination (§5.3)")
+	fmt.Printf("%-10s %16s %16s %10s\n", "triggers", "normalized", "denormalized", "factor")
+	for _, n := range []int{100, 1_000, 10_000, 100_000 * scale} {
+		ix := mkIndex(n, 1, predindex.OrgMemoryIndex) // one shared constant
+		miss := tok("nobody", 1)
+		const probes = 5000
+		start := time.Now()
+		for i := 0; i < probes; i++ {
+			ix.MatchToken(miss, func(predindex.Match) bool { return true })
+		}
+		normLat := time.Since(start) / probes
+
+		var nm workload.NaiveMatcher
+		for i := 0; i < n; i++ {
+			pred := expr.Cmp(expr.OpEq, expr.Col("emp", "name"), expr.Str("user0000000"))
+			if err := workload.BindEmp(pred); err != nil {
+				log.Fatal(err)
+			}
+			nm.Add(uint64(i+1), pred)
+		}
+		dp := 500000 / n
+		if dp < 3 {
+			dp = 3
+		}
+		start = time.Now()
+		for i := 0; i < dp; i++ {
+			nm.Match(miss, func(uint64) bool { return true })
+		}
+		denLat := time.Since(start) / time.Duration(dp)
+		fmt.Printf("%-10d %16s %16s %9.0fx\n", n, normLat, denLat,
+			float64(denLat)/float64(normLat))
+	}
+}
+
+func e9(scale int) {
+	header("e9", "rule action concurrency (§6)")
+	m := 500 * scale
+	fmt.Printf("actions per token: %d (execSQL inserts)\n", m)
+	fmt.Printf("%-10s %14s %12s %10s\n", "drivers", "time/token", "actions/s", "speedup")
+	var base time.Duration
+	for _, drivers := range []int{1, 2, 4, 8} {
+		sys := sysWith(triggerman.Options{Drivers: drivers, ActionTasks: true})
+		emp, err := sys.DefineTableSource("emp", workload.EmpSchema.Columns...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sys.DB().CreateTable("audit", types.MustSchema(
+			types.Column{Name: "who", Kind: types.KindVarchar},
+			types.Column{Name: "amount", Kind: types.KindInt})); err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < m; i++ {
+			err := sys.CreateTrigger(fmt.Sprintf(
+				`create trigger act%05d from emp when emp.dept = 'PENDING'
+				 do execSQL 'insert into audit values (:NEW.emp.name, :NEW.emp.salary)'`, i))
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		const toks = 10
+		start := time.Now()
+		for i := 0; i < toks; i++ {
+			if err := emp.Insert(workload.EmpRow(fmt.Sprintf("u%d", i), 1, "PENDING")); err != nil {
+				log.Fatal(err)
+			}
+			sys.Drain()
+		}
+		el := time.Since(start) / toks
+		if drivers == 1 {
+			base = el
+		}
+		fmt.Printf("%-10d %14s %12.0f %9.2fx\n", drivers, el,
+			float64(m)/el.Seconds(), float64(base)/float64(el))
+		sys.Close()
+	}
+}
+
+func e10(scale int) {
+	header("e10", "range predicates: interval skip list vs list ([Hans96b])")
+	fmt.Printf("%-16s %10s %14s\n", "organization", "class", "probe")
+	for _, n := range []int{1_000, 10_000, 100_000 * scale} {
+		for _, org := range []predindex.Organization{predindex.OrgMemoryList, predindex.OrgMemoryIndex} {
+			ix := predindex.New(predindex.WithForcedOrganization(org))
+			ix.AddSource(1, workload.EmpSchema)
+			for i := 0; i < n; i++ {
+				sig, consts := rangeSig(int64(i))
+				ref := predindex.Ref{ExprID: uint64(i + 1), TriggerID: uint64(i + 1),
+					FireMask: predindex.EventMask{AnyOp: true}}
+				if _, err := ix.AddPredicate(1, predindex.EventMask{AnyOp: true}, sig, consts, ref); err != nil {
+					log.Fatal(err)
+				}
+			}
+			probe := tok("x", int64(n/100)) // matches ~1%
+			probes := 2000
+			if org == predindex.OrgMemoryList {
+				probes = 200000 / n
+				if probes < 3 {
+					probes = 3
+				}
+			}
+			start := time.Now()
+			for i := 0; i < probes; i++ {
+				ix.MatchToken(probe, func(predindex.Match) bool { return true })
+			}
+			fmt.Printf("%-16s %10d %14s\n", org, n, time.Since(start)/time.Duration(probes))
+		}
+	}
+}
+
+func e11(scale int) {
+	header("e11", "end-to-end path, queue transports (Figure 1)")
+	n := 1000 * scale
+	fmt.Printf("triggers: %d\n", n)
+	fmt.Printf("%-18s %14s\n", "queue", "time/token")
+	for _, q := range []struct {
+		name string
+		kind triggerman.QueueKind
+	}{{"memory", triggerman.MemoryQueue}, {"persistent", triggerman.PersistentQueue}} {
+		sys := sysWith(triggerman.Options{Synchronous: true, Queue: q.kind})
+		if _, err := sys.DefineStreamSource("emp", workload.EmpSchema.Columns...); err != nil {
+			log.Fatal(err)
+		}
+		load(sys, workload.EqualityTriggers(n, n))
+		src := mustSource(sys, "emp")
+		rng := rand.New(rand.NewSource(11))
+		const toks = 20000
+		start := time.Now()
+		for i := 0; i < toks; i++ {
+			src.Push(datasource.Token{Op: datasource.OpInsert,
+				New: workload.EmpRow(fmt.Sprintf("user%07d", rng.Intn(n)), 1, "d")})
+		}
+		fmt.Printf("%-18s %14s\n", q.name, time.Since(start)/toks)
+		sys.Close()
+	}
+}
+
+func e12(scale int) {
+	header("e12", "adaptive constant-set organization ([Hans98b])")
+	fmt.Printf("%-10s %-16s %14s\n", "class", "organization", "probe")
+	for _, size := range []int{10, 1_000, 100_000 * scale} {
+		ix := mkIndex(size, size, predindex.OrgAuto)
+		entries := ix.Signatures(1)
+		rng := rand.New(rand.NewSource(12))
+		lat := probeLatency(ix, size, 2000, rng)
+		fmt.Printf("%-10d %-16s %14s\n", size, entries[0].Organization(), lat)
+	}
+	_ = os.Stdout
+}
+
+func e13(scale int) {
+	header("e13", "Gator networks vs A-TREAT ([Hans97b])")
+	rows := 300 * scale
+	fmt.Printf("x ⋈ y ⋈ z with %d y/z rows; (y ⋈ z) cached in a beta under Gator\n", rows)
+	fmt.Printf("%-12s %-10s %14s %14s\n", "workload", "network", "x-token", "combos/token")
+	for _, w := range []struct{ name, pred string }{
+		{"band-join", "y.a < z.b and z.b <= y.a + 3"},
+		{"wide-join", "y.a < z.b"},
+	} {
+		for _, gator := range []bool{false, true} {
+			lat, combos := runE13(rows, w.pred, gator)
+			kind := "treat"
+			if gator {
+				kind = "gator"
+			}
+			fmt.Printf("%-12s %-10s %14s %14.1f\n", w.name, kind, lat, combos)
+		}
+	}
+}
+
+func runE13(rows int, yzPred string, gator bool) (time.Duration, float64) {
+	xSchema := types.MustSchema(types.Column{Name: "k", Kind: types.KindInt})
+	ySchema := types.MustSchema(
+		types.Column{Name: "k", Kind: types.KindInt},
+		types.Column{Name: "a", Kind: types.KindInt})
+	zSchema := types.MustSchema(types.Column{Name: "b", Kind: types.KindInt})
+	schemas := []*types.Schema{xSchema, ySchema, zSchema}
+	bind := func(src string) expr.CNF {
+		n, err := parser.ParseExpr(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bd := &expr.Binder{
+			VarIndex:    map[string]int{"x": 0, "y": 1, "z": 2},
+			DefaultVar:  -1,
+			ColumnIndex: func(v int, col string) int { return schemas[v].ColumnIndex(col) },
+		}
+		if err := bd.Bind(n); err != nil {
+			log.Fatal(err)
+		}
+		cnf, err := expr.ToCNF(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return cnf
+	}
+	vars := []discrim.Var{{Name: "x", SourceID: 1}, {Name: "y", SourceID: 2}, {Name: "z", SourceID: 3}}
+	edges := []discrim.JoinEdge{
+		{A: 0, B: 1, Pred: bind("x.k = y.k")},
+		{A: 1, B: 2, Pred: bind(yzPred)},
+	}
+	var notify func(int, datasource.Token, discrim.PNode) error
+	if gator {
+		g, err := discrim.NewGatorNetwork(1, vars, edges, expr.CNF{},
+			discrim.NodeShape(discrim.NodeShape(discrim.LeafShape(1), discrim.LeafShape(2)), discrim.LeafShape(0)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		notify = g.NotifyToken
+	} else {
+		n, err := discrim.NewNetwork(1, vars, edges, expr.CNF{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		notify = n.NotifyToken
+	}
+	for i := 0; i < rows; i++ {
+		notify(1, datasource.Token{SourceID: 2, Op: datasource.OpInsert,
+			New: types.Tuple{types.NewInt(int64(i)), types.NewInt(int64(i))}}, nil)
+		notify(2, datasource.Token{SourceID: 3, Op: datasource.OpInsert,
+			New: types.Tuple{types.NewInt(int64(i + 3))}}, nil)
+	}
+	const toks = 200
+	fired := 0
+	start := time.Now()
+	for i := 0; i < toks; i++ {
+		notify(0, datasource.Token{SourceID: 1, Op: datasource.OpInsert,
+			New: types.Tuple{types.NewInt(int64(i % rows))}},
+			func(discrim.Combo) bool { fired++; return true })
+	}
+	return time.Since(start) / toks, float64(fired) / toks
+}

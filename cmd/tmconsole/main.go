@@ -1,0 +1,151 @@
+// Command tmconsole is the TriggerMan console (Figure 1): an
+// interactive program that connects to a tmand daemon (or hosts an
+// embedded system with -embedded) to create and drop triggers, run
+// mini-SQL, watch events, and inspect stats.
+//
+// Usage:
+//
+//	tmconsole [-connect host:7654 | -embedded [-db path.db]]
+//
+// Console commands:
+//
+//	create trigger ... / drop trigger ... / define data source ...
+//	enable|disable trigger [set] NAME
+//	select|insert|update|delete ...
+//	watch EVENT      -- subscribe and print notifications ("*" = all)
+//	stats            -- system counters
+//	help / quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"triggerman"
+	"triggerman/client"
+)
+
+const helpText = `commands:
+  create trigger <name> [in <set>] from <sources> [on <event>] [when <cond>] do <action>
+  drop trigger <name> | create trigger set <name> | drop trigger set <name>
+  enable|disable trigger [set] <name>
+  define data source <name>(<col> <type>, ...)
+  select|insert|update|delete ...      mini-SQL against the database
+  watch <event>                        print notifications ("*" = all)
+  stats                                system counters
+  help | quit`
+
+// backend abstracts local vs remote operation.
+type backend interface {
+	Command(text string) (string, error)
+	Watch(event string) error
+	Stats() (string, error)
+}
+
+type remoteBackend struct{ c *client.Client }
+
+func (r remoteBackend) Command(text string) (string, error) { return r.c.Command(text) }
+func (r remoteBackend) Stats() (string, error)              { return r.c.Stats() }
+func (r remoteBackend) Watch(event string) error {
+	if err := r.c.Subscribe(event); err != nil {
+		return err
+	}
+	go func() {
+		for n := range r.c.Events() {
+			fmt.Printf("event: %s%s [trigger %d]\n", n.Name, n.Args, n.TriggerID)
+		}
+	}()
+	return nil
+}
+
+type localBackend struct{ sys *triggerman.System }
+
+func (l localBackend) Command(text string) (string, error) { return l.sys.Command(text) }
+func (l localBackend) Stats() (string, error)              { return l.sys.StatsText(), nil }
+func (l localBackend) Watch(event string) error {
+	sub, err := l.sys.Subscribe(event, 256)
+	if err != nil {
+		return err
+	}
+	go func() {
+		for n := range sub.C() {
+			fmt.Printf("event: %s\n", n)
+		}
+	}()
+	return nil
+}
+
+func main() {
+	var (
+		connect  = flag.String("connect", "", "daemon address (host:port)")
+		embedded = flag.Bool("embedded", false, "host an embedded trigger system")
+		dbPath   = flag.String("db", "", "database file for -embedded")
+	)
+	flag.Parse()
+
+	var be backend
+	switch {
+	case *connect != "":
+		c, err := client.Dial(*connect, 256)
+		if err != nil {
+			log.Fatalf("tmconsole: %v", err)
+		}
+		defer c.Close()
+		be = remoteBackend{c}
+		fmt.Printf("connected to %s\n", *connect)
+	case *embedded:
+		sys, err := triggerman.Open(triggerman.Options{DiskPath: *dbPath, Synchronous: true})
+		if err != nil {
+			log.Fatalf("tmconsole: %v", err)
+		}
+		defer sys.Close()
+		be = localBackend{sys}
+		fmt.Println("embedded trigger system ready")
+	default:
+		log.Fatal("tmconsole: need -connect host:port or -embedded")
+	}
+
+	fmt.Println(`TriggerMan console — "help" for commands`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("tman> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "quit" || line == "exit":
+			return
+		case line == "help":
+			fmt.Println(helpText)
+		case line == "stats":
+			out, err := be.Stats()
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println(out)
+			}
+		case strings.HasPrefix(line, "watch"):
+			event := strings.TrimSpace(strings.TrimPrefix(line, "watch"))
+			if event == "" {
+				event = "*"
+			}
+			if err := be.Watch(event); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("watching %s\n", event)
+			}
+		default:
+			out, err := be.Command(line)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else if out != "" {
+				fmt.Println(out)
+			}
+		}
+		fmt.Print("tman> ")
+	}
+}

@@ -1,0 +1,108 @@
+// Client/server: the full Figure 1 topology in one process — a
+// TriggerMan daemon serving the wire protocol, a console-style admin
+// client creating triggers, a subscriber client registering for events,
+// and a data source program pushing update descriptors, all over TCP.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"triggerman"
+	"triggerman/client"
+	"triggerman/internal/types"
+)
+
+func main() {
+	// --- the daemon (normally `tmand -listen :7654`) ---
+	sys, err := triggerman.Open(triggerman.Options{
+		Drivers:   2,
+		Queue:     triggerman.PersistentQueue,
+		Threshold: 5 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	srv, err := sys.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr().String()
+	fmt.Printf("daemon listening on %s\n", addr)
+
+	// --- the admin client (normally `tmconsole -connect ...`) ---
+	admin, err := client.Dial(addr, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer admin.Close()
+	for _, cmd := range []string{
+		"define data source sensors(station varchar, temp float)",
+		`create trigger heatWarning from sensors
+		   when sensors.temp > 40.0
+		   do raise event HeatWarning(sensors.station, sensors.temp)`,
+		`create trigger freezeWarning from sensors
+		   when sensors.temp < 0.0
+		   do raise event FreezeWarning(sensors.station, sensors.temp)`,
+	} {
+		out, err := admin.Command(cmd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("admin: %s\n", out)
+	}
+
+	// --- a monitoring client subscribing to all events ---
+	monitor, err := client.Dial(addr, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer monitor.Close()
+	if err := monitor.Subscribe("*"); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- a data source program pushing update descriptors ---
+	feed, err := client.Dial(addr, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer feed.Close()
+	readings := []struct {
+		station string
+		temp    float64
+	}{
+		{"tundra-1", -12.5},
+		{"coast-3", 18.0},
+		{"desert-7", 44.2},
+		{"coast-3", 21.5},
+		{"desert-7", 46.8},
+	}
+	for _, r := range readings {
+		err := feed.PushInsert("sensors", types.Tuple{
+			types.NewString(r.station), types.NewFloat(r.temp),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// --- the monitor receives exactly the alerts ---
+	for i := 0; i < 3; i++ {
+		select {
+		case n := <-monitor.Events():
+			fmt.Printf("monitor: %s station=%s temp=%s\n",
+				n.Name, n.Args[0].Str(), n.Args[1])
+		case <-time.After(5 * time.Second):
+			log.Fatal("timed out waiting for alerts")
+		}
+	}
+	stats, err := admin.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("daemon stats:\n%s\n", stats)
+}

@@ -1,0 +1,123 @@
+// Fleet monitor: asynchronous processing with driver concurrency, range
+// predicates through the interval skip list, persistent queueing, and
+// execSQL actions that maintain an incident table (which itself carries
+// a trigger — cascaded firing).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"triggerman"
+	"triggerman/internal/types"
+)
+
+func main() {
+	sys, err := triggerman.Open(triggerman.Options{
+		Drivers:   4,
+		Queue:     triggerman.PersistentQueue,
+		Threshold: 5 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	telemetry, err := sys.DefineStreamSource("telemetry",
+		types.Column{Name: "vehicle", Kind: types.KindVarchar},
+		types.Column{Name: "speed", Kind: types.KindInt},
+		types.Column{Name: "enginetemp", Kind: types.KindInt},
+		types.Column{Name: "fuel", Kind: types.KindInt})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Incident table, itself a captured data source: incident inserts
+	// cascade into a page to the dispatcher.
+	_, err = sys.DefineTableSource("incident",
+		types.Column{Name: "vehicle", Kind: types.KindVarchar},
+		types.Column{Name: "kind", Kind: types.KindVarchar},
+		types.Column{Name: "reading", Kind: types.KindInt})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Range-predicate triggers: one signature "enginetemp > C" with many
+	// per-fleet constants (indexed by the interval skip list), etc.
+	rules := []string{
+		`create trigger overheat from telemetry
+		   when telemetry.enginetemp > 110
+		   do execSQL 'insert into incident values (:NEW.telemetry.vehicle, ''overheat'', :NEW.telemetry.enginetemp)'`,
+		`create trigger speeding from telemetry
+		   when telemetry.speed > 120
+		   do execSQL 'insert into incident values (:NEW.telemetry.vehicle, ''speeding'', :NEW.telemetry.speed)'`,
+		`create trigger lowfuel from telemetry
+		   when telemetry.fuel < 5
+		   do execSQL 'insert into incident values (:NEW.telemetry.vehicle, ''lowfuel'', :NEW.telemetry.fuel)'`,
+		// The cascade: any severe incident pages the dispatcher.
+		`create trigger page from incident
+		   when incident.kind = 'overheat' or incident.kind = 'speeding'
+		   do raise event PageDispatcher(incident.vehicle, incident.kind, incident.reading)`,
+	}
+	for _, r := range rules {
+		if err := sys.CreateTrigger(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Per-vehicle custom thresholds share the overheat signature.
+	for v := 0; v < 200; v++ {
+		stmt := fmt.Sprintf(`create trigger custom%03d from telemetry
+			when telemetry.vehicle = 'V%03d' and telemetry.enginetemp > %d
+			do execSQL 'insert into incident values (:NEW.telemetry.vehicle, ''custom'', :NEW.telemetry.enginetemp)'`,
+			v, v, 90+v%20)
+		if err := sys.CreateTrigger(stmt); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	pages, err := sys.Subscribe("PageDispatcher", 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream telemetry from 200 vehicles.
+	const readings = 20000
+	rng := rand.New(rand.NewSource(7))
+	start := time.Now()
+	for i := 0; i < readings; i++ {
+		err := telemetry.Insert(types.Tuple{
+			types.NewString(fmt.Sprintf("V%03d", rng.Intn(200))),
+			types.NewInt(int64(40 + rng.Intn(100))), // speed 40..139
+			types.NewInt(int64(60 + rng.Intn(70))),  // temp 60..129
+			types.NewInt(int64(rng.Intn(60))),       // fuel 0..59
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	sys.Drain()
+	elapsed := time.Since(start)
+
+	res, err := sys.Exec("select * from incident")
+	if err != nil {
+		log.Fatal(err)
+	}
+	byKind := map[string]int{}
+	for _, row := range res.Rows {
+		byKind[row[1].Str()]++
+	}
+	st := sys.Stats()
+	fmt.Printf("processed %d readings in %s (%.0f/s) on %d drivers\n",
+		readings, elapsed.Round(time.Millisecond),
+		float64(readings)/elapsed.Seconds(), 4)
+	fmt.Printf("incidents: %v\n", byKind)
+	fmt.Printf("dispatcher pages: %d (buffer kept %d, dropped %d)\n",
+		st.EventsRaised, len(pages.C()), pages.Dropped())
+	fmt.Printf("queue drained to depth %d; async errors: %d\n",
+		st.QueueDepth, sys.Errors())
+	if err := sys.LastError(); err != nil {
+		fmt.Printf("last error: %v\n", err)
+	}
+}

@@ -1,0 +1,85 @@
+// Hot regions: aggregate trigger conditions (the paper's §2 group
+// by / having grammar, §9's "trigger conditions involving aggregates").
+// A sales stream is grouped by region; triggers fire when a region's
+// incremental aggregates cross thresholds, once per crossing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"triggerman"
+	"triggerman/internal/types"
+)
+
+func main() {
+	sys, err := triggerman.Open(triggerman.Options{
+		Synchronous: true,
+		Queue:       triggerman.MemoryQueue,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	sales, err := sys.DefineTableSource("sales",
+		types.Column{Name: "region", Kind: types.KindVarchar},
+		types.Column{Name: "amount", Kind: types.KindInt},
+		types.Column{Name: "rep", Kind: types.KindVarchar})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's §2 shape: fire when a region gets busy.
+	if err := sys.CreateTrigger(`
+		create trigger hotRegion from sales
+		group by region
+		having count(region) > 10
+		do raise event HotRegion(sales.region, count(region))`); err != nil {
+		log.Fatal(err)
+	}
+	// Revenue milestone with a selection filter: only large sales count.
+	if err := sys.CreateTrigger(`
+		create trigger bigRevenue from sales
+		when sales.amount >= 500
+		group by region
+		having sum(amount) > 5000 and count(amount) > 2
+		do raise event BigRevenue(sales.region, sum(amount), avg(amount))`); err != nil {
+		log.Fatal(err)
+	}
+
+	events, err := sys.Subscribe("*", 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	regions := []string{"north", "south", "east", "west"}
+	const n = 200
+	for i := 0; i < n; i++ {
+		err := sales.Insert(types.Tuple{
+			types.NewString(regions[rng.Intn(len(regions))]),
+			types.NewInt(int64(50 + rng.Intn(900))),
+			types.NewString(fmt.Sprintf("rep%02d", rng.Intn(10))),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("streamed %d sales; alerts:\n", n)
+	for len(events.C()) > 0 {
+		e := <-events.C()
+		switch e.Name {
+		case "HotRegion":
+			fmt.Printf("  HotRegion: %s reached %s sales\n", e.Args[0].Str(), e.Args[1])
+		case "BigRevenue":
+			fmt.Printf("  BigRevenue: %s total=%s avg=%s\n",
+				e.Args[0].Str(), e.Args[1], e.Args[2])
+		}
+	}
+	st := sys.Stats()
+	fmt.Printf("tokens=%d matched(transitions)=%d actions=%d\n",
+		st.TokensIn, st.TokensMatched, st.ActionsRun)
+}

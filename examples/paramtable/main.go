@@ -1,0 +1,168 @@
+// Parameter-table design (§7 of the paper): "just because programmers
+// can create a large number of triggers does not mean that is always
+// the best approach. If triggers have extremely regular structure, it
+// may be best to create a single trigger and a table of data referenced
+// in the trigger's from clause."
+//
+// This example implements the same alerting workload both ways and
+// compares them:
+//
+//	design A: one trigger per user (N triggers, one signature class)
+//	design B: ONE join trigger over a quotes stream and an alerts
+//	          parameter table (N rows)
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"triggerman"
+	"triggerman/internal/types"
+)
+
+const (
+	users   = 20000
+	symbols = 200
+	quotes  = 2000
+)
+
+type alert struct {
+	user      int
+	symbol    string
+	threshold float64
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+	alerts := make([]alert, users)
+	for u := range alerts {
+		alerts[u] = alert{
+			user:      u,
+			symbol:    fmt.Sprintf("SYM%03d", rng.Intn(symbols)),
+			threshold: 50 + rng.Float64()*100,
+		}
+	}
+	quoteStream := make([]types.Tuple, quotes)
+	for q := range quoteStream {
+		quoteStream[q] = types.Tuple{
+			types.NewString(fmt.Sprintf("SYM%03d", rng.Intn(symbols))),
+			types.NewFloat(40 + rng.Float64()*130),
+		}
+	}
+
+	// --- design A: one trigger per user ---
+	firedA := runDesignA(alerts, quoteStream)
+
+	// --- design B: one trigger + parameter table ---
+	firedB := runDesignB(alerts, quoteStream)
+
+	if firedA != firedB {
+		log.Fatalf("designs disagree: %d vs %d alerts", firedA, firedB)
+	}
+	fmt.Printf("\nboth designs fired the same %d alerts — §7's point: with a\n", firedA)
+	fmt.Println("signature-indexed trigger system the many-trigger design is viable,")
+	fmt.Println("and the parameter-table design remains available when rules are")
+	fmt.Println("perfectly regular (one catalog entry, updates via plain DML).")
+}
+
+func newSystem() *triggerman.System {
+	sys, err := triggerman.Open(triggerman.Options{
+		Synchronous:      true,
+		Queue:            triggerman.MemoryQueue,
+		TriggerCacheSize: users + 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}
+
+func runDesignA(alerts []alert, quoteStream []types.Tuple) int64 {
+	sys := newSystem()
+	defer sys.Close()
+	feed, err := sys.DefineStreamSource("quotes",
+		types.Column{Name: "symbol", Kind: types.KindVarchar},
+		types.Column{Name: "price", Kind: types.KindFloat})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	for _, a := range alerts {
+		stmt := fmt.Sprintf(`create trigger u%06d from quotes
+			when quotes.symbol = '%s' and quotes.price > %.4f
+			do raise event Alert%06d(quotes.price)`, a.user, a.symbol, a.threshold, a.user)
+		if err := sys.CreateTrigger(stmt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	setup := time.Since(start)
+
+	var fired int64
+	sys.FireHook = func(uint64, []types.Tuple) { fired++ }
+	start = time.Now()
+	for _, q := range quoteStream {
+		if err := feed.Insert(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	run := time.Since(start)
+	fmt.Printf("design A (one trigger per user): %d triggers in %s, %d quotes in %s (%.0f quotes/s), %d alerts\n",
+		len(alerts), setup.Round(time.Millisecond), len(quoteStream),
+		run.Round(time.Millisecond), float64(len(quoteStream))/run.Seconds(), fired)
+	return fired
+}
+
+func runDesignB(alerts []alert, quoteStream []types.Tuple) int64 {
+	sys := newSystem()
+	defer sys.Close()
+	feed, err := sys.DefineStreamSource("quotes",
+		types.Column{Name: "symbol", Kind: types.KindVarchar},
+		types.Column{Name: "price", Kind: types.KindFloat})
+	if err != nil {
+		log.Fatal(err)
+	}
+	params, err := sys.DefineTableSource("alerts",
+		types.Column{Name: "userid", Kind: types.KindInt},
+		types.Column{Name: "symbol", Kind: types.KindVarchar},
+		types.Column{Name: "threshold", Kind: types.KindFloat})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// ONE trigger whose from clause references the parameter table; the
+	// equijoin on symbol is served by the alpha memory's hash index, and
+	// per-user thresholds are data, not catalog entries.
+	err = sys.CreateTrigger(`create trigger priceAlert
+		on insert to quotes
+		from quotes q, alerts a
+		when q.symbol = a.symbol and q.price > a.threshold
+		do raise event Alert(a.userid, q.symbol, q.price)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	for _, a := range alerts {
+		err := params.Insert(types.Tuple{
+			types.NewInt(int64(a.user)), types.NewString(a.symbol), types.NewFloat(a.threshold),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	setup := time.Since(start)
+
+	var fired int64
+	sys.FireHook = func(uint64, []types.Tuple) { fired++ }
+	start = time.Now()
+	for _, q := range quoteStream {
+		if err := feed.Insert(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	run := time.Since(start)
+	fmt.Printf("design B (one trigger + parameter table): %d rows in %s, %d quotes in %s (%.0f quotes/s), %d alerts\n",
+		len(alerts), setup.Round(time.Millisecond), len(quoteStream),
+		run.Round(time.Millisecond), float64(len(quoteStream))/run.Seconds(), fired)
+	return fired
+}

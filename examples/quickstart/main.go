@@ -1,0 +1,79 @@
+// Quickstart: define a data source, create a trigger, feed updates,
+// receive event notifications.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"triggerman"
+	"triggerman/internal/types"
+)
+
+func main() {
+	// An in-memory, synchronous system: every update is fully processed
+	// before the call returns — the simplest way to embed TriggerMan.
+	sys, err := triggerman.Open(triggerman.Options{
+		Synchronous: true,
+		Queue:       triggerman.MemoryQueue,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// A data source backed by a local table, with automatic update
+	// capture.
+	emp, err := sys.DefineTableSource("emp",
+		types.Column{Name: "name", Kind: types.KindVarchar},
+		types.Column{Name: "salary", Kind: types.KindInt},
+		types.Column{Name: "dept", Kind: types.KindVarchar},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A trigger in the paper's command language.
+	err = sys.CreateTrigger(`
+		create trigger bigSalary
+		from emp
+		when emp.salary > 100000
+		do raise event BigSalary(emp.name, emp.salary)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Register for the event the trigger raises.
+	sub, err := sys.Subscribe("BigSalary", 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Feed updates; matching rows raise events.
+	rows := []struct {
+		name   string
+		salary int64
+		dept   string
+	}{
+		{"Ada", 250000, "eng"},
+		{"Bob", 60000, "sales"},
+		{"Grace", 180000, "eng"},
+	}
+	for _, r := range rows {
+		err := emp.Insert(types.Tuple{
+			types.NewString(r.name), types.NewInt(r.salary), types.NewString(r.dept),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for len(sub.C()) > 0 {
+		n := <-sub.C()
+		fmt.Printf("notification: %s earns %s\n", n.Args[0].Str(), n.Args[1])
+	}
+
+	st := sys.Stats()
+	fmt.Printf("processed %d tokens, %d matched, %d actions\n",
+		st.TokensIn, st.TokensMatched, st.ActionsRun)
+}

@@ -1,0 +1,119 @@
+// Real estate: the paper's §2 running example, end to end — the
+// IrisHouseAlert multi-table join trigger over the house / salesperson /
+// represents schema, plus the updateFred-style execSQL trigger.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"triggerman"
+	"triggerman/internal/types"
+)
+
+func main() {
+	sys, err := triggerman.Open(triggerman.Options{
+		Synchronous: true,
+		Queue:       triggerman.MemoryQueue,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// The paper's real-estate schema (§2).
+	sp, err := sys.DefineTableSource("salesperson",
+		types.Column{Name: "spno", Kind: types.KindInt},
+		types.Column{Name: "name", Kind: types.KindVarchar},
+		types.Column{Name: "phone", Kind: types.KindVarchar})
+	if err != nil {
+		log.Fatal(err)
+	}
+	house, err := sys.DefineTableSource("house",
+		types.Column{Name: "hno", Kind: types.KindInt},
+		types.Column{Name: "address", Kind: types.KindVarchar},
+		types.Column{Name: "price", Kind: types.KindFloat},
+		types.Column{Name: "nno", Kind: types.KindInt},
+		types.Column{Name: "spno", Kind: types.KindInt})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.DefineTableSource("represents",
+		types.Column{Name: "spno", Kind: types.KindInt},
+		types.Column{Name: "nno", Kind: types.KindInt})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's multi-table trigger, verbatim: "if a new house is
+	// added which is in a neighborhood that salesperson Iris represents
+	// then notify her".
+	err = sys.CreateTrigger(`
+		create trigger IrisHouseAlert
+		on insert to house
+		from salesperson s, house h, represents r
+		when s.name = 'Iris' and s.spno=r.spno and r.nno=h.nno
+		do raise event NewHouseInIrisNeighborhood(h.hno, h.address)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A price-drop audit trigger in the updateFred style: execSQL with
+	// :OLD/:NEW macro substitution into a real SQL statement.
+	if _, err := sys.DB().CreateTable("price_log", types.MustSchema(
+		types.Column{Name: "hno", Kind: types.KindInt},
+		types.Column{Name: "oldprice", Kind: types.KindFloat},
+		types.Column{Name: "newprice", Kind: types.KindFloat},
+	)); err != nil {
+		log.Fatal(err)
+	}
+	err = sys.CreateTrigger(`
+		create trigger priceDrop
+		from house
+		on update(house.price)
+		when house.price > 0
+		do execSQL 'insert into price_log values (:NEW.house.hno, :OLD.house.price, :NEW.house.price)'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	iris, err := sys.Subscribe("NewHouseInIrisNeighborhood", 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load the market.
+	sp.Insert(types.Tuple{types.NewInt(7), types.NewString("Iris"), types.NewString("555-0107")})
+	sp.Insert(types.Tuple{types.NewInt(8), types.NewString("Ivan"), types.NewString("555-0108")})
+	rep.Insert(types.Tuple{types.NewInt(7), types.NewInt(1)}) // Iris <- neighborhood 1
+	rep.Insert(types.Tuple{types.NewInt(8), types.NewInt(2)}) // Ivan <- neighborhood 2
+
+	houseRow := func(hno int64, addr string, price float64, nno int64) types.Tuple {
+		return types.Tuple{
+			types.NewInt(hno), types.NewString(addr), types.NewFloat(price),
+			types.NewInt(nno), types.NewInt(0),
+		}
+	}
+	house.Insert(houseRow(100, "12 Oak Ln", 450000, 1)) // Iris's neighborhood
+	house.Insert(houseRow(101, "9 Elm St", 380000, 2))  // Ivan's
+	house.Insert(houseRow(102, "3 Fig Ave", 520000, 1)) // Iris's again
+
+	for len(iris.C()) > 0 {
+		n := <-iris.C()
+		fmt.Printf("Iris alert: house %s at %s\n", n.Args[0], n.Args[1].Str())
+	}
+
+	// A price update fires the execSQL audit trigger.
+	if err := house.Update(
+		houseRow(100, "12 Oak Ln", 450000, 1),
+		houseRow(100, "12 Oak Ln", 425000, 1)); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Exec("select hno, oldprice, newprice from price_log")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("price log: house %s %s -> %s\n", row[0], row[1], row[2])
+	}
+}

@@ -1,0 +1,3 @@
+module triggerman
+
+go 1.22

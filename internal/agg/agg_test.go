@@ -1,0 +1,321 @@
+package agg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"triggerman/internal/expr"
+	"triggerman/internal/parser"
+	"triggerman/internal/types"
+)
+
+// sales schema: region(0) varchar, amount(1) int, rep(2) varchar.
+var salesSchema = types.MustSchema(
+	types.Column{Name: "region", Kind: types.KindVarchar},
+	types.Column{Name: "amount", Kind: types.KindInt},
+	types.Column{Name: "rep", Kind: types.KindVarchar},
+)
+
+func saleRow(region string, amount int64, rep string) types.Tuple {
+	return types.Tuple{types.NewString(region), types.NewInt(amount), types.NewString(rep)}
+}
+
+func bindSales(t *testing.T, src string) expr.Node {
+	t.Helper()
+	n, err := parser.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &expr.Binder{
+		VarIndex:    map[string]int{"sales": 0},
+		DefaultVar:  0,
+		ColumnIndex: func(_ int, col string) int { return salesSchema.ColumnIndex(col) },
+	}
+	if err := b.Bind(n); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestFuncFromName(t *testing.T) {
+	for name, want := range map[string]Func{
+		"count": Count, "SUM": Sum, "Avg": Avg, "min": Min, "MAX": Max,
+	} {
+		got, ok := FuncFromName(name)
+		if !ok || got != want {
+			t.Errorf("FuncFromName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := FuncFromName("median"); ok {
+		t.Error("median should be unknown")
+	}
+	if Count.String() != "count" || Max.String() != "max" {
+		t.Error("names")
+	}
+}
+
+func TestRewriteHaving(t *testing.T) {
+	n := bindSales(t, "count(amount) > 2 and region <> 'x'")
+	rewritten, specs, err := RewriteHaving(n, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Func != Count || specs[0].Col != 1 {
+		t.Fatalf("specs = %v", specs)
+	}
+	// Evaluable with (groupKey, aggs).
+	ev := HavingEvaluator(rewritten)
+	ok, err := ev(types.Tuple{types.NewString("north")}, types.Tuple{types.NewInt(3)})
+	if err != nil || !ok {
+		t.Fatalf("eval = %v %v", ok, err)
+	}
+	ok, _ = ev(types.Tuple{types.NewString("x")}, types.Tuple{types.NewInt(3)})
+	if ok {
+		t.Error("region <> 'x' should fail for group x")
+	}
+	// Duplicate aggregates are shared.
+	n2 := bindSales(t, "sum(amount) > 10 and sum(amount) < 100")
+	_, specs2, err := RewriteHaving(n2, []int{0})
+	if err != nil || len(specs2) != 1 {
+		t.Fatalf("dedup: %v %v", specs2, err)
+	}
+	// Naked non-group column rejected.
+	if _, _, err := RewriteHaving(bindSales(t, "amount > 5"), []int{0}); err == nil {
+		t.Error("non-group column should be rejected")
+	}
+	// Aggregate over expression rejected (column only).
+	if _, _, err := RewriteHaving(bindSales(t, "sum(amount * 2) > 5"), []int{0}); err == nil {
+		t.Error("aggregate over expression should be rejected")
+	}
+}
+
+// run applies a sequence of inserts and returns fire counts.
+func applyInsert(t *testing.T, st *State, having func(a, b types.Tuple) (bool, error), tu types.Tuple) []Fire {
+	t.Helper()
+	fires, err := st.Apply(OpInsert, nil, tu, false, true, having)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fires
+}
+
+func TestCountTransitionFiring(t *testing.T) {
+	n := bindSales(t, "count(amount) > 2")
+	rewritten, specs, _ := RewriteHaving(n, []int{0})
+	st := NewState([]int{0}, specs)
+	ev := HavingEvaluator(rewritten)
+
+	var total int
+	for i := 0; i < 5; i++ {
+		fires := applyInsert(t, st, ev, saleRow("north", 10, "a"))
+		total += len(fires)
+		if i == 2 && len(fires) != 1 {
+			t.Fatalf("insert %d: fires = %d", i, len(fires))
+		}
+	}
+	// Fires exactly once (at count 3), not again at 4, 5.
+	if total != 1 {
+		t.Fatalf("total fires = %d", total)
+	}
+	// A different group is independent.
+	fires := applyInsert(t, st, ev, saleRow("south", 10, "a"))
+	if len(fires) != 0 {
+		t.Fatal("south should not fire at count 1")
+	}
+	// Deletions re-arm only once the condition drops to false: delete
+	// three of the five rows (count 5 -> 2, condition false), then rise
+	// back above the threshold.
+	for i := 0; i < 3; i++ {
+		if _, err := st.Apply(OpDelete, saleRow("north", 10, "a"), nil, true, false, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fires = applyInsert(t, st, ev, saleRow("north", 10, "a"))
+	if len(fires) != 1 {
+		t.Fatalf("re-armed fire = %d", len(fires))
+	}
+}
+
+func TestSumAvgMinMax(t *testing.T) {
+	n := bindSales(t, "sum(amount) >= 100 and avg(amount) >= 25 and max(amount) >= 50 and min(amount) > 0")
+	rewritten, specs, err := RewriteHaving(n, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("specs = %v", specs)
+	}
+	st := NewState([]int{0}, specs)
+	ev := HavingEvaluator(rewritten)
+
+	applyInsert(t, st, ev, saleRow("n", 30, "a"))
+	applyInsert(t, st, ev, saleRow("n", 20, "a"))
+	fires := applyInsert(t, st, ev, saleRow("n", 60, "a")) // sum=110 avg≈36.7 max=60 min=20
+	if len(fires) != 1 {
+		t.Fatalf("fires = %d", len(fires))
+	}
+	f := fires[0]
+	if f.GroupKey[0].Str() != "n" {
+		t.Errorf("group = %v", f.GroupKey)
+	}
+	if f.Aggregates[0].Float() != 110 {
+		t.Errorf("sum = %v", f.Aggregates[0])
+	}
+	if f.Aggregates[2].Int() != 60 || f.Aggregates[3].Int() != 20 {
+		t.Errorf("max/min = %v %v", f.Aggregates[2], f.Aggregates[3])
+	}
+	// Deleting the max re-arms (max drops to 30 -> condition false).
+	if _, err := st.Apply(OpDelete, saleRow("n", 60, "a"), nil, true, false, ev); err != nil {
+		t.Fatal(err)
+	}
+	fires = applyInsert(t, st, ev, saleRow("n", 55, "a"))
+	if len(fires) != 1 {
+		t.Fatalf("fires after max removal = %d", len(fires))
+	}
+}
+
+func TestUpdateMovesBetweenGroups(t *testing.T) {
+	n := bindSales(t, "count(amount) > 1")
+	rewritten, specs, _ := RewriteHaving(n, []int{0})
+	st := NewState([]int{0}, specs)
+	ev := HavingEvaluator(rewritten)
+
+	applyInsert(t, st, ev, saleRow("a", 1, "r"))
+	applyInsert(t, st, ev, saleRow("b", 1, "r"))
+	// Move the b row into group a: a reaches count 2 -> fires.
+	fires, err := st.Apply(OpUpdate, saleRow("b", 1, "r"), saleRow("a", 1, "r"), true, true, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fires) != 1 || fires[0].GroupKey[0].Str() != "a" {
+		t.Fatalf("fires = %+v", fires)
+	}
+	// Group b is now empty and garbage-collected.
+	if st.Groups() != 1 {
+		t.Errorf("groups = %d", st.Groups())
+	}
+}
+
+func TestSelectionFiltering(t *testing.T) {
+	// Tokens whose image fails the selection do not contribute.
+	n := bindSales(t, "count(amount) > 1")
+	rewritten, specs, _ := RewriteHaving(n, []int{0})
+	st := NewState([]int{0}, specs)
+	ev := HavingEvaluator(rewritten)
+	if fires, _ := st.Apply(OpInsert, nil, saleRow("n", 1, "r"), false, false, ev); len(fires) != 0 {
+		t.Fatal("non-matching insert should be a no-op")
+	}
+	if st.Groups() != 0 {
+		t.Error("no group should exist")
+	}
+}
+
+func TestRandomizedAgainstRecompute(t *testing.T) {
+	// Incremental aggregates equal a from-scratch recomputation after
+	// every step; firing happens exactly on false->true transitions of
+	// the recomputed condition.
+	n := bindSales(t, "sum(amount) > 100 and count(amount) > 2")
+	rewritten, specs, _ := RewriteHaving(n, []int{0})
+	st := NewState([]int{0}, specs)
+	ev := HavingEvaluator(rewritten)
+
+	rng := rand.New(rand.NewSource(13))
+	regions := []string{"a", "b", "c"}
+	var rows []types.Tuple
+	condWas := map[string]bool{}
+	for step := 0; step < 2000; step++ {
+		var fires []Fire
+		var err error
+		if len(rows) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(rows))
+			old := rows[i]
+			rows = append(rows[:i], rows[i+1:]...)
+			fires, err = st.Apply(OpDelete, old, nil, true, false, ev)
+		} else {
+			tu := saleRow(regions[rng.Intn(3)], int64(rng.Intn(60)), "r")
+			rows = append(rows, tu)
+			fires, err = st.Apply(OpInsert, nil, tu, false, true, ev)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Recompute per group from rows.
+		sums := map[string]int64{}
+		counts := map[string]int64{}
+		for _, r := range rows {
+			sums[r[0].Str()] += r[1].Int()
+			counts[r[0].Str()]++
+		}
+		condNow := map[string]bool{}
+		for g := range sums {
+			condNow[g] = sums[g] > 100 && counts[g] > 2
+		}
+		firedGroups := map[string]bool{}
+		for _, f := range fires {
+			firedGroups[f.GroupKey[0].Str()] = true
+		}
+		for g, now := range condNow {
+			if now && !condWas[g] && !firedGroups[g] {
+				t.Fatalf("step %d: group %s transitioned true but did not fire", step, g)
+			}
+		}
+		for g := range firedGroups {
+			if !condNow[g] {
+				t.Fatalf("step %d: group %s fired while condition false", step, g)
+			}
+			if condWas[g] {
+				t.Fatalf("step %d: group %s fired without a transition", step, g)
+			}
+		}
+		condWas = condNow
+	}
+}
+
+// Ablation: incremental aggregate maintenance vs recomputing the group
+// from its rows on every token (what a query-based trigger system would
+// do, per the paper's §8 critique of RPL/DIPS).
+func BenchmarkIncrementalVsRecompute(b *testing.B) {
+	n := expr.Cmp(expr.OpGt,
+		&expr.FuncCall{Name: "sum", Args: []expr.Node{&expr.ColumnRef{Column: "amount", VarIdx: 0, ColIdx: 1}}},
+		expr.Int(1_000_000))
+	rewritten, specs, err := RewriteHaving(n, []int{0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := HavingEvaluator(rewritten)
+	for _, rows := range []int{100, 10000} {
+		b.Run("incremental/group="+itoa(rows), func(b *testing.B) {
+			st := NewState([]int{0}, specs)
+			for i := 0; i < rows; i++ {
+				st.Apply(OpInsert, nil, saleRow("g", int64(i), "r"), false, true, ev)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Apply(OpInsert, nil, saleRow("g", 1, "r"), false, true, ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("recompute/group="+itoa(rows), func(b *testing.B) {
+			var all []types.Tuple
+			for i := 0; i < rows; i++ {
+				all = append(all, saleRow("g", int64(i), "r"))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				all = append(all, saleRow("g", 1, "r"))
+				var sum int64
+				for _, r := range all {
+					sum += r[1].Int()
+				}
+				if sum < 0 {
+					b.Fatal("impossible")
+				}
+				all = all[:len(all)-1]
+			}
+		})
+	}
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,183 @@
+// Package cache implements the trigger cache of §5.1: complete trigger
+// descriptions (ID, name, syntax tree, A-TREAT network skeleton) are
+// kept on disk in the trigger catalog and pinned into a bounded
+// main-memory cache when a token matches one of the trigger's
+// predicates — "analogous to the pin operation in a traditional buffer
+// pool" (§5.4).
+//
+// The cache is generic over the cached description type via the Loader
+// function, so the catalog layer decides what a description contains.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Entry is a cached trigger description.
+type Entry struct {
+	TriggerID uint64
+	// Value is the loaded description (the catalog stores a
+	// *catalog.LoadedTrigger here).
+	Value interface{}
+
+	pins  int
+	lruEl *list.Element
+}
+
+// Loader fetches a trigger description from the catalog on a miss.
+type Loader func(triggerID uint64) (interface{}, error)
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits, Misses, Evictions int64
+}
+
+// Cache is a bounded pin-count LRU over trigger descriptions.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	loader   Loader
+	entries  map[uint64]*Entry
+	lru      *list.List // back = least recently used, unpinned only
+	stats    Stats
+}
+
+// New builds a cache holding at most capacity descriptions. The paper's
+// sizing example: 4KB per description, 64MB of cache = 16,384 triggers.
+func New(capacity int, loader Loader) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		loader:   loader,
+		entries:  make(map[uint64]*Entry, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len reports the number of resident descriptions.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Pin fetches the trigger description, loading it on a miss, and pins
+// it so it cannot be evicted until Unpin. Callers must pair every Pin
+// with an Unpin.
+func (c *Cache) Pin(triggerID uint64) (*Entry, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[triggerID]; ok {
+		c.stats.Hits++
+		e.pins++
+		if e.lruEl != nil {
+			c.lru.Remove(e.lruEl)
+			e.lruEl = nil
+		}
+		c.mu.Unlock()
+		return e, nil
+	}
+	c.stats.Misses++
+	// Make room before loading (load happens outside the lock; a
+	// placeholder reserves the slot so concurrent pins of the same
+	// trigger wait via double-check below).
+	if len(c.entries) >= c.capacity {
+		if err := c.evictLocked(); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+	c.mu.Unlock()
+
+	val, err := c.loader(triggerID)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Double-check: a concurrent loader may have installed it.
+	if e, ok := c.entries[triggerID]; ok {
+		e.pins++
+		if e.lruEl != nil {
+			c.lru.Remove(e.lruEl)
+			e.lruEl = nil
+		}
+		return e, nil
+	}
+	if len(c.entries) >= c.capacity {
+		if err := c.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	e := &Entry{TriggerID: triggerID, Value: val, pins: 1}
+	c.entries[triggerID] = e
+	return e, nil
+}
+
+// Unpin releases one pin; at zero pins the entry becomes evictable.
+func (c *Cache) Unpin(triggerID uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[triggerID]
+	if !ok {
+		return fmt.Errorf("cache: unpin of non-resident trigger %d", triggerID)
+	}
+	if e.pins <= 0 {
+		return fmt.Errorf("cache: unpin of unpinned trigger %d", triggerID)
+	}
+	e.pins--
+	if e.pins == 0 {
+		e.lruEl = c.lru.PushFront(triggerID)
+	}
+	return nil
+}
+
+// Invalidate drops a trigger from the cache (after drop trigger or
+// enable/disable). Pinned entries cannot be invalidated.
+func (c *Cache) Invalidate(triggerID uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[triggerID]
+	if !ok {
+		return nil
+	}
+	if e.pins > 0 {
+		return fmt.Errorf("cache: trigger %d is pinned (%d)", triggerID, e.pins)
+	}
+	if e.lruEl != nil {
+		c.lru.Remove(e.lruEl)
+	}
+	delete(c.entries, triggerID)
+	return nil
+}
+
+func (c *Cache) evictLocked() error {
+	el := c.lru.Back()
+	if el == nil {
+		return fmt.Errorf("cache: all %d cached triggers are pinned", c.capacity)
+	}
+	victim := el.Value.(uint64)
+	c.lru.Remove(el)
+	delete(c.entries, victim)
+	c.stats.Evictions++
+	return nil
+}
+
+// Resident reports whether the trigger is currently cached (tests).
+func (c *Cache) Resident(triggerID uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[triggerID]
+	return ok
+}

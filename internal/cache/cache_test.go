@@ -1,0 +1,187 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func countingLoader(loads *int64) Loader {
+	return func(id uint64) (interface{}, error) {
+		atomic.AddInt64(loads, 1)
+		return fmt.Sprintf("trigger-%d", id), nil
+	}
+}
+
+func TestPinLoadsOnMiss(t *testing.T) {
+	var loads int64
+	c := New(4, countingLoader(&loads))
+	e, err := c.Pin(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Value.(string) != "trigger-7" {
+		t.Errorf("value = %v", e.Value)
+	}
+	if loads != 1 {
+		t.Errorf("loads = %d", loads)
+	}
+	c.Unpin(7)
+	// Hit path: no new load.
+	if _, err := c.Pin(7); err != nil {
+		t.Fatal(err)
+	}
+	c.Unpin(7)
+	if loads != 1 {
+		t.Errorf("loads after hit = %d", loads)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	var loads int64
+	c := New(2, countingLoader(&loads))
+	pinUnpin := func(id uint64) {
+		t.Helper()
+		if _, err := c.Pin(id); err != nil {
+			t.Fatal(err)
+		}
+		c.Unpin(id)
+	}
+	pinUnpin(1)
+	pinUnpin(2)
+	pinUnpin(1) // 2 becomes LRU
+	pinUnpin(3) // evicts 2
+	if c.Resident(2) {
+		t.Error("2 should be evicted")
+	}
+	if !c.Resident(1) || !c.Resident(3) {
+		t.Error("1 and 3 should be resident")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+	// Re-pinning 2 reloads it.
+	pinUnpin(2)
+	if loads != 4 {
+		t.Errorf("loads = %d", loads)
+	}
+}
+
+func TestPinnedEntriesNotEvicted(t *testing.T) {
+	var loads int64
+	c := New(1, countingLoader(&loads))
+	if _, err := c.Pin(1); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 1, entry pinned: next pin must fail, not evict.
+	if _, err := c.Pin(2); err == nil {
+		t.Error("pin beyond capacity with all pinned should fail")
+	}
+	c.Unpin(1)
+	if _, err := c.Pin(2); err != nil {
+		t.Errorf("pin after unpin: %v", err)
+	}
+}
+
+func TestUnpinErrors(t *testing.T) {
+	c := New(2, countingLoader(new(int64)))
+	if err := c.Unpin(99); err == nil {
+		t.Error("unpin non-resident")
+	}
+	c.Pin(1)
+	c.Unpin(1)
+	if err := c.Unpin(1); err == nil {
+		t.Error("double unpin")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(4, countingLoader(new(int64)))
+	c.Pin(1)
+	if err := c.Invalidate(1); err == nil {
+		t.Error("invalidate pinned should fail")
+	}
+	c.Unpin(1)
+	if err := c.Invalidate(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Resident(1) {
+		t.Error("still resident")
+	}
+	if err := c.Invalidate(42); err != nil {
+		t.Error("invalidating absent should be a no-op")
+	}
+}
+
+func TestLoaderError(t *testing.T) {
+	c := New(2, func(id uint64) (interface{}, error) {
+		return nil, fmt.Errorf("catalog corrupt")
+	})
+	if _, err := c.Pin(1); err == nil {
+		t.Error("loader error should propagate")
+	}
+	if c.Len() != 0 {
+		t.Error("failed load should not install an entry")
+	}
+}
+
+func TestConcurrentPinUnpin(t *testing.T) {
+	var loads int64
+	c := New(16, countingLoader(&loads))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				id := (seed*7 + uint64(i)) % 32
+				e, err := c.Pin(id)
+				if err != nil {
+					// Transient "all pinned" is possible with 8
+					// concurrent pins of 32 ids in 16 slots; retry.
+					continue
+				}
+				if e.Value.(string) != fmt.Sprintf("trigger-%d", id) {
+					t.Errorf("wrong value for %d", id)
+				}
+				c.Unpin(id)
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Errorf("cache over capacity: %d", c.Len())
+	}
+}
+
+func TestWorkingSetHitRatio(t *testing.T) {
+	// E5's shape in miniature: when capacity >= working set, hit ratio
+	// approaches 1; when capacity is half, misses grow.
+	run := func(capacity int) float64 {
+		var loads int64
+		c := New(capacity, countingLoader(&loads))
+		for round := 0; round < 50; round++ {
+			for id := uint64(0); id < 20; id++ {
+				if _, err := c.Pin(id); err != nil {
+					t.Fatal(err)
+				}
+				c.Unpin(id)
+			}
+		}
+		st := c.Stats()
+		return float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	big := run(20)
+	small := run(10)
+	if big < 0.97 {
+		t.Errorf("full-capacity hit ratio = %f", big)
+	}
+	if small > 0.5 {
+		t.Errorf("half-capacity hit ratio = %f (LRU on cyclic scan should thrash)", small)
+	}
+}

@@ -1,0 +1,98 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestShardedBasics(t *testing.T) {
+	var loads int64
+	s := NewSharded(64, countingLoader(&loads))
+	e, err := s.Pin(7)
+	if err != nil || e.Value.(string) != "trigger-7" {
+		t.Fatalf("pin: %v %v", e, err)
+	}
+	if !s.Resident(7) {
+		t.Error("resident")
+	}
+	if err := s.Unpin(7); err != nil {
+		t.Fatal(err)
+	}
+	// Hit.
+	s.Pin(7)
+	s.Unpin(7)
+	if loads != 1 {
+		t.Errorf("loads = %d", loads)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := s.Invalidate(7); err != nil {
+		t.Fatal(err)
+	}
+	if s.Resident(7) || s.Len() != 0 {
+		t.Error("invalidate")
+	}
+}
+
+func TestShardedDistribution(t *testing.T) {
+	var loads int64
+	s := NewSharded(160, countingLoader(&loads))
+	for i := uint64(0); i < 160; i++ {
+		if _, err := s.Pin(i); err != nil {
+			t.Fatal(err)
+		}
+		s.Unpin(i)
+	}
+	// IDs 0..159 spread evenly over 16 shards of 10: all resident.
+	if s.Len() != 160 {
+		t.Errorf("len = %d, want 160 (even spread)", s.Len())
+	}
+}
+
+func TestShardedTinyCapacity(t *testing.T) {
+	// Capacity below shard count still yields 1 slot per shard.
+	s := NewSharded(3, countingLoader(new(int64)))
+	for i := uint64(0); i < 32; i++ {
+		if _, err := s.Pin(i); err != nil {
+			t.Fatal(err)
+		}
+		s.Unpin(i)
+	}
+	if s.Len() > 16 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+func TestShardedConcurrent(t *testing.T) {
+	var loads int64
+	s := NewSharded(256, func(id uint64) (interface{}, error) {
+		atomic.AddInt64(&loads, 1)
+		return fmt.Sprintf("t%d", id), nil
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				id := (seed*31 + uint64(i)) % 512
+				e, err := s.Pin(id)
+				if err != nil {
+					continue
+				}
+				if e.Value.(string) != fmt.Sprintf("t%d", id) {
+					t.Errorf("wrong value for %d", id)
+				}
+				s.Unpin(id)
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if s.Len() > 256 {
+		t.Errorf("over capacity: %d", s.Len())
+	}
+}

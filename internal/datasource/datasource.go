@@ -1,0 +1,419 @@
+// Package datasource implements the paper's data source layer
+// (Figure 1): data sources that wrap local tables or external feeds,
+// update descriptors (tokens), and the queue that carries captured
+// updates to the trigger processor — either a persistent queue table
+// (the paper's current implementation) or a main-memory queue (the
+// paper's planned fast path, which trades the safety of persistent
+// queuing for speed).
+package datasource
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"triggerman/internal/storage"
+	"triggerman/internal/types"
+)
+
+// Op is an update-descriptor operation code.
+type Op uint8
+
+const (
+	// OpInsert is a new-tuple event.
+	OpInsert Op = iota
+	// OpDelete is an old-tuple event.
+	OpDelete
+	// OpUpdate carries an old/new tuple pair.
+	OpUpdate
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpUpdate:
+		return "update"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Token is an update descriptor: data source ID, operation code, and an
+// old tuple, new tuple, or old/new pair (§5.4).
+type Token struct {
+	SourceID int32
+	Op       Op
+	Old, New types.Tuple
+	// Seq is a monotone sequence number assigned at enqueue.
+	Seq uint64
+}
+
+// Effective returns the tuple selection predicates test: the new image
+// for inserts and updates, the old image for deletes.
+func (t Token) Effective() types.Tuple {
+	if t.Op == OpDelete {
+		return t.Old
+	}
+	return t.New
+}
+
+// UpdatedColumns returns the set of column positions whose value changed
+// (both images present and unequal). For non-update tokens it returns
+// nil.
+func (t Token) UpdatedColumns() []int {
+	if t.Op != OpUpdate {
+		return nil
+	}
+	n := len(t.New)
+	if len(t.Old) > n {
+		n = len(t.Old)
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		if !types.Equal(t.Old.Get(i), t.New.Get(i)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the token.
+func (t Token) String() string {
+	switch t.Op {
+	case OpInsert:
+		return fmt.Sprintf("insert#%d%s", t.SourceID, t.New)
+	case OpDelete:
+		return fmt.Sprintf("delete#%d%s", t.SourceID, t.Old)
+	default:
+		return fmt.Sprintf("update#%d%s->%s", t.SourceID, t.Old, t.New)
+	}
+}
+
+// Encode flattens the token for queue-table storage.
+func (t Token) Encode() []byte {
+	flat := make(types.Tuple, 0, 5+len(t.Old)+len(t.New))
+	flat = append(flat,
+		types.NewInt(int64(t.SourceID)),
+		types.NewInt(int64(t.Op)),
+		types.NewInt(int64(t.Seq)),
+		types.NewInt(int64(len(t.Old))),
+		types.NewInt(int64(len(t.New))),
+	)
+	flat = append(flat, t.Old...)
+	flat = append(flat, t.New...)
+	return types.EncodeTuple(nil, flat)
+}
+
+// DecodeToken parses an encoded token.
+func DecodeToken(rec []byte) (Token, error) {
+	flat, _, err := types.DecodeTuple(rec)
+	if err != nil {
+		return Token{}, err
+	}
+	if len(flat) < 5 {
+		return Token{}, fmt.Errorf("datasource: short token record (%d values)", len(flat))
+	}
+	nOld := int(flat[3].Int())
+	nNew := int(flat[4].Int())
+	if len(flat) != 5+nOld+nNew {
+		return Token{}, fmt.Errorf("datasource: token record arity mismatch")
+	}
+	tok := Token{
+		SourceID: int32(flat[0].Int()),
+		Op:       Op(flat[1].Int()),
+		Seq:      uint64(flat[2].Int()),
+	}
+	if nOld > 0 {
+		tok.Old = flat[5 : 5+nOld].Clone()
+	}
+	if nNew > 0 {
+		tok.New = flat[5+nOld:].Clone()
+	}
+	return tok, nil
+}
+
+// Source describes one data source: a named, typed stream of update
+// descriptors, normally corresponding to a table.
+type Source struct {
+	ID     int32
+	Name   string
+	Schema *types.Schema
+}
+
+// Registry assigns data source IDs and resolves names.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*Source
+	byID   map[int32]*Source
+	nextID int32
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Source), byID: make(map[int32]*Source), nextID: 1}
+}
+
+// Define registers a new data source.
+func (r *Registry) Define(name string, schema *types.Schema) (*Source, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := r.byName[key]; dup {
+		return nil, fmt.Errorf("datasource: %q already defined", name)
+	}
+	s := &Source{ID: r.nextID, Name: name, Schema: schema}
+	r.nextID++
+	r.byName[key] = s
+	r.byID[s.ID] = s
+	return s, nil
+}
+
+// DefineWithID registers a source under a fixed ID (catalog recovery).
+func (r *Registry) DefineWithID(id int32, name string, schema *types.Schema) (*Source, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := r.byName[key]; dup {
+		return nil, fmt.Errorf("datasource: %q already defined", name)
+	}
+	if _, dup := r.byID[id]; dup {
+		return nil, fmt.Errorf("datasource: id %d already in use", id)
+	}
+	s := &Source{ID: id, Name: name, Schema: schema}
+	if id >= r.nextID {
+		r.nextID = id + 1
+	}
+	r.byName[key] = s
+	r.byID[id] = s
+	return s, nil
+}
+
+// ByName resolves a source by name.
+func (r *Registry) ByName(name string) (*Source, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.byName[strings.ToLower(name)]
+	return s, ok
+}
+
+// ByID resolves a source by ID.
+func (r *Registry) ByID(id int32) (*Source, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.byID[id]
+	return s, ok
+}
+
+// Names lists defined source names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.byName))
+	for _, s := range r.byName {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Queue is the update-descriptor transport between capture and the
+// trigger processor.
+type Queue interface {
+	// Enqueue appends a token, assigning its sequence number.
+	Enqueue(t Token) (Token, error)
+	// Dequeue removes and returns the oldest token; ok is false when the
+	// queue is empty.
+	Dequeue() (Token, bool, error)
+	// Len reports the number of queued tokens.
+	Len() int
+}
+
+// MemQueue is the main-memory queue (fast, not crash-safe).
+type MemQueue struct {
+	mu   sync.Mutex
+	buf  []Token
+	head int
+	seq  uint64
+}
+
+// NewMemQueue returns an empty in-memory queue.
+func NewMemQueue() *MemQueue { return &MemQueue{} }
+
+// Enqueue implements Queue.
+func (q *MemQueue) Enqueue(t Token) (Token, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.seq++
+	t.Seq = q.seq
+	q.buf = append(q.buf, t)
+	return t, nil
+}
+
+// Dequeue implements Queue.
+func (q *MemQueue) Dequeue() (Token, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+		return Token{}, false, nil
+	}
+	t := q.buf[q.head]
+	q.head++
+	if q.head > 4096 && q.head*2 > len(q.buf) {
+		// Slide to reclaim memory.
+		q.buf = append(q.buf[:0], q.buf[q.head:]...)
+		q.head = 0
+	}
+	return t, true, nil
+}
+
+// Len implements Queue.
+func (q *MemQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf) - q.head
+}
+
+// TableQueue is the persistent queue table of Figure 1: tokens are
+// inserted as rows by update-capture triggers and consumed by TmanTest.
+type TableQueue struct {
+	mu   sync.Mutex
+	heap *storage.HeapFile
+	bp   *storage.BufferPool
+	seq  uint64
+	// durable forces every enqueue's page to stable storage before the
+	// call returns — "the safety of persistent update queuing" (§3).
+	durable bool
+	// cursor remembers where the last dequeue stopped so repeated
+	// dequeues do not rescan drained pages.
+	cursor storage.RID
+	hasCur bool
+}
+
+// SetDurable toggles flush-per-enqueue durability.
+func (q *TableQueue) SetDurable(d bool) {
+	q.mu.Lock()
+	q.durable = d
+	q.mu.Unlock()
+}
+
+// NewTableQueue creates a persistent queue on bp.
+func NewTableQueue(bp *storage.BufferPool) (*TableQueue, error) {
+	h, err := storage.CreateHeap(bp)
+	if err != nil {
+		return nil, err
+	}
+	return &TableQueue{heap: h, bp: bp}, nil
+}
+
+// OpenTableQueue reopens a persistent queue by its first page.
+func OpenTableQueue(bp *storage.BufferPool, first storage.PageID) (*TableQueue, error) {
+	h, err := storage.OpenHeap(bp, first)
+	if err != nil {
+		return nil, err
+	}
+	q := &TableQueue{heap: h, bp: bp}
+	// Restore the sequence counter from the surviving tokens.
+	err = h.Scan(func(_ storage.RID, rec []byte) bool {
+		if t, derr := DecodeToken(rec); derr == nil && t.Seq > q.seq {
+			q.seq = t.Seq
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// FirstPage returns the queue heap's identity page.
+func (q *TableQueue) FirstPage() storage.PageID { return q.heap.FirstPage() }
+
+// Enqueue implements Queue.
+func (q *TableQueue) Enqueue(t Token) (Token, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.seq++
+	t.Seq = q.seq
+	rid, err := q.heap.Insert(t.Encode())
+	if err != nil {
+		return Token{}, err
+	}
+	if q.durable {
+		if err := q.bp.FlushPage(rid.Page); err != nil {
+			return Token{}, err
+		}
+	}
+	return t, nil
+}
+
+// Dequeue implements Queue. Tokens come back in heap (insertion) order.
+func (q *TableQueue) Dequeue() (Token, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var (
+		found bool
+		tok   Token
+		rid   storage.RID
+		derr  error
+	)
+	// Pages fill strictly in chain order, so the oldest token lives on
+	// the first page with any live record. Within a page, dead-slot
+	// reuse can scramble slot order, so pick the minimum sequence number
+	// on that page.
+	scanOldest := func(start storage.PageID) error {
+		var page storage.PageID
+		havePage := false
+		return q.heap.ScanFrom(start, func(r storage.RID, rec []byte) bool {
+			if havePage && r.Page != page {
+				return false // left the first non-empty page
+			}
+			t, e := DecodeToken(rec)
+			if e != nil {
+				derr = e
+				return false
+			}
+			page, havePage = r.Page, true
+			if !found || t.Seq < tok.Seq {
+				tok, rid, found = t, r, true
+			}
+			return true
+		})
+	}
+	start := q.heap.FirstPage()
+	if q.hasCur {
+		start = q.cursor.Page
+	}
+	if err := scanOldest(start); err != nil {
+		return Token{}, false, err
+	}
+	if derr != nil {
+		return Token{}, false, derr
+	}
+	if !found && q.hasCur {
+		q.hasCur = false
+		if err := scanOldest(q.heap.FirstPage()); err != nil {
+			return Token{}, false, err
+		}
+	}
+	if derr != nil {
+		return Token{}, false, derr
+	}
+	if !found {
+		return Token{}, false, nil
+	}
+	if err := q.heap.Delete(rid); err != nil {
+		return Token{}, false, err
+	}
+	q.cursor, q.hasCur = rid, true
+	return tok, true, nil
+}
+
+// Len implements Queue.
+func (q *TableQueue) Len() int { return q.heap.Count() }

@@ -1,0 +1,366 @@
+package datasource
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"triggerman/internal/storage"
+	"triggerman/internal/types"
+)
+
+func tok(src int32, op Op, vals ...int64) Token {
+	tu := make(types.Tuple, len(vals))
+	for i, v := range vals {
+		tu[i] = types.NewInt(v)
+	}
+	t := Token{SourceID: src, Op: op}
+	if op == OpDelete {
+		t.Old = tu
+	} else {
+		t.New = tu
+	}
+	return t
+}
+
+func TestTokenEffective(t *testing.T) {
+	ins := tok(1, OpInsert, 1, 2)
+	if !ins.Effective().Equal(ins.New) {
+		t.Error("insert effective")
+	}
+	del := tok(1, OpDelete, 3)
+	if !del.Effective().Equal(del.Old) {
+		t.Error("delete effective")
+	}
+	upd := Token{Op: OpUpdate, Old: types.Tuple{types.NewInt(1)}, New: types.Tuple{types.NewInt(2)}}
+	if upd.Effective().Get(0).Int() != 2 {
+		t.Error("update effective should be new image")
+	}
+}
+
+func TestUpdatedColumns(t *testing.T) {
+	upd := Token{Op: OpUpdate,
+		Old: types.Tuple{types.NewInt(1), types.NewString("a"), types.NewInt(3)},
+		New: types.Tuple{types.NewInt(1), types.NewString("b"), types.NewInt(3)}}
+	cols := upd.UpdatedColumns()
+	if len(cols) != 1 || cols[0] != 1 {
+		t.Errorf("updated cols = %v", cols)
+	}
+	// arity mismatch counts the missing column as changed
+	upd2 := Token{Op: OpUpdate,
+		Old: types.Tuple{types.NewInt(1)},
+		New: types.Tuple{types.NewInt(1), types.NewInt(9)}}
+	if cols := upd2.UpdatedColumns(); len(cols) != 1 || cols[0] != 1 {
+		t.Errorf("arity-mismatch cols = %v", cols)
+	}
+	if tok(1, OpInsert, 1).UpdatedColumns() != nil {
+		t.Error("insert should have nil updated columns")
+	}
+}
+
+func TestTokenEncodeDecode(t *testing.T) {
+	cases := []Token{
+		tok(7, OpInsert, 1, 2, 3),
+		tok(9, OpDelete, 4),
+		{SourceID: 2, Op: OpUpdate, Seq: 55,
+			Old: types.Tuple{types.NewString("a"), types.Null()},
+			New: types.Tuple{types.NewString("b"), types.NewFloat(1.5)}},
+		{SourceID: 1, Op: OpInsert}, // empty tuples
+	}
+	for _, c := range cases {
+		enc := c.Encode()
+		got, err := DecodeToken(enc)
+		if err != nil {
+			t.Fatalf("decode %s: %v", c, err)
+		}
+		if got.SourceID != c.SourceID || got.Op != c.Op || got.Seq != c.Seq ||
+			!got.Old.Equal(c.Old) || !got.New.Equal(c.New) {
+			t.Errorf("roundtrip %s -> %s", c, got)
+		}
+	}
+	if _, err := DecodeToken([]byte{1, 0}); err == nil {
+		t.Error("garbage should fail")
+	}
+	// valid tuple, wrong arity
+	bad := types.EncodeTuple(nil, types.Tuple{types.NewInt(1)})
+	if _, err := DecodeToken(bad); err == nil {
+		t.Error("short token should fail")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpInsert.String() != "insert" || OpDelete.String() != "delete" || OpUpdate.String() != "update" {
+		t.Error("op names")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	s1, err := r.Define("emp", types.MustSchema(types.Column{Name: "x", Kind: types.KindInt}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.ID != 1 {
+		t.Errorf("first id = %d", s1.ID)
+	}
+	if _, err := r.Define("EMP", nil); err == nil {
+		t.Error("case-insensitive duplicate should fail")
+	}
+	s2, _ := r.Define("dept", nil)
+	if s2.ID != 2 {
+		t.Errorf("second id = %d", s2.ID)
+	}
+	if got, ok := r.ByName("Emp"); !ok || got != s1 {
+		t.Error("ByName")
+	}
+	if got, ok := r.ByID(2); !ok || got != s2 {
+		t.Error("ByID")
+	}
+	if _, ok := r.ByName("ghost"); ok {
+		t.Error("missing name")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "dept" || names[1] != "emp" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestRegistryWithID(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.DefineWithID(10, "a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.DefineWithID(10, "b", nil); err == nil {
+		t.Error("duplicate id should fail")
+	}
+	if _, err := r.DefineWithID(11, "a", nil); err == nil {
+		t.Error("duplicate name should fail")
+	}
+	// nextID advanced past explicit ids
+	s, _ := r.Define("c", nil)
+	if s.ID != 11 {
+		t.Errorf("next auto id = %d", s.ID)
+	}
+}
+
+func TestMemQueueFIFO(t *testing.T) {
+	q := NewMemQueue()
+	for i := int64(0); i < 100; i++ {
+		if _, err := q.Enqueue(tok(1, OpInsert, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 100 {
+		t.Errorf("len = %d", q.Len())
+	}
+	for i := int64(0); i < 100; i++ {
+		got, ok, err := q.Dequeue()
+		if err != nil || !ok {
+			t.Fatal("dequeue failed")
+		}
+		if got.New.Get(0).Int() != i {
+			t.Fatalf("order broken at %d: %v", i, got)
+		}
+		if got.Seq != uint64(i+1) {
+			t.Fatalf("seq = %d", got.Seq)
+		}
+	}
+	if _, ok, _ := q.Dequeue(); ok {
+		t.Error("empty queue should report !ok")
+	}
+	if q.Len() != 0 {
+		t.Error("len after drain")
+	}
+}
+
+func TestMemQueueSlideReclaim(t *testing.T) {
+	q := NewMemQueue()
+	for i := int64(0); i < 10000; i++ {
+		q.Enqueue(tok(1, OpInsert, i))
+	}
+	for i := int64(0); i < 9000; i++ {
+		q.Dequeue()
+	}
+	// Interleave to exercise the slide path.
+	q.Enqueue(tok(1, OpInsert, 99999))
+	n := 0
+	for {
+		_, ok, _ := q.Dequeue()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 1001 {
+		t.Errorf("drained %d, want 1001", n)
+	}
+}
+
+func TestTableQueuePersistsAndFIFO(t *testing.T) {
+	disk := storage.NewMem()
+	bp := storage.NewBufferPool(disk, 32)
+	q, err := NewTableQueue(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 500; i++ {
+		if _, err := q.Enqueue(tok(1, OpInsert, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain half.
+	for i := int64(0); i < 250; i++ {
+		got, ok, err := q.Dequeue()
+		if err != nil || !ok || got.New.Get(0).Int() != i {
+			t.Fatalf("dequeue %d: %v %v %v", i, got, ok, err)
+		}
+	}
+	if q.Len() != 250 {
+		t.Errorf("len = %d", q.Len())
+	}
+	bp.FlushAll()
+
+	// Crash-restart: reopen from disk; the 250 unconsumed tokens remain.
+	bp2 := storage.NewBufferPool(disk, 32)
+	q2, err := OpenTableQueue(bp2, q.FirstPage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Len() != 250 {
+		t.Fatalf("reopened len = %d", q2.Len())
+	}
+	got, ok, err := q2.Dequeue()
+	if err != nil || !ok || got.New.Get(0).Int() != 250 {
+		t.Fatalf("first after reopen = %v", got)
+	}
+	// Sequence numbers continue from the persisted max.
+	nt, _ := q2.Enqueue(tok(1, OpInsert, 1000))
+	if nt.Seq != 501 {
+		t.Errorf("seq after reopen = %d", nt.Seq)
+	}
+	// Drain fully.
+	n := 0
+	for {
+		_, ok, err := q2.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 250 {
+		t.Errorf("drained %d", n)
+	}
+}
+
+func TestTableQueueInterleaved(t *testing.T) {
+	bp := storage.NewBufferPool(storage.NewMem(), 32)
+	q, _ := NewTableQueue(bp)
+	next := int64(0)
+	want := int64(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			q.Enqueue(tok(1, OpInsert, next))
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			got, ok, err := q.Dequeue()
+			if err != nil || !ok {
+				t.Fatal("dequeue")
+			}
+			if got.New.Get(0).Int() != want {
+				t.Fatalf("order: got %d want %d", got.New.Get(0).Int(), want)
+			}
+			want++
+		}
+	}
+	if q.Len() != int(next-want) {
+		t.Errorf("len = %d, want %d", q.Len(), next-want)
+	}
+}
+
+func BenchmarkMemQueue(b *testing.B) {
+	q := NewMemQueue()
+	t := tok(1, OpInsert, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(t)
+		q.Dequeue()
+	}
+}
+
+func BenchmarkTableQueue(b *testing.B) {
+	bp := storage.NewBufferPool(storage.NewMem(), 64)
+	q, err := NewTableQueue(bp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := tok(1, OpInsert, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(t)
+		if _, ok, _ := q.Dequeue(); !ok {
+			b.Fatal("empty")
+		}
+	}
+	_ = fmt.Sprint()
+}
+
+func TestDurableQueueFlushesPerEnqueue(t *testing.T) {
+	disk := storage.NewMem()
+	bp := storage.NewBufferPool(disk, 32)
+	q, err := NewTableQueue(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.SetDurable(true)
+	if _, err := q.Enqueue(tok(1, OpInsert, 7)); err != nil {
+		t.Fatal(err)
+	}
+	// WITHOUT any explicit flush, a fresh pool over the same disk must
+	// already see the token (the enqueue itself reached the disk).
+	bp2 := storage.NewBufferPool(disk, 32)
+	q2, err := OpenTableQueue(bp2, q.FirstPage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := q2.Dequeue()
+	if err != nil || !ok || got.New.Get(0).Int() != 7 {
+		t.Fatalf("durable token lost: %v %v %v", got, ok, err)
+	}
+	// Non-durable enqueues are only in the buffer pool: a fresh pool
+	// does not see them before a flush.
+	q.SetDurable(false)
+	q.Enqueue(tok(1, OpInsert, 8))
+	bp3 := storage.NewBufferPool(disk, 32)
+	q3, _ := OpenTableQueue(bp3, q.FirstPage())
+	if n := q3.Len(); n != 1 {
+		t.Fatalf("expected only the durable token on disk, found %d", n)
+	}
+}
+
+func TestDecodeTokenNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 50000; i++ {
+		buf := make([]byte, rng.Intn(80))
+		rng.Read(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %x: %v", buf, r)
+				}
+			}()
+			DecodeToken(buf)
+		}()
+	}
+	// Adversarial: valid header claiming huge lengths.
+	evil := types.EncodeTuple(nil, types.Tuple{
+		types.NewInt(1), types.NewInt(0), types.NewInt(1),
+		types.NewInt(1 << 40), types.NewInt(1 << 40),
+	})
+	if _, err := DecodeToken(evil); err == nil {
+		t.Error("absurd old/new lengths should fail")
+	}
+}

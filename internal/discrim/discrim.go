@@ -1,0 +1,555 @@
+// Package discrim implements the A-TREAT discrimination network the
+// paper uses for trigger condition testing (§3, [Hans96]): per-trigger
+// networks with one alpha memory per tuple variable, TREAT-style join
+// enumeration seeded by the arriving token, and a P-node that fires for
+// every tuple combination satisfying the whole condition.
+//
+// Selection predicates live *above* the network in the predicate index;
+// a token reaches a network node only after its selection predicate
+// matched (the nextNetworkNode field of the matched expression).
+// A-TREAT's refinement over TREAT — virtual alpha memories that
+// re-derive their contents from a base table instead of storing them —
+// is supported through the Virtual memory kind.
+package discrim
+
+import (
+	"fmt"
+	"sync"
+
+	"triggerman/internal/datasource"
+	"triggerman/internal/expr"
+	"triggerman/internal/minisql"
+	"triggerman/internal/storage"
+	"triggerman/internal/types"
+)
+
+// MemoryKind selects how an alpha memory holds its matching tuples.
+type MemoryKind uint8
+
+const (
+	// Stored keeps matching tuples in a main-memory bag (TREAT default).
+	Stored MemoryKind = iota
+	// Virtual stores only the selection predicate and scans the backing
+	// table on demand (A-TREAT's virtual alpha node).
+	Virtual
+)
+
+// alphaMemory is a bag of tuples with O(1) add/remove by value and
+// optional per-column hash indexes on equijoin columns — the memory
+// indexing Ariel used ([Hans96]) so join enumeration probes matching
+// tuples instead of scanning the whole memory.
+type alphaMemory struct {
+	mu   sync.RWMutex
+	bag  map[string][]types.Tuple // encoded-key -> instances
+	size int
+	// idx[col] maps an encoded column value to the tuples holding it.
+	idx map[int]map[string][]types.Tuple
+}
+
+func newAlphaMemory(indexCols []int) *alphaMemory {
+	m := &alphaMemory{bag: make(map[string][]types.Tuple)}
+	if len(indexCols) > 0 {
+		m.idx = make(map[int]map[string][]types.Tuple, len(indexCols))
+		for _, c := range indexCols {
+			m.idx[c] = make(map[string][]types.Tuple)
+		}
+	}
+	return m
+}
+
+func tupleKey(tu types.Tuple) string {
+	return string(types.EncodeTuple(nil, tu))
+}
+
+func valueKey(v types.Value) string {
+	return string(types.EncodeKey(nil, types.Tuple{v}))
+}
+
+func (m *alphaMemory) add(tu types.Tuple) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := tu.Clone()
+	k := tupleKey(cp)
+	m.bag[k] = append(m.bag[k], cp)
+	m.size++
+	for col, byVal := range m.idx {
+		vk := valueKey(cp.Get(col))
+		byVal[vk] = append(byVal[vk], cp)
+	}
+}
+
+func (m *alphaMemory) remove(tu types.Tuple) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := tupleKey(tu)
+	insts := m.bag[k]
+	if len(insts) == 0 {
+		return false
+	}
+	if len(insts) == 1 {
+		delete(m.bag, k)
+	} else {
+		m.bag[k] = insts[:len(insts)-1]
+	}
+	m.size--
+	for col, byVal := range m.idx {
+		vk := valueKey(tu.Get(col))
+		lst := byVal[vk]
+		for i, cand := range lst {
+			if cand.Equal(tu) {
+				byVal[vk] = append(lst[:i], lst[i+1:]...)
+				break
+			}
+		}
+		if len(byVal[vk]) == 0 {
+			delete(byVal, vk)
+		}
+	}
+	return true
+}
+
+func (m *alphaMemory) forEach(fn func(types.Tuple) bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, insts := range m.bag {
+		for _, tu := range insts {
+			if !fn(tu) {
+				return
+			}
+		}
+	}
+}
+
+// probe iterates only the tuples whose column col equals v; ok reports
+// whether an index on col exists.
+func (m *alphaMemory) probe(col int, v types.Value, fn func(types.Tuple) bool) (ok bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	byVal, has := m.idx[col]
+	if !has {
+		return false
+	}
+	for _, tu := range byVal[valueKey(v)] {
+		if !fn(tu) {
+			break
+		}
+	}
+	return true
+}
+
+func (m *alphaMemory) len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.size
+}
+
+// Var describes one tuple variable of a trigger.
+type Var struct {
+	// Name is the tuple-variable name from the from clause.
+	Name string
+	// SourceID is the data source feeding this variable.
+	SourceID int32
+	// Kind selects stored or virtual alpha memory.
+	Kind MemoryKind
+	// Table backs a Virtual memory (required when Kind == Virtual).
+	Table *minisql.Table
+	// Selection is the variable's bound selection predicate, used by
+	// virtual memories to filter the base table. May be empty.
+	Selection expr.CNF
+
+	mem *alphaMemory
+}
+
+// JoinEdge is one edge of the trigger condition graph (§5.1 step 3): a
+// join predicate between two tuple variables, bound so that ColumnRef
+// VarIdx matches the network's variable order.
+type JoinEdge struct {
+	A, B int
+	Pred expr.CNF
+}
+
+// Combo is a satisfying tuple combination delivered to the P-node.
+type Combo struct {
+	// Tuples holds one tuple per variable, in network variable order.
+	Tuples []types.Tuple
+	// Token is the update descriptor that seeded the match.
+	Token datasource.Token
+	// SeedVar is the variable the token arrived on.
+	SeedVar int
+}
+
+// PNode receives satisfying combinations; returning false stops the
+// current enumeration (used for early cancellation).
+type PNode func(Combo) bool
+
+// equiKey is a single-column equijoin extracted from an edge predicate:
+// tuple[a].colA = tuple[b].colB.
+type equiKey struct {
+	a, colA, b, colB int
+}
+
+// Network is the per-trigger A-TREAT network.
+type Network struct {
+	TriggerID uint64
+	Vars      []Var
+	Edges     []JoinEdge
+	// CatchAll holds conjuncts referring to zero or three-plus variables
+	// (the paper's catch-all list); it is evaluated on complete
+	// combinations.
+	CatchAll expr.CNF
+	// IndexMemories disables equijoin memory indexing when false is
+	// passed to NewNetworkOpts (ablation); NewNetwork enables it.
+	IndexMemories bool
+
+	// adj[i] lists edge indexes incident to variable i.
+	adj [][]int
+	// equis[ei] holds the equijoins recognized in edge ei.
+	equis [][]equiKey
+}
+
+// NewNetwork builds a network with indexed alpha memories.
+func NewNetwork(triggerID uint64, vars []Var, edges []JoinEdge, catchAll expr.CNF) (*Network, error) {
+	return NewNetworkOpts(triggerID, vars, edges, catchAll, true)
+}
+
+// NewNetworkOpts is NewNetwork with explicit control over memory
+// indexing (benchmark ablations pass false).
+func NewNetworkOpts(triggerID uint64, vars []Var, edges []JoinEdge, catchAll expr.CNF, indexMemories bool) (*Network, error) {
+	n := &Network{TriggerID: triggerID, Vars: vars, Edges: edges, CatchAll: catchAll, IndexMemories: indexMemories}
+	n.adj = make([][]int, len(vars))
+	n.equis = make([][]equiKey, len(edges))
+	indexCols := make([]map[int]bool, len(vars))
+	for i := range indexCols {
+		indexCols[i] = make(map[int]bool)
+	}
+	for ei, e := range edges {
+		if e.A < 0 || e.A >= len(vars) || e.B < 0 || e.B >= len(vars) || e.A == e.B {
+			return nil, fmt.Errorf("discrim: bad join edge %d (%d-%d) for %d variables", ei, e.A, e.B, len(vars))
+		}
+		n.adj[e.A] = append(n.adj[e.A], ei)
+		n.adj[e.B] = append(n.adj[e.B], ei)
+		if indexMemories {
+			n.equis[ei] = equijoinsOf(e)
+			for _, q := range n.equis[ei] {
+				indexCols[q.a][q.colA] = true
+				indexCols[q.b][q.colB] = true
+			}
+		}
+	}
+	for i := range n.Vars {
+		v := &n.Vars[i]
+		if v.Kind == Virtual && v.Table == nil {
+			return nil, fmt.Errorf("discrim: virtual memory for %q needs a backing table", v.Name)
+		}
+		if v.Kind == Stored {
+			var cols []int
+			for c := range indexCols[i] {
+				cols = append(cols, c)
+			}
+			v.mem = newAlphaMemory(cols)
+		}
+	}
+	return n, nil
+}
+
+// equijoinsOf extracts single-atom equality clauses of the form
+// varA.colA = varB.colB from an edge predicate.
+func equijoinsOf(e JoinEdge) []equiKey {
+	var out []equiKey
+	for _, cl := range e.Pred.Clauses {
+		if len(cl.Atoms) != 1 {
+			continue
+		}
+		bin, ok := cl.Atoms[0].(*expr.Binary)
+		if !ok || bin.Op != expr.OpEq {
+			continue
+		}
+		l, lok := bin.Left.(*expr.ColumnRef)
+		r, rok := bin.Right.(*expr.ColumnRef)
+		if !lok || !rok || l.Old || r.Old || l.VarIdx < 0 || r.VarIdx < 0 || l.VarIdx == r.VarIdx {
+			continue
+		}
+		out = append(out, equiKey{a: l.VarIdx, colA: l.ColIdx, b: r.VarIdx, colB: r.ColIdx})
+	}
+	return out
+}
+
+// MemorySize reports the stored-memory cardinality of variable i
+// (0 for virtual memories).
+func (n *Network) MemorySize(i int) int {
+	if n.Vars[i].Kind != Stored {
+		return 0
+	}
+	return n.Vars[i].mem.len()
+}
+
+// AddTuple inserts a tuple into variable v's stored memory (no-op for
+// virtual memories, whose contents derive from the base table).
+func (n *Network) AddTuple(v int, tu types.Tuple) error {
+	if v < 0 || v >= len(n.Vars) {
+		return fmt.Errorf("discrim: variable %d out of range", v)
+	}
+	if n.Vars[v].Kind == Stored && tu != nil {
+		n.Vars[v].mem.add(tu)
+	}
+	return nil
+}
+
+// RemoveTuple removes one instance of a tuple from variable v's stored
+// memory.
+func (n *Network) RemoveTuple(v int, tu types.Tuple) error {
+	if v < 0 || v >= len(n.Vars) {
+		return fmt.Errorf("discrim: variable %d out of range", v)
+	}
+	if n.Vars[v].Kind == Stored && tu != nil {
+		n.Vars[v].mem.remove(tu)
+	}
+	return nil
+}
+
+// Enumerate streams satisfying combinations seeded by the given tuple
+// at variable v, without touching any memory. A nil pnode is a no-op.
+func (n *Network) Enumerate(v int, tok datasource.Token, pnode PNode) error {
+	if v < 0 || v >= len(n.Vars) {
+		return fmt.Errorf("discrim: variable %d out of range", v)
+	}
+	if pnode == nil {
+		return nil
+	}
+	seed := tok.Effective()
+	if seed == nil {
+		return nil
+	}
+	return n.enumerate(v, seed, tok, pnode)
+}
+
+// NotifyToken drives the network with a token routed to variable v: the
+// memory is maintained (insert/delete/update semantics) and satisfying
+// combinations seeded by the token are streamed to pnode. The token is
+// assumed to have already passed variable v's selection predicate.
+// Callers that must decouple maintenance from firing (update tokens
+// whose old and new images match different predicates) use AddTuple /
+// RemoveTuple / Enumerate directly.
+func (n *Network) NotifyToken(v int, tok datasource.Token, pnode PNode) error {
+	if v < 0 || v >= len(n.Vars) {
+		return fmt.Errorf("discrim: variable %d out of range", v)
+	}
+	va := &n.Vars[v]
+	if va.Kind == Stored {
+		switch tok.Op {
+		case datasource.OpInsert:
+			va.mem.add(tok.New)
+		case datasource.OpDelete:
+			if !va.mem.remove(tok.Old) {
+				// Phantom delete: the tuple was never in the memory, so
+				// no combination ceased to exist.
+				return nil
+			}
+		case datasource.OpUpdate:
+			va.mem.remove(tok.Old)
+			va.mem.add(tok.New)
+		}
+	}
+	if pnode == nil {
+		return nil
+	}
+	seed := tok.Effective()
+	if seed == nil {
+		return nil
+	}
+	return n.enumerate(v, seed, tok, pnode)
+}
+
+// enumerate performs the TREAT join: fix the seed variable's tuple and
+// extend through the remaining variables, testing each join edge as soon
+// as both of its endpoints are bound.
+func (n *Network) enumerate(seedVar int, seed types.Tuple, tok datasource.Token, pnode PNode) error {
+	combo := make([]types.Tuple, len(n.Vars))
+	combo[seedVar] = seed
+	bound := make([]bool, len(n.Vars))
+	bound[seedVar] = true
+	olds := make([]types.Tuple, len(n.Vars))
+	olds[seedVar] = tok.Old
+
+	order := n.bindOrder(seedVar)
+	var rec func(step int) (bool, error)
+	rec = func(step int) (bool, error) {
+		if step == len(order) {
+			// All bound: evaluate the catch-all conjuncts, then fire.
+			if len(n.CatchAll.Clauses) > 0 {
+				ok, err := evalOnCombo(n.CatchAll, combo, olds)
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					return true, nil
+				}
+			}
+			out := make([]types.Tuple, len(combo))
+			copy(out, combo)
+			return pnode(Combo{Tuples: out, Token: tok, SeedVar: seedVar}), nil
+		}
+		vi := order[step]
+		cont := true
+		var ierr error
+		try := func(tu types.Tuple) bool {
+			combo[vi] = tu
+			bound[vi] = true
+			ok, err := n.edgesSatisfied(vi, combo, bound, olds)
+			if err != nil {
+				ierr = err
+				return false
+			}
+			if ok {
+				c, err := rec(step + 1)
+				if err != nil {
+					ierr = err
+					return false
+				}
+				if !c {
+					cont = false
+					return false
+				}
+			}
+			bound[vi] = false
+			combo[vi] = nil
+			return true
+		}
+		v := &n.Vars[vi]
+		if v.Kind == Stored {
+			if col, val, ok := n.probeKey(vi, combo, bound); ok {
+				if !v.mem.probe(col, val, try) {
+					v.mem.forEach(try)
+				}
+			} else {
+				v.mem.forEach(try)
+			}
+		} else {
+			err := v.Table.Scan(func(_ storage.RID, tu types.Tuple) bool {
+				// Virtual memory: re-apply the selection predicate.
+				if len(v.Selection.Clauses) > 0 {
+					ok, err := expr.EvalPredicate(v.Selection.Node(), expr.SingleEnv{New: tu})
+					if err != nil {
+						ierr = err
+						return false
+					}
+					if ok != expr.True {
+						return true
+					}
+				}
+				return try(tu)
+			})
+			if err != nil && ierr == nil {
+				ierr = err
+			}
+		}
+		if ierr != nil {
+			return false, ierr
+		}
+		bound[vi] = false
+		combo[vi] = nil
+		return cont, nil
+	}
+	_, err := rec(0)
+	return err
+}
+
+// probeKey finds an equijoin between vi and some already-bound variable
+// and returns vi's join column plus the bound side's value, enabling an
+// indexed memory probe instead of a full scan.
+func (n *Network) probeKey(vi int, combo []types.Tuple, bound []bool) (int, types.Value, bool) {
+	if !n.IndexMemories {
+		return 0, types.Value{}, false
+	}
+	for _, ei := range n.adj[vi] {
+		for _, q := range n.equis[ei] {
+			switch {
+			case q.a == vi && bound[q.b]:
+				return q.colA, combo[q.b].Get(q.colB), true
+			case q.b == vi && bound[q.a]:
+				return q.colB, combo[q.a].Get(q.colA), true
+			}
+		}
+	}
+	return 0, types.Value{}, false
+}
+
+// bindOrder returns the non-seed variables in BFS order from the seed so
+// join predicates become testable as early as possible.
+func (n *Network) bindOrder(seed int) []int {
+	visited := make([]bool, len(n.Vars))
+	visited[seed] = true
+	queue := []int{seed}
+	var order []int
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, ei := range n.adj[cur] {
+			e := n.Edges[ei]
+			other := e.A
+			if other == cur {
+				other = e.B
+			}
+			if !visited[other] {
+				visited[other] = true
+				order = append(order, other)
+				queue = append(queue, other)
+			}
+		}
+	}
+	// Disconnected variables (cartesian products) come last.
+	for i := range n.Vars {
+		if !visited[i] {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+// edgesSatisfied tests every edge incident to vi whose both endpoints
+// are bound.
+func (n *Network) edgesSatisfied(vi int, combo []types.Tuple, bound []bool, olds []types.Tuple) (bool, error) {
+	for _, ei := range n.adj[vi] {
+		e := n.Edges[ei]
+		other := e.A
+		if other == vi {
+			other = e.B
+		}
+		if !bound[other] {
+			continue
+		}
+		ok, err := evalOnCombo(e.Pred, combo, olds)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// evalOnCombo evaluates a bound multi-variable predicate over a partial
+// or complete combination. Only the seeding variable carries an old
+// image; :OLD references to other variables read as NULL, matching SQL
+// semantics for rows that were not updated.
+func evalOnCombo(pred expr.CNF, combo []types.Tuple, olds []types.Tuple) (bool, error) {
+	env := expr.MultiEnv{Tuples: combo, Olds: olds}
+	res, err := expr.EvalPredicate(pred.Node(), env)
+	if err != nil {
+		return false, err
+	}
+	return res == expr.True, nil
+}
+
+// SeedMemory preloads variable i's stored memory (used when a trigger is
+// created over existing table contents, and by tests).
+func (n *Network) SeedMemory(i int, tuples []types.Tuple) error {
+	if n.Vars[i].Kind != Stored {
+		return fmt.Errorf("discrim: cannot seed virtual memory %d", i)
+	}
+	for _, tu := range tuples {
+		n.Vars[i].mem.add(tu)
+	}
+	return nil
+}

@@ -1,0 +1,826 @@
+// Gator networks: the paper's planned next-generation discrimination
+// network ("In the future, we plan to implement an optimized type of
+// discrimination network called a Gator network in TriggerMan", §3,
+// citing [Hans97b]). A Gator network generalizes TREAT and Rete: join
+// results can be cached in beta memory nodes arranged in a tree of
+// arbitrary arity — TREAT is the degenerate tree with no beta nodes,
+// Rete the binary left-deep tree, and Gator anything between, chosen by
+// an optimizer.
+//
+// This implementation supports:
+//
+//   - beta nodes over arbitrary subsets of tuple variables, arranged in
+//     any tree shape;
+//   - incremental maintenance: plus tokens join through sibling
+//     memories and deposit new partial combinations; minus tokens
+//     retract every combination they participated in;
+//   - join-predicate placement at the lowest node covering both
+//     endpoints;
+//   - two built-in shapes (TREAT via the flat Network type, left-deep
+//     Rete via NewLeftDeepGator) plus a greedy optimizer
+//     (NewGreedyGator) that orders variables by estimated cardinality.
+package discrim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"triggerman/internal/datasource"
+	"triggerman/internal/expr"
+	"triggerman/internal/types"
+)
+
+// partial is one partial combination held in a beta memory. Instance
+// identity is Rete-style: each inserted tuple carries a serial, and a
+// partial is identified by its serial vector, so duplicate tuple values
+// yield distinct combinations exactly as the TREAT bag semantics do.
+type partial struct {
+	tuples  []types.Tuple
+	serials []uint64 // indexed by variable; 0 outside the span
+	key     string
+}
+
+func partialKey(serials []uint64, span []int) string {
+	buf := make([]byte, 0, len(span)*9)
+	for _, v := range span {
+		buf = append(buf, byte(v))
+		s := serials[v]
+		for i := 0; i < 8; i++ {
+			buf = append(buf, byte(s>>(8*i)))
+		}
+	}
+	return string(buf)
+}
+
+// gleaf is a Gator leaf memory: tuple instances with serials, a
+// value-keyed stack for retraction, and per-column equijoin indexes.
+type gleaf struct {
+	mu       sync.RWMutex
+	bySerial map[uint64]types.Tuple
+	byValue  map[string][]uint64
+	idx      map[int]map[string][]uint64
+	next     uint64
+}
+
+func newGleaf(indexCols []int) *gleaf {
+	l := &gleaf{
+		bySerial: make(map[uint64]types.Tuple),
+		byValue:  make(map[string][]uint64),
+		idx:      make(map[int]map[string][]uint64),
+	}
+	for _, c := range indexCols {
+		l.idx[c] = make(map[string][]uint64)
+	}
+	return l
+}
+
+func (l *gleaf) add(tu types.Tuple) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next++
+	s := l.next
+	cp := tu.Clone()
+	l.bySerial[s] = cp
+	tk := tupleKey(cp)
+	l.byValue[tk] = append(l.byValue[tk], s)
+	for col, byVal := range l.idx {
+		vk := valueKey(cp.Get(col))
+		byVal[vk] = append(byVal[vk], s)
+	}
+	return s
+}
+
+// remove pops one instance with the given tuple value, returning its
+// serial (0 when absent).
+func (l *gleaf) remove(tu types.Tuple) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tk := tupleKey(tu)
+	stack := l.byValue[tk]
+	if len(stack) == 0 {
+		return 0
+	}
+	s := stack[len(stack)-1]
+	if len(stack) == 1 {
+		delete(l.byValue, tk)
+	} else {
+		l.byValue[tk] = stack[:len(stack)-1]
+	}
+	delete(l.bySerial, s)
+	for col, byVal := range l.idx {
+		vk := valueKey(tu.Get(col))
+		lst := byVal[vk]
+		for i, cand := range lst {
+			if cand == s {
+				byVal[vk] = append(lst[:i], lst[i+1:]...)
+				break
+			}
+		}
+		if len(byVal[vk]) == 0 {
+			delete(byVal, vk)
+		}
+	}
+	return s
+}
+
+func (l *gleaf) forEach(fn func(serial uint64, tu types.Tuple) bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for s, tu := range l.bySerial {
+		if !fn(s, tu) {
+			return
+		}
+	}
+}
+
+// probe iterates instances whose column col equals v; ok reports index
+// availability.
+func (l *gleaf) probe(col int, v types.Value, fn func(serial uint64, tu types.Tuple) bool) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	byVal, has := l.idx[col]
+	if !has {
+		return false
+	}
+	for _, s := range byVal[valueKey(v)] {
+		if tu, ok := l.bySerial[s]; ok {
+			if !fn(s, tu) {
+				break
+			}
+		}
+	}
+	return true
+}
+
+func (l *gleaf) len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.bySerial)
+}
+
+// varCol identifies an equijoin index target inside a beta memory: the
+// column col of the combination's variable v.
+type varCol struct{ v, col int }
+
+// betaMemory stores partial combinations keyed by serial vector with a
+// per-variable serial index for retraction and optional equijoin value
+// indexes (the beta analogue of Ariel's indexed alpha memories).
+type betaMemory struct {
+	mu    sync.RWMutex
+	byKey map[string]*partial
+	// bySerial[v][serial] lists combination keys containing that
+	// instance at variable v.
+	bySerial map[int]map[uint64][]string
+	// idx[vc][valueKey] lists combination keys whose tuple at vc.v has
+	// the given value in column vc.col.
+	idx  map[varCol]map[string][]string
+	span []int
+}
+
+func newBetaMemory(span []int) *betaMemory {
+	bm := &betaMemory{
+		byKey:    make(map[string]*partial),
+		bySerial: make(map[int]map[uint64][]string),
+		idx:      make(map[varCol]map[string][]string),
+		span:     span,
+	}
+	for _, v := range span {
+		bm.bySerial[v] = make(map[uint64][]string)
+	}
+	return bm
+}
+
+func (bm *betaMemory) addIndex(vc varCol) {
+	if _, ok := bm.idx[vc]; !ok {
+		bm.idx[vc] = make(map[string][]string)
+	}
+}
+
+func (bm *betaMemory) add(p *partial) bool {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	if _, dup := bm.byKey[p.key]; dup {
+		return false
+	}
+	bm.byKey[p.key] = p
+	for _, v := range bm.span {
+		bm.bySerial[v][p.serials[v]] = append(bm.bySerial[v][p.serials[v]], p.key)
+	}
+	for vc, byVal := range bm.idx {
+		vk := valueKey(p.tuples[vc.v].Get(vc.col))
+		byVal[vk] = append(byVal[vk], p.key)
+	}
+	return true
+}
+
+// probe iterates combinations whose (v, col) value equals val; ok
+// reports index availability.
+func (bm *betaMemory) probe(vc varCol, val types.Value, fn func(*partial) bool) bool {
+	bm.mu.RLock()
+	defer bm.mu.RUnlock()
+	byVal, has := bm.idx[vc]
+	if !has {
+		return false
+	}
+	for _, k := range byVal[valueKey(val)] {
+		if p, ok := bm.byKey[k]; ok {
+			if !fn(p) {
+				break
+			}
+		}
+	}
+	return true
+}
+
+// removeBySerial retracts every combination containing the given
+// instance at variable v, returning them.
+func (bm *betaMemory) removeBySerial(v int, serial uint64) []*partial {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	keys := bm.bySerial[v][serial]
+	if len(keys) == 0 {
+		return nil
+	}
+	delete(bm.bySerial[v], serial)
+	var out []*partial
+	for _, k := range keys {
+		p, ok := bm.byKey[k]
+		if !ok {
+			continue
+		}
+		delete(bm.byKey, k)
+		out = append(out, p)
+		for _, ov := range bm.span {
+			if ov == v {
+				continue
+			}
+			os := p.serials[ov]
+			lst := bm.bySerial[ov][os]
+			for i, ck := range lst {
+				if ck == k {
+					bm.bySerial[ov][os] = append(lst[:i], lst[i+1:]...)
+					break
+				}
+			}
+			if len(bm.bySerial[ov][os]) == 0 {
+				delete(bm.bySerial[ov], os)
+			}
+		}
+		for vc, byVal := range bm.idx {
+			vk := valueKey(p.tuples[vc.v].Get(vc.col))
+			lst := byVal[vk]
+			for i, ck := range lst {
+				if ck == k {
+					byVal[vk] = append(lst[:i], lst[i+1:]...)
+					break
+				}
+			}
+			if len(byVal[vk]) == 0 {
+				delete(byVal, vk)
+			}
+		}
+	}
+	return out
+}
+
+func (bm *betaMemory) forEach(fn func(*partial) bool) {
+	bm.mu.RLock()
+	defer bm.mu.RUnlock()
+	for _, p := range bm.byKey {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+func (bm *betaMemory) len() int {
+	bm.mu.RLock()
+	defer bm.mu.RUnlock()
+	return len(bm.byKey)
+}
+
+// gnode is one node of the Gator tree: a leaf (alpha memory of one
+// variable) or an interior node with a beta memory over its span.
+type gnode struct {
+	// leafVar >= 0 marks a leaf.
+	leafVar  int
+	children []*gnode
+	span     []int // sorted variable set
+	// edges assigned to this node (lowest node covering both ends).
+	edges  []int
+	beta   *betaMemory // nil for leaves
+	parent *gnode
+}
+
+// GatorNetwork is a discrimination network with cached join state.
+type GatorNetwork struct {
+	TriggerID uint64
+	Vars      []Var
+	Edges     []JoinEdge
+	CatchAll  expr.CNF
+
+	root   *gnode
+	leaves []*gnode
+	mems   []*gleaf // one per variable
+}
+
+// Shape describes a Gator tree as nested variable groups: a Shape is
+// either a single variable index or a list of sub-shapes.
+type Shape struct {
+	Var  int      // valid when Subs is nil
+	Subs []*Shape // interior node
+}
+
+// LeafShape and NodeShape build Shape trees.
+func LeafShape(v int) *Shape { return &Shape{Var: v} }
+
+// NodeShape groups sub-shapes under one beta node.
+func NodeShape(subs ...*Shape) *Shape { return &Shape{Var: -1, Subs: subs} }
+
+// NewGatorNetwork builds a network with the given tree shape. The shape
+// must cover every variable exactly once.
+func NewGatorNetwork(triggerID uint64, vars []Var, edges []JoinEdge, catchAll expr.CNF, shape *Shape) (*GatorNetwork, error) {
+	g := &GatorNetwork{TriggerID: triggerID, Vars: vars, Edges: edges, CatchAll: catchAll}
+	for i := range vars {
+		v := &g.Vars[i]
+		if v.Kind == Virtual {
+			return nil, fmt.Errorf("discrim: gator networks require stored memories (variable %q)", v.Name)
+		}
+	}
+	// Build leaves with equijoin indexes, as in NewNetworkOpts.
+	indexCols := make(map[int]map[int]bool, len(vars))
+	for i := range vars {
+		indexCols[i] = make(map[int]bool)
+	}
+	for _, e := range edges {
+		if e.A < 0 || e.A >= len(vars) || e.B < 0 || e.B >= len(vars) || e.A == e.B {
+			return nil, fmt.Errorf("discrim: bad join edge (%d-%d)", e.A, e.B)
+		}
+		for _, q := range equijoinsOf(e) {
+			indexCols[q.a][q.colA] = true
+			indexCols[q.b][q.colB] = true
+		}
+	}
+	g.leaves = make([]*gnode, len(vars))
+	g.mems = make([]*gleaf, len(vars))
+	for i := range vars {
+		var cols []int
+		for c := range indexCols[i] {
+			cols = append(cols, c)
+		}
+		g.mems[i] = newGleaf(cols)
+		g.leaves[i] = &gnode{leafVar: i, span: []int{i}}
+	}
+	root, err := g.buildShape(shape)
+	if err != nil {
+		return nil, err
+	}
+	seen := make([]bool, len(vars))
+	for _, v := range root.span {
+		if seen[v] {
+			return nil, fmt.Errorf("discrim: shape repeats variable %d", v)
+		}
+		seen[v] = true
+	}
+	for i, s := range seen {
+		if !s {
+			return nil, fmt.Errorf("discrim: shape omits variable %d", i)
+		}
+	}
+	g.root = root
+	// Assign each edge to the lowest node whose span covers both ends,
+	// and register equijoin indexes on the beta children holding each
+	// endpoint so sibling joins probe instead of scan.
+	for ei, e := range edges {
+		n := g.lowestCovering(root, e.A, e.B)
+		if n == nil {
+			return nil, fmt.Errorf("discrim: no node covers edge %d-%d", e.A, e.B)
+		}
+		n.edges = append(n.edges, ei)
+		for _, q := range equijoinsOf(e) {
+			for _, c := range n.children {
+				if c.beta == nil {
+					continue
+				}
+				if spanContains(c.span, q.a) {
+					c.beta.addIndex(varCol{q.a, q.colA})
+				}
+				if spanContains(c.span, q.b) {
+					c.beta.addIndex(varCol{q.b, q.colB})
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+func (g *GatorNetwork) buildShape(s *Shape) (*gnode, error) {
+	if s == nil {
+		return nil, fmt.Errorf("discrim: nil shape")
+	}
+	if s.Subs == nil {
+		if s.Var < 0 || s.Var >= len(g.Vars) {
+			return nil, fmt.Errorf("discrim: shape variable %d out of range", s.Var)
+		}
+		return g.leaves[s.Var], nil
+	}
+	if len(s.Subs) < 2 {
+		return nil, fmt.Errorf("discrim: interior shape node needs >= 2 children")
+	}
+	n := &gnode{leafVar: -1}
+	for _, sub := range s.Subs {
+		child, err := g.buildShape(sub)
+		if err != nil {
+			return nil, err
+		}
+		child.parent = n
+		n.children = append(n.children, child)
+		n.span = append(n.span, child.span...)
+	}
+	sort.Ints(n.span)
+	n.beta = newBetaMemory(n.span)
+	return n, nil
+}
+
+func (g *GatorNetwork) lowestCovering(n *gnode, a, b int) *gnode {
+	if !spanContains(n.span, a) || !spanContains(n.span, b) {
+		return nil
+	}
+	for _, c := range n.children {
+		if got := g.lowestCovering(c, a, b); got != nil {
+			return got
+		}
+	}
+	return n
+}
+
+func spanContains(span []int, v int) bool {
+	i := sort.SearchInts(span, v)
+	return i < len(span) && span[i] == v
+}
+
+// NewLeftDeepGator builds the binary left-deep (Rete-style) tree over
+// variables in index order.
+func NewLeftDeepGator(triggerID uint64, vars []Var, edges []JoinEdge, catchAll expr.CNF) (*GatorNetwork, error) {
+	if len(vars) < 2 {
+		return nil, fmt.Errorf("discrim: gator network needs >= 2 variables")
+	}
+	shape := NodeShape(LeafShape(0), LeafShape(1))
+	for v := 2; v < len(vars); v++ {
+		shape = NodeShape(shape, LeafShape(v))
+	}
+	return NewGatorNetwork(triggerID, vars, edges, catchAll, shape)
+}
+
+// NewGreedyGator builds a left-deep tree over variables ordered by
+// ascending estimated cardinality (the [Hans97b] optimizer reduced to
+// its leading heuristic: join small memories first so beta memories
+// stay small). card[i] estimates variable i's memory size; nil means
+// uniform.
+func NewGreedyGator(triggerID uint64, vars []Var, edges []JoinEdge, catchAll expr.CNF, card []int) (*GatorNetwork, error) {
+	if len(vars) < 2 {
+		return nil, fmt.Errorf("discrim: gator network needs >= 2 variables")
+	}
+	order := make([]int, len(vars))
+	for i := range order {
+		order[i] = i
+	}
+	if card != nil {
+		sort.SliceStable(order, func(a, b int) bool { return card[order[a]] < card[order[b]] })
+	}
+	// Prefer connected growth: re-order so each next variable shares an
+	// edge with the chosen prefix when possible.
+	adj := make(map[int]map[int]bool)
+	for _, e := range edges {
+		if adj[e.A] == nil {
+			adj[e.A] = map[int]bool{}
+		}
+		if adj[e.B] == nil {
+			adj[e.B] = map[int]bool{}
+		}
+		adj[e.A][e.B] = true
+		adj[e.B][e.A] = true
+	}
+	chosen := []int{order[0]}
+	remaining := append([]int(nil), order[1:]...)
+	for len(remaining) > 0 {
+		pick := -1
+		for i, cand := range remaining {
+			connected := false
+			for _, c := range chosen {
+				if adj[c][cand] {
+					connected = true
+					break
+				}
+			}
+			if connected {
+				pick = i
+				break
+			}
+		}
+		if pick == -1 {
+			pick = 0
+		}
+		chosen = append(chosen, remaining[pick])
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+	}
+	shape := NodeShape(LeafShape(chosen[0]), LeafShape(chosen[1]))
+	for i := 2; i < len(chosen); i++ {
+		shape = NodeShape(shape, LeafShape(chosen[i]))
+	}
+	return NewGatorNetwork(triggerID, vars, edges, catchAll, shape)
+}
+
+// BetaSizes reports the cardinality of every beta memory, root last
+// (tests and memory accounting).
+func (g *GatorNetwork) BetaSizes() []int {
+	var out []int
+	var walk func(n *gnode)
+	walk = func(n *gnode) {
+		for _, c := range n.children {
+			walk(c)
+		}
+		if n.beta != nil {
+			out = append(out, n.beta.len())
+		}
+	}
+	walk(g.root)
+	return out
+}
+
+// MemorySize reports variable v's alpha memory cardinality.
+func (g *GatorNetwork) MemorySize(v int) int { return g.mems[v].len() }
+
+// NotifyToken drives the network: memories are maintained and every
+// root-level combination created (plus token) or retracted (minus
+// token) is streamed to pnode.
+func (g *GatorNetwork) NotifyToken(v int, tok datasource.Token, pnode PNode) error {
+	if v < 0 || v >= len(g.Vars) {
+		return fmt.Errorf("discrim: variable %d out of range", v)
+	}
+	switch tok.Op {
+	case datasource.OpInsert:
+		return g.insert(v, tok.New, tok, pnode)
+	case datasource.OpDelete:
+		return g.remove(v, tok.Old, tok, pnode)
+	case datasource.OpUpdate:
+		if err := g.remove(v, tok.Old, tok, nil); err != nil {
+			return err
+		}
+		return g.insert(v, tok.New, tok, pnode)
+	}
+	return nil
+}
+
+func (g *GatorNetwork) insert(v int, tu types.Tuple, tok datasource.Token, pnode PNode) error {
+	if tu == nil {
+		return nil
+	}
+	serial := g.mems[v].add(tu)
+	// Seed partial: just variable v bound.
+	seed := make([]types.Tuple, len(g.Vars))
+	seed[v] = tu
+	serials := make([]uint64, len(g.Vars))
+	serials[v] = serial
+	return g.propagate(g.leaves[v], []*partial{{tuples: seed, serials: serials}}, tok, v, pnode)
+}
+
+// propagate joins fresh partials from child upward through its parents.
+func (g *GatorNetwork) propagate(from *gnode, fresh []*partial, tok datasource.Token, seedVar int, pnode PNode) error {
+	node := from.parent
+	current := fresh
+	for node != nil && len(current) > 0 {
+		var produced []*partial
+		for _, p := range current {
+			combos, err := g.joinSiblings(node, from, p, tok, seedVar)
+			if err != nil {
+				return err
+			}
+			produced = append(produced, combos...)
+		}
+		// Deposit into this node's beta; only genuinely new combos keep
+		// propagating (serial identity makes duplicates impossible except
+		// through re-delivery of the same propagation).
+		var kept []*partial
+		for _, p := range produced {
+			p.key = partialKey(p.serials, node.span)
+			if node.beta.add(p) {
+				kept = append(kept, p)
+			}
+		}
+		if node == g.root {
+			for _, p := range kept {
+				ok, err := g.passCatchAll(p, tok, seedVar)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				if pnode != nil {
+					out := make([]types.Tuple, len(p.tuples))
+					copy(out, p.tuples)
+					if !pnode(Combo{Tuples: out, Token: tok, SeedVar: seedVar}) {
+						return nil
+					}
+				}
+			}
+			return nil
+		}
+		from = node
+		current = kept
+		node = node.parent
+	}
+	return nil
+}
+
+// joinSiblings extends partial p (covering child `from`'s span) with
+// every combination of the other children's memories that satisfies the
+// node's join edges.
+func (g *GatorNetwork) joinSiblings(node, from *gnode, p *partial, tok datasource.Token, seedVar int) ([]*partial, error) {
+	others := make([]*gnode, 0, len(node.children)-1)
+	for _, c := range node.children {
+		if c != from {
+			others = append(others, c)
+		}
+	}
+	combo := make([]types.Tuple, len(g.Vars))
+	copy(combo, p.tuples)
+	serials := make([]uint64, len(g.Vars))
+	copy(serials, p.serials)
+	bound := make([]bool, len(g.Vars))
+	for _, v := range from.span {
+		bound[v] = true
+	}
+	olds := make([]types.Tuple, len(g.Vars))
+	olds[seedVar] = tok.Old
+
+	var out []*partial
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(others) {
+			// All children bound: test this node's edges.
+			for _, ei := range node.edges {
+				e := g.Edges[ei]
+				ok, err := evalOnCombo(e.Pred, combo, olds)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+			tuples := make([]types.Tuple, len(g.Vars))
+			copy(tuples, combo)
+			ser := make([]uint64, len(g.Vars))
+			copy(ser, serials)
+			out = append(out, &partial{tuples: tuples, serials: ser})
+			return nil
+		}
+		sib := others[i]
+		try := func(tuples []types.Tuple, ser []uint64) error {
+			for _, v := range sib.span {
+				combo[v] = tuples[v]
+				serials[v] = ser[v]
+				bound[v] = true
+			}
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+			for _, v := range sib.span {
+				combo[v] = nil
+				serials[v] = 0
+				bound[v] = false
+			}
+			return nil
+		}
+		var ierr error
+		if sib.leafVar >= 0 {
+			v := sib.leafVar
+			probeCol, probeVal, ok := g.leafProbe(node, sib, combo, bound)
+			tmpT := make([]types.Tuple, len(g.Vars))
+			tmpS := make([]uint64, len(g.Vars))
+			emit := func(serial uint64, tu types.Tuple) bool {
+				tmpT[v], tmpS[v] = tu, serial
+				if err := try(tmpT, tmpS); err != nil {
+					ierr = err
+					return false
+				}
+				return true
+			}
+			if ok {
+				if !g.mems[v].probe(probeCol, probeVal, emit) {
+					g.mems[v].forEach(emit)
+				}
+			} else {
+				g.mems[v].forEach(emit)
+			}
+		} else {
+			emit := func(sp *partial) bool {
+				if err := try(sp.tuples, sp.serials); err != nil {
+					ierr = err
+					return false
+				}
+				return true
+			}
+			if vc, val, ok := g.betaProbe(node, sib, combo, bound); ok {
+				if !sib.beta.probe(vc, val, emit) {
+					sib.beta.forEach(emit)
+				}
+			} else {
+				sib.beta.forEach(emit)
+			}
+		}
+		return ierr
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// betaProbe finds an equijoin at node between a bound variable and a
+// variable inside beta sibling sib, enabling an indexed beta probe.
+func (g *GatorNetwork) betaProbe(node, sib *gnode, combo []types.Tuple, bound []bool) (varCol, types.Value, bool) {
+	for _, ei := range node.edges {
+		for _, q := range equijoinsOf(g.Edges[ei]) {
+			switch {
+			case spanContains(sib.span, q.a) && bound[q.b]:
+				return varCol{q.a, q.colA}, combo[q.b].Get(q.colB), true
+			case spanContains(sib.span, q.b) && bound[q.a]:
+				return varCol{q.b, q.colB}, combo[q.a].Get(q.colA), true
+			}
+		}
+	}
+	return varCol{}, types.Value{}, false
+}
+
+// leafProbe finds an equijoin between leaf sib and a bound variable
+// among node's edges, enabling an indexed probe.
+func (g *GatorNetwork) leafProbe(node, sib *gnode, combo []types.Tuple, bound []bool) (int, types.Value, bool) {
+	v := sib.leafVar
+	for _, ei := range node.edges {
+		for _, q := range equijoinsOf(g.Edges[ei]) {
+			switch {
+			case q.a == v && bound[q.b]:
+				return q.colA, combo[q.b].Get(q.colB), true
+			case q.b == v && bound[q.a]:
+				return q.colB, combo[q.a].Get(q.colA), true
+			}
+		}
+	}
+	return 0, types.Value{}, false
+}
+
+func (g *GatorNetwork) passCatchAll(p *partial, tok datasource.Token, seedVar int) (bool, error) {
+	if len(g.CatchAll.Clauses) == 0 {
+		return true, nil
+	}
+	olds := make([]types.Tuple, len(g.Vars))
+	olds[seedVar] = tok.Old
+	return evalOnCombo(g.CatchAll, p.tuples, olds)
+}
+
+// remove retracts a tuple: it leaves the alpha memory and every beta
+// combination containing it; retracted root combinations are streamed
+// to pnode (minus notifications).
+func (g *GatorNetwork) remove(v int, tu types.Tuple, tok datasource.Token, pnode PNode) error {
+	if tu == nil {
+		return nil
+	}
+	serial := g.mems[v].remove(tu)
+	if serial == 0 {
+		return nil
+	}
+	var walk func(n *gnode) error
+	walk = func(n *gnode) error {
+		for _, c := range n.children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		if n.beta == nil || !spanContains(n.span, v) {
+			return nil
+		}
+		removed := n.beta.removeBySerial(v, serial)
+		if n == g.root && pnode != nil {
+			for _, p := range removed {
+				ok, err := g.passCatchAll(p, tok, v)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				out := make([]types.Tuple, len(p.tuples))
+				copy(out, p.tuples)
+				if !pnode(Combo{Tuples: out, Token: tok, SeedVar: v}) {
+					return nil
+				}
+			}
+		}
+		return nil
+	}
+	return walk(g.root)
+}

@@ -1,0 +1,365 @@
+package discrim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"triggerman/internal/datasource"
+	"triggerman/internal/expr"
+	"triggerman/internal/parser"
+	"triggerman/internal/types"
+)
+
+func gatorVars() []Var {
+	return []Var{
+		{Name: "s", SourceID: 1},
+		{Name: "h", SourceID: 2},
+		{Name: "r", SourceID: 3},
+	}
+}
+
+func gatorEdges(t *testing.T) []JoinEdge {
+	return []JoinEdge{
+		{A: 0, B: 2, Pred: bindMulti(t, "s.spno = r.spno")},
+		{A: 2, B: 1, Pred: bindMulti(t, "r.nno = h.nno")},
+	}
+}
+
+func TestGatorShapeValidation(t *testing.T) {
+	vars := gatorVars()
+	edges := gatorEdges(t)
+	// Omitting a variable fails.
+	if _, err := NewGatorNetwork(1, vars, edges, expr.CNF{},
+		NodeShape(LeafShape(0), LeafShape(1))); err == nil {
+		t.Error("shape omitting a variable should fail")
+	}
+	// Repeating a variable fails.
+	if _, err := NewGatorNetwork(1, vars, edges, expr.CNF{},
+		NodeShape(LeafShape(0), LeafShape(0), LeafShape(1))); err == nil {
+		t.Error("shape repeating a variable should fail")
+	}
+	// Single-child interior node fails.
+	if _, err := NewGatorNetwork(1, vars, edges, expr.CNF{},
+		NodeShape(NodeShape(LeafShape(0)), LeafShape(1), LeafShape(2))); err == nil {
+		t.Error("1-child interior node should fail")
+	}
+	// Out-of-range leaf fails.
+	if _, err := NewGatorNetwork(1, vars, edges, expr.CNF{},
+		NodeShape(LeafShape(0), LeafShape(9), LeafShape(2))); err == nil {
+		t.Error("leaf out of range should fail")
+	}
+	// Virtual memories are rejected.
+	vv := gatorVars()
+	vv[0].Kind = Virtual
+	if _, err := NewLeftDeepGator(1, vv, edges, expr.CNF{}); err == nil {
+		t.Error("virtual memory should be rejected")
+	}
+	// Valid shapes: left-deep, right-deep, bushy ternary.
+	for _, shape := range []*Shape{
+		NodeShape(NodeShape(LeafShape(0), LeafShape(2)), LeafShape(1)),
+		NodeShape(LeafShape(0), NodeShape(LeafShape(2), LeafShape(1))),
+		NodeShape(LeafShape(0), LeafShape(1), LeafShape(2)),
+	} {
+		if _, err := NewGatorNetwork(1, gatorVars(), gatorEdges(t), expr.CNF{}, shape); err != nil {
+			t.Errorf("valid shape rejected: %v", err)
+		}
+	}
+}
+
+func TestGatorIrisEquivalence(t *testing.T) {
+	// The Iris scenario through a left-deep Gator matches the TREAT
+	// network exactly.
+	g, err := NewLeftDeepGator(42, gatorVars(), gatorEdges(t), expr.CNF{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fire := func(v int, tok datasource.Token) []string {
+		var out []string
+		if err := g.NotifyToken(v, tok, func(c Combo) bool {
+			out = append(out, fmt.Sprint(c.Tuples))
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	fire(0, insertTok(1, sp(7, "Iris")))
+	fire(2, insertTok(3, rep(7, 2)))
+	got := fire(1, insertTok(2, house(100, 2)))
+	if len(got) != 1 {
+		t.Fatalf("combos = %v", got)
+	}
+	// Non-matching house.
+	if got := fire(1, insertTok(2, house(101, 9))); len(got) != 0 {
+		t.Fatalf("unexpected %v", got)
+	}
+	// Retraction: deleting the represents row retracts the cached combo.
+	del := datasource.Token{SourceID: 3, Op: datasource.OpDelete, Old: rep(7, 2)}
+	retracted := fire(2, del)
+	if len(retracted) != 1 {
+		t.Fatalf("retracted = %v", retracted)
+	}
+	// The root beta is empty again.
+	sizes := g.BetaSizes()
+	if sizes[len(sizes)-1] != 0 {
+		t.Fatalf("root beta size = %v", sizes)
+	}
+	// And the join no longer completes.
+	if got := fire(1, insertTok(2, house(102, 2))); len(got) != 0 {
+		t.Fatalf("join should be broken: %v", got)
+	}
+}
+
+// TestGatorAgreesWithTreatRandomized drives identical random streams
+// through the flat TREAT network and three Gator shapes; every firing
+// sequence must match (as multisets per token).
+func TestGatorAgreesWithTreatRandomized(t *testing.T) {
+	shapes := map[string]func() interface {
+		NotifyToken(int, datasource.Token, PNode) error
+	}{
+		"left-deep": func() interface {
+			NotifyToken(int, datasource.Token, PNode) error
+		} {
+			g, err := NewLeftDeepGator(1, gatorVars(), gatorEdges(t), expr.CNF{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+		"bushy": func() interface {
+			NotifyToken(int, datasource.Token, PNode) error
+		} {
+			g, err := NewGatorNetwork(1, gatorVars(), gatorEdges(t), expr.CNF{},
+				NodeShape(LeafShape(1), NodeShape(LeafShape(0), LeafShape(2))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+		"ternary": func() interface {
+			NotifyToken(int, datasource.Token, PNode) error
+		} {
+			g, err := NewGatorNetwork(1, gatorVars(), gatorEdges(t), expr.CNF{},
+				NodeShape(LeafShape(0), LeafShape(1), LeafShape(2)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+		"greedy": func() interface {
+			NotifyToken(int, datasource.Token, PNode) error
+		} {
+			g, err := NewGreedyGator(1, gatorVars(), gatorEdges(t), expr.CNF{}, []int{3, 10, 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+	}
+	for name, build := range shapes {
+		t.Run(name, func(t *testing.T) {
+			treat, err := NewNetwork(1, gatorVars(), gatorEdges(t), expr.CNF{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gator := build()
+			rng := rand.New(rand.NewSource(77))
+			// Track live tuples per variable so deletes target real
+			// instances (phantom deletes are no-ops in both networks).
+			live := make([][]types.Tuple, 3)
+			for step := 0; step < 600; step++ {
+				var tok datasource.Token
+				var v int
+				switch rng.Intn(3) {
+				case 0:
+					v = 0
+					tok = insertTok(1, sp(int64(rng.Intn(5)), fmt.Sprintf("n%d", rng.Intn(3))))
+				case 1:
+					v = 1
+					tok = insertTok(2, house(int64(rng.Intn(20)), int64(rng.Intn(5))))
+				default:
+					v = 2
+					tok = insertTok(3, rep(int64(rng.Intn(5)), int64(rng.Intn(5))))
+				}
+				if rng.Intn(5) == 0 && len(live[v]) > 0 {
+					i := rng.Intn(len(live[v]))
+					tok.Op = datasource.OpDelete
+					tok.Old, tok.New = live[v][i], nil
+					live[v] = append(live[v][:i], live[v][i+1:]...)
+				} else {
+					live[v] = append(live[v], tok.New)
+				}
+				var a, b []string
+				if err := treat.NotifyToken(v, tok, func(c Combo) bool {
+					a = append(a, fmt.Sprint(c.Tuples))
+					return true
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if err := gator.NotifyToken(v, tok, func(c Combo) bool {
+					b = append(b, fmt.Sprint(c.Tuples))
+					return true
+				}); err != nil {
+					t.Fatal(err)
+				}
+				sort.Strings(a)
+				sort.Strings(b)
+				if fmt.Sprint(a) != fmt.Sprint(b) {
+					t.Fatalf("step %d (%s on var %d):\n treat %v\n gator %v", step, tok, v, a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestGatorBetaCaching(t *testing.T) {
+	// Beta memories hold the intermediate join: after loading s and r,
+	// the (s ⋈ r) beta is populated; h tokens probe it without
+	// recomputation.
+	g, err := NewGatorNetwork(7, gatorVars(), gatorEdges(t), expr.CNF{},
+		NodeShape(NodeShape(LeafShape(0), LeafShape(2)), LeafShape(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		g.NotifyToken(0, insertTok(1, sp(i, "x")), nil)
+		g.NotifyToken(2, insertTok(3, rep(i, i%3)), nil)
+	}
+	sizes := g.BetaSizes()
+	if sizes[0] != 10 { // s⋈r pairs (spno equality, one rep per sp)
+		t.Fatalf("inner beta = %v", sizes)
+	}
+	fired := 0
+	g.NotifyToken(1, insertTok(2, house(1, 0)), func(Combo) bool { fired++; return true })
+	// nno=0 -> reps with i%3==0: i in {0,3,6,9} -> 4 combos
+	if fired != 4 {
+		t.Fatalf("fired = %d", fired)
+	}
+}
+
+func TestGatorUpdateToken(t *testing.T) {
+	g, err := NewLeftDeepGator(1, gatorVars(), gatorEdges(t), expr.CNF{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.NotifyToken(0, insertTok(1, sp(7, "Iris")), nil)
+	g.NotifyToken(1, insertTok(2, house(100, 2)), nil)
+	fired := 0
+	g.NotifyToken(2, insertTok(3, rep(7, 1)), func(Combo) bool { fired++; return true })
+	if fired != 0 {
+		t.Fatal("nno mismatch should not fire")
+	}
+	// Update the represents row to complete the join.
+	upd := datasource.Token{SourceID: 3, Op: datasource.OpUpdate, Old: rep(7, 1), New: rep(7, 2)}
+	g.NotifyToken(2, upd, func(Combo) bool { fired++; return true })
+	if fired != 1 {
+		t.Fatalf("update fired %d", fired)
+	}
+	if g.MemorySize(2) != 1 {
+		t.Fatal("memory size after update")
+	}
+}
+
+// Ablation: TREAT recomputes sibling joins per token; Rete/Gator caches
+// them in beta memories. A Y–Z sub-join with a non-indexable predicate
+// makes the difference visible: X tokens probe the cached (Y ⋈ Z) in
+// the Gator network but force a Z scan per Y match under TREAT.
+func BenchmarkAblation_TreatVsGator(b *testing.B) {
+	xSchema := types.MustSchema(types.Column{Name: "k", Kind: types.KindInt})
+	ySchema := types.MustSchema(
+		types.Column{Name: "k", Kind: types.KindInt},
+		types.Column{Name: "a", Kind: types.KindInt})
+	zSchema := types.MustSchema(types.Column{Name: "b", Kind: types.KindInt})
+	_ = xSchema
+	bind := func(src string) expr.CNF {
+		n, err := parser.ParseExpr(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		schemas := []*types.Schema{xSchema, ySchema, zSchema}
+		bd := &expr.Binder{
+			VarIndex:    map[string]int{"x": 0, "y": 1, "z": 2},
+			DefaultVar:  -1,
+			ColumnIndex: func(v int, col string) int { return schemas[v].ColumnIndex(col) },
+		}
+		if err := bd.Bind(n); err != nil {
+			b.Fatal(err)
+		}
+		cnf, err := expr.ToCNF(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return cnf
+	}
+	const rows = 300
+	workloads := []struct {
+		name string
+		yz   string
+	}{
+		// Selective but non-indexable band join: ~3 z rows per y, yet
+		// TREAT must scan every z row per token to find them — the beta
+		// cache (Rete/Gator) wins.
+		{"band-join", "y.a < z.b and z.b <= y.a + 3"},
+		// Wide half-open join: huge intermediate result; caching it in a
+		// beta costs more than TREAT's recomputation — TREAT wins. The
+		// existence of both regimes is exactly why [Hans97b] optimizes
+		// the network shape per trigger.
+		{"wide-join", "y.a < z.b"},
+	}
+	for _, w := range workloads {
+		for _, kind := range []string{"treat", "gator"} {
+			b.Run(w.name+"/"+kind, func(b *testing.B) {
+				vars := []Var{{Name: "x", SourceID: 1}, {Name: "y", SourceID: 2}, {Name: "z", SourceID: 3}}
+				edges := []JoinEdge{
+					{A: 0, B: 1, Pred: bind("x.k = y.k")},
+					{A: 1, B: 2, Pred: bind(w.yz)},
+				}
+				notify := func(v int, tok datasource.Token, p PNode) error { return nil }
+				switch kind {
+				case "treat":
+					n, err := NewNetwork(1, vars, edges, expr.CNF{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					notify = n.NotifyToken
+				case "gator":
+					// Cache (y ⋈ z) in a beta; x probes it by equijoin
+					// at the root.
+					g, err := NewGatorNetwork(1, vars, edges, expr.CNF{},
+						NodeShape(NodeShape(LeafShape(1), LeafShape(2)), LeafShape(0)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					notify = g.NotifyToken
+				}
+				for i := int64(0); i < rows; i++ {
+					yTok := datasource.Token{SourceID: 2, Op: datasource.OpInsert,
+						New: types.Tuple{types.NewInt(i), types.NewInt(i)}}
+					if err := notify(1, yTok, nil); err != nil {
+						b.Fatal(err)
+					}
+					zTok := datasource.Token{SourceID: 3, Op: datasource.OpInsert,
+						New: types.Tuple{types.NewInt(i + 3)}}
+					if err := notify(2, zTok, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				fired := 0
+				for i := 0; i < b.N; i++ {
+					xTok := datasource.Token{SourceID: 1, Op: datasource.OpInsert,
+						New: types.Tuple{types.NewInt(int64(i % rows))}}
+					if err := notify(0, xTok, func(Combo) bool { fired++; return true }); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if fired == 0 {
+					b.Fatal("no firings")
+				}
+				b.ReportMetric(float64(fired)/float64(b.N), "combos/token")
+			})
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package event implements the raise-event side of TriggerMan (§2,
+// [Hans98]): rule actions raise named events with computed arguments;
+// client applications register for events and receive notifications.
+// Delivery is asynchronous with bounded per-subscriber buffers so one
+// slow client cannot stall trigger processing.
+package event
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"triggerman/internal/types"
+)
+
+// Notification is one delivered event occurrence.
+type Notification struct {
+	// Name is the event name from the raise event action.
+	Name string
+	// Args are the evaluated action arguments.
+	Args types.Tuple
+	// TriggerID identifies the trigger whose action raised the event.
+	TriggerID uint64
+	// Seq is a per-bus monotone delivery sequence.
+	Seq uint64
+}
+
+// String renders the notification.
+func (n Notification) String() string {
+	return fmt.Sprintf("%s%s [trigger %d]", n.Name, n.Args, n.TriggerID)
+}
+
+// Subscription receives notifications for one registration.
+type Subscription struct {
+	bus  *Bus
+	id   int64
+	name string
+	ch   chan Notification
+
+	dropped int64
+}
+
+// C returns the notification channel. It is closed by Cancel and by
+// Bus.Close.
+func (s *Subscription) C() <-chan Notification { return s.ch }
+
+// Dropped reports notifications discarded because the subscriber's
+// buffer was full.
+func (s *Subscription) Dropped() int64 { return atomic.LoadInt64(&s.dropped) }
+
+// Cancel deregisters the subscription and closes its channel.
+func (s *Subscription) Cancel() { s.bus.cancel(s) }
+
+// Bus routes raised events to registered subscribers.
+type Bus struct {
+	mu     sync.Mutex
+	subs   map[string]map[int64]*Subscription // event name -> subs
+	all    map[int64]*Subscription            // wildcard subscribers
+	nextID int64
+	seq    uint64
+	closed bool
+
+	raised    int64
+	delivered int64
+}
+
+// NewBus returns an empty event bus.
+func NewBus() *Bus {
+	return &Bus{
+		subs: make(map[string]map[int64]*Subscription),
+		all:  make(map[int64]*Subscription),
+	}
+}
+
+// Subscribe registers for an event by name; the empty name (or "*")
+// subscribes to every event. buffer bounds the per-subscriber queue
+// (minimum 1).
+func (b *Bus) Subscribe(name string, buffer int) (*Subscription, error) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, fmt.Errorf("event: bus is closed")
+	}
+	b.nextID++
+	s := &Subscription{bus: b, id: b.nextID, name: normalize(name), ch: make(chan Notification, buffer)}
+	if s.name == "" {
+		b.all[s.id] = s
+	} else {
+		m := b.subs[s.name]
+		if m == nil {
+			m = make(map[int64]*Subscription)
+			b.subs[s.name] = m
+		}
+		m[s.id] = s
+	}
+	return s, nil
+}
+
+func normalize(name string) string {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "*" {
+		return ""
+	}
+	return name
+}
+
+func (b *Bus) cancel(s *Subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s.name == "" {
+		if _, ok := b.all[s.id]; !ok {
+			return
+		}
+		delete(b.all, s.id)
+	} else {
+		m := b.subs[s.name]
+		if _, ok := m[s.id]; !ok {
+			return
+		}
+		delete(m, s.id)
+		if len(m) == 0 {
+			delete(b.subs, s.name)
+		}
+	}
+	close(s.ch)
+}
+
+// Raise publishes an event occurrence to all matching subscribers.
+// Delivery never blocks: a subscriber whose buffer is full has the
+// notification dropped and counted against it.
+func (b *Bus) Raise(name string, args types.Tuple, triggerID uint64) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.seq++
+	n := Notification{Name: name, Args: args.Clone(), TriggerID: triggerID, Seq: b.seq}
+	b.raised++
+	targets := make([]*Subscription, 0, 4)
+	for _, s := range b.subs[normalize(name)] {
+		targets = append(targets, s)
+	}
+	for _, s := range b.all {
+		targets = append(targets, s)
+	}
+	b.mu.Unlock()
+
+	for _, s := range targets {
+		select {
+		case s.ch <- n:
+			atomic.AddInt64(&b.delivered, 1)
+		default:
+			atomic.AddInt64(&s.dropped, 1)
+		}
+	}
+}
+
+// Stats reports (raised, delivered) totals.
+func (b *Bus) Stats() (raised, delivered int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.raised, atomic.LoadInt64(&b.delivered)
+}
+
+// Close shuts the bus, closing every subscription channel.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, s := range b.all {
+		close(s.ch)
+	}
+	for _, m := range b.subs {
+		for _, s := range m {
+			close(s.ch)
+		}
+	}
+	b.all = map[int64]*Subscription{}
+	b.subs = map[string]map[int64]*Subscription{}
+}

@@ -1,0 +1,162 @@
+package event
+
+import (
+	"sync"
+	"testing"
+
+	"triggerman/internal/types"
+)
+
+func args(vals ...int64) types.Tuple {
+	out := make(types.Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = types.NewInt(v)
+	}
+	return out
+}
+
+func TestSubscribeAndRaise(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	sub, err := b.Subscribe("Alert", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Raise("Alert", args(1, 2), 42)
+	n := <-sub.C()
+	if n.Name != "Alert" || n.TriggerID != 42 || len(n.Args) != 2 || n.Seq != 1 {
+		t.Errorf("notification = %+v", n)
+	}
+	if n.String() == "" {
+		t.Error("String")
+	}
+}
+
+func TestNameMatchingCaseInsensitive(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	sub, _ := b.Subscribe("alert", 4)
+	b.Raise("ALERT", nil, 1)
+	select {
+	case <-sub.C():
+	default:
+		t.Fatal("case-insensitive match failed")
+	}
+	b.Raise("other", nil, 1)
+	select {
+	case n := <-sub.C():
+		t.Fatalf("wrong event delivered: %v", n)
+	default:
+	}
+}
+
+func TestWildcardSubscription(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	all, _ := b.Subscribe("*", 8)
+	b.Raise("A", nil, 1)
+	b.Raise("B", nil, 2)
+	if (<-all.C()).Name != "A" || (<-all.C()).Name != "B" {
+		t.Error("wildcard delivery")
+	}
+	empty, _ := b.Subscribe("", 8)
+	b.Raise("C", nil, 3)
+	if (<-empty.C()).Name != "C" {
+		t.Error("empty-name wildcard")
+	}
+}
+
+func TestDroppedOnFullBuffer(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	sub, _ := b.Subscribe("X", 2)
+	for i := 0; i < 5; i++ {
+		b.Raise("X", nil, 1)
+	}
+	if sub.Dropped() != 3 {
+		t.Errorf("dropped = %d", sub.Dropped())
+	}
+	raised, delivered := b.Stats()
+	if raised != 5 || delivered != 2 {
+		t.Errorf("stats = %d raised, %d delivered", raised, delivered)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	sub, _ := b.Subscribe("X", 2)
+	sub.Cancel()
+	if _, open := <-sub.C(); open {
+		t.Error("channel should be closed after cancel")
+	}
+	// Raising after cancel panics if the sub was not removed.
+	b.Raise("X", nil, 1)
+	// Double cancel is safe.
+	sub.Cancel()
+	// Wildcard cancel path.
+	all, _ := b.Subscribe("*", 2)
+	all.Cancel()
+	b.Raise("Y", nil, 1)
+}
+
+func TestCloseClosesAll(t *testing.T) {
+	b := NewBus()
+	s1, _ := b.Subscribe("A", 1)
+	s2, _ := b.Subscribe("*", 1)
+	b.Close()
+	if _, open := <-s1.C(); open {
+		t.Error("s1 open after close")
+	}
+	if _, open := <-s2.C(); open {
+		t.Error("s2 open after close")
+	}
+	if _, err := b.Subscribe("B", 1); err == nil {
+		t.Error("subscribe after close should fail")
+	}
+	b.Raise("A", nil, 1) // no panic
+	b.Close()            // idempotent
+}
+
+func TestConcurrentRaise(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	sub, _ := b.Subscribe("X", 10000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Raise("X", args(int64(i)), 1)
+			}
+		}()
+	}
+	wg.Wait()
+	raised, delivered := b.Stats()
+	if raised != 4000 || delivered != 4000 {
+		t.Errorf("raised %d delivered %d", raised, delivered)
+	}
+	// Sequence numbers are unique.
+	seen := map[uint64]bool{}
+	for i := 0; i < 4000; i++ {
+		n := <-sub.C()
+		if seen[n.Seq] {
+			t.Fatalf("duplicate seq %d", n.Seq)
+		}
+		seen[n.Seq] = true
+	}
+}
+
+func TestArgsCloned(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	sub, _ := b.Subscribe("X", 1)
+	a := args(1)
+	b.Raise("X", a, 1)
+	a[0] = types.NewInt(99) // mutate after raise
+	n := <-sub.C()
+	if n.Args[0].Int() != 1 {
+		t.Error("args aliased caller's slice")
+	}
+}

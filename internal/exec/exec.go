@@ -1,0 +1,230 @@
+// Package exec executes rule actions (§2, §5.4): when a trigger
+// condition is satisfied for a tuple combination, the matched values are
+// macro-substituted into the action — ":NEW notation ... allows
+// reference to new updated data values ... Values matching the trigger
+// condition are substituted into the trigger action using macro
+// substitution. After substitution, the trigger action is evaluated."
+//
+// execSQL actions run against the embedded mini-SQL database; raise
+// event actions publish on the event bus.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"triggerman/internal/event"
+	"triggerman/internal/expr"
+	"triggerman/internal/minisql"
+	"triggerman/internal/parser"
+	"triggerman/internal/types"
+)
+
+// Binding carries the matched tuple combination for one firing.
+type Binding struct {
+	// VarIndex maps lower-cased tuple-variable names to combo positions.
+	VarIndex map[string]int
+	// Tuples holds the matched tuple per variable.
+	Tuples []types.Tuple
+	// Olds holds pre-update images (usually only the seed variable's).
+	Olds []types.Tuple
+}
+
+// Resolve produces the value a column reference denotes under the
+// binding. Unqualified references resolve only when there is exactly
+// one tuple variable.
+func (b Binding) Resolve(ref *expr.ColumnRef, schemaOf func(varIdx int) *types.Schema) (types.Value, error) {
+	vi := -1
+	if ref.Var == "" {
+		if len(b.Tuples) != 1 {
+			return types.Null(), fmt.Errorf("exec: unqualified reference %q is ambiguous over %d variables", ref.Column, len(b.Tuples))
+		}
+		vi = 0
+	} else {
+		idx, ok := b.VarIndex[strings.ToLower(ref.Var)]
+		if !ok {
+			return types.Null(), fmt.Errorf("exec: unknown tuple variable %q in action", ref.Var)
+		}
+		vi = idx
+	}
+	schema := schemaOf(vi)
+	if schema == nil {
+		return types.Null(), fmt.Errorf("exec: no schema for variable %q", ref.Var)
+	}
+	ci := schema.ColumnIndex(ref.Column)
+	if ci < 0 {
+		return types.Null(), fmt.Errorf("exec: unknown column %q of %q in action", ref.Column, ref.Var)
+	}
+	var tu types.Tuple
+	if ref.Old {
+		if vi < len(b.Olds) {
+			tu = b.Olds[vi]
+		}
+	} else {
+		if vi < len(b.Tuples) {
+			tu = b.Tuples[vi]
+		}
+	}
+	return tu.Get(ci), nil
+}
+
+// StmtRunner abstracts statement execution so the embedding system can
+// wrap the database with update capture (actions that modify captured
+// tables then produce new tokens — cascaded trigger firing).
+type StmtRunner interface {
+	ExecStmt(parser.Statement) (*minisql.Result, error)
+}
+
+// Executor runs trigger actions.
+type Executor struct {
+	// DB executes execSQL statements; may be nil if no trigger uses
+	// execSQL.
+	DB StmtRunner
+	// Bus receives raise event publications; may be nil likewise.
+	Bus *event.Bus
+}
+
+// Execute runs one action for one firing.
+func (e *Executor) Execute(triggerID uint64, act parser.Action, b Binding, schemaOf func(int) *types.Schema) error {
+	switch a := act.(type) {
+	case *parser.ExecSQL:
+		if e.DB == nil {
+			return fmt.Errorf("exec: execSQL action with no database configured")
+		}
+		st, err := SubstituteStatement(a.Stmt, b, schemaOf)
+		if err != nil {
+			return err
+		}
+		_, err = e.DB.ExecStmt(st)
+		return err
+	case *parser.RaiseEvent:
+		if e.Bus == nil {
+			return fmt.Errorf("exec: raise event action with no event bus configured")
+		}
+		args := make(types.Tuple, len(a.Args))
+		for i, arg := range a.Args {
+			sub, err := substituteExpr(arg, b, schemaOf, true)
+			if err != nil {
+				return err
+			}
+			v, err := expr.EvalScalar(sub, expr.SingleEnv{})
+			if err != nil {
+				return err
+			}
+			args[i] = v
+		}
+		e.Bus.Raise(a.Name, args, triggerID)
+		return nil
+	default:
+		return fmt.Errorf("exec: unsupported action %T", act)
+	}
+}
+
+// SubstituteStatement deep-copies an execSQL statement with every
+// :NEW/:OLD parameter reference replaced by its bound value. Bare
+// column references are left alone — they address the statement's
+// target table.
+func SubstituteStatement(st parser.Statement, b Binding, schemaOf func(int) *types.Schema) (parser.Statement, error) {
+	switch s := st.(type) {
+	case *parser.Select:
+		out := &parser.Select{Table: s.Table}
+		for _, item := range s.Items {
+			ni := parser.SelectItem{Alias: item.Alias, Star: item.Star}
+			if item.Expr != nil {
+				e, err := substituteExpr(item.Expr, b, schemaOf, false)
+				if err != nil {
+					return nil, err
+				}
+				ni.Expr = e
+			}
+			out.Items = append(out.Items, ni)
+		}
+		var err error
+		if out.Where, err = substituteExpr(s.Where, b, schemaOf, false); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case *parser.Insert:
+		out := &parser.Insert{Table: s.Table, Columns: append([]string(nil), s.Columns...)}
+		for _, v := range s.Values {
+			e, err := substituteExpr(v, b, schemaOf, false)
+			if err != nil {
+				return nil, err
+			}
+			out.Values = append(out.Values, e)
+		}
+		return out, nil
+	case *parser.Update:
+		out := &parser.Update{Table: s.Table}
+		for _, sc := range s.Sets {
+			e, err := substituteExpr(sc.Value, b, schemaOf, false)
+			if err != nil {
+				return nil, err
+			}
+			out.Sets = append(out.Sets, parser.SetClause{Column: sc.Column, Value: e})
+		}
+		var err error
+		if out.Where, err = substituteExpr(s.Where, b, schemaOf, false); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case *parser.Delete:
+		out := &parser.Delete{Table: s.Table}
+		var err error
+		if out.Where, err = substituteExpr(s.Where, b, schemaOf, false); err != nil {
+			return nil, err
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("exec: cannot substitute into %T", st)
+	}
+}
+
+// substituteExpr clones n, replacing parameter references (and, when
+// all is set, every column reference) with constant values from the
+// binding.
+func substituteExpr(n expr.Node, b Binding, schemaOf func(int) *types.Schema, all bool) (expr.Node, error) {
+	switch t := n.(type) {
+	case nil:
+		return nil, nil
+	case *expr.Const, *expr.Placeholder:
+		return expr.Clone(t), nil
+	case *expr.ColumnRef:
+		if t.Param || all {
+			v, err := b.Resolve(t, schemaOf)
+			if err != nil {
+				return nil, err
+			}
+			return expr.Lit(v), nil
+		}
+		return expr.Clone(t), nil
+	case *expr.Unary:
+		c, err := substituteExpr(t.Child, b, schemaOf, all)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Unary{Op: t.Op, Child: c}, nil
+	case *expr.Binary:
+		l, err := substituteExpr(t.Left, b, schemaOf, all)
+		if err != nil {
+			return nil, err
+		}
+		r, err := substituteExpr(t.Right, b, schemaOf, all)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Binary{Op: t.Op, Left: l, Right: r}, nil
+	case *expr.FuncCall:
+		out := &expr.FuncCall{Name: t.Name}
+		for _, a := range t.Args {
+			e, err := substituteExpr(a, b, schemaOf, all)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, e)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("exec: cannot substitute %T", n)
+	}
+}

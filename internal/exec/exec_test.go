@@ -1,0 +1,245 @@
+package exec
+
+import (
+	"testing"
+
+	"triggerman/internal/event"
+	"triggerman/internal/expr"
+	"triggerman/internal/minisql"
+	"triggerman/internal/parser"
+	"triggerman/internal/storage"
+	"triggerman/internal/types"
+)
+
+var empSchema = types.MustSchema(
+	types.Column{Name: "name", Kind: types.KindVarchar},
+	types.Column{Name: "salary", Kind: types.KindInt},
+)
+
+func binding(name string, salary int64, oldSalary int64) Binding {
+	b := Binding{
+		VarIndex: map[string]int{"emp": 0},
+		Tuples:   []types.Tuple{{types.NewString(name), types.NewInt(salary)}},
+		Olds:     []types.Tuple{{types.NewString(name), types.NewInt(oldSalary)}},
+	}
+	return b
+}
+
+func schemaOf(int) *types.Schema { return empSchema }
+
+func parseAction(t *testing.T, doClause string) parser.Action {
+	t.Helper()
+	st, err := parser.Parse("create trigger x from emp " + doClause)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.(*parser.CreateTrigger).Do
+}
+
+func execDB(t *testing.T) *minisql.DB {
+	t.Helper()
+	bp := storage.NewBufferPool(storage.NewMem(), 64)
+	db, err := minisql.Create(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("emp", empSchema); err != nil {
+		t.Fatal(err)
+	}
+	db.Exec("insert into emp values ('Fred', 100)")
+	return db
+}
+
+func TestExecSQLMacroSubstitution(t *testing.T) {
+	db := execDB(t)
+	e := &Executor{DB: db}
+	act := parseAction(t, `do execSQL 'update emp set salary=:NEW.emp.salary where emp.name=''Fred'''`)
+	if err := e.Execute(1, act, binding("Bob", 777, 100), schemaOf); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Exec("select salary from emp where name = 'Fred'")
+	if res.Rows[0][0].Int() != 777 {
+		t.Errorf("Fred = %v", res.Rows)
+	}
+}
+
+func TestExecSQLOldReference(t *testing.T) {
+	db := execDB(t)
+	e := &Executor{DB: db}
+	act := parseAction(t, `do execSQL 'insert into emp values (:OLD.emp.name, :OLD.emp.salary)'`)
+	if err := e.Execute(1, act, binding("Ada", 900, 450), schemaOf); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Exec("select salary from emp where name = 'Ada'")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 450 {
+		t.Errorf(":OLD rows = %v", res.Rows)
+	}
+}
+
+func TestExecSQLShortParamForm(t *testing.T) {
+	// :NEW.salary without the variable qualifier binds when the trigger
+	// has a single tuple variable.
+	db := execDB(t)
+	e := &Executor{DB: db}
+	act := parseAction(t, `do execSQL 'insert into emp values (''copy'', :NEW.salary)'`)
+	if err := e.Execute(1, act, binding("Bob", 123, 0), schemaOf); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Exec("select salary from emp where name = 'copy'")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 123 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestRaiseEventAction(t *testing.T) {
+	bus := event.NewBus()
+	defer bus.Close()
+	sub, _ := bus.Subscribe("Hot", 4)
+	e := &Executor{Bus: bus}
+	act := parseAction(t, `do raise event Hot(emp.name, emp.salary * 2)`)
+	if err := e.Execute(9, act, binding("Ada", 50, 0), schemaOf); err != nil {
+		t.Fatal(err)
+	}
+	n := <-sub.C()
+	if n.TriggerID != 9 || n.Args[0].Str() != "Ada" || n.Args[1].Int() != 100 {
+		t.Errorf("notification = %+v", n)
+	}
+}
+
+func TestRaiseEventNoArgs(t *testing.T) {
+	bus := event.NewBus()
+	defer bus.Close()
+	sub, _ := bus.Subscribe("Ping", 1)
+	e := &Executor{Bus: bus}
+	act := parseAction(t, `do raise event Ping()`)
+	if err := e.Execute(1, act, binding("x", 1, 0), schemaOf); err != nil {
+		t.Fatal(err)
+	}
+	if n := <-sub.C(); len(n.Args) != 0 {
+		t.Errorf("args = %v", n.Args)
+	}
+}
+
+func TestExecuteConfigErrors(t *testing.T) {
+	e := &Executor{}
+	if err := e.Execute(1, parseAction(t, `do execSQL 'select * from emp'`), binding("x", 1, 0), schemaOf); err == nil {
+		t.Error("execSQL without DB should fail")
+	}
+	if err := e.Execute(1, parseAction(t, `do raise event E()`), binding("x", 1, 0), schemaOf); err == nil {
+		t.Error("raise event without bus should fail")
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	b := binding("x", 1, 0)
+	if _, err := b.Resolve(&expr.ColumnRef{Var: "ghost", Column: "name"}, schemaOf); err == nil {
+		t.Error("unknown variable")
+	}
+	if _, err := b.Resolve(&expr.ColumnRef{Var: "emp", Column: "ghost"}, schemaOf); err == nil {
+		t.Error("unknown column")
+	}
+	multi := Binding{VarIndex: map[string]int{"a": 0, "b": 1}, Tuples: make([]types.Tuple, 2)}
+	if _, err := multi.Resolve(&expr.ColumnRef{Column: "name"}, schemaOf); err == nil {
+		t.Error("ambiguous unqualified ref")
+	}
+	if _, err := b.Resolve(&expr.ColumnRef{Var: "emp", Column: "name"}, func(int) *types.Schema { return nil }); err == nil {
+		t.Error("nil schema")
+	}
+}
+
+func TestSubstituteStatementKinds(t *testing.T) {
+	b := binding("Ada", 7, 3)
+	cases := []string{
+		"select name, :NEW.emp.salary from emp where salary > :NEW.emp.salary",
+		"select * from emp",
+		"insert into emp(name, salary) values ('x', :NEW.emp.salary)",
+		"update emp set salary = :OLD.emp.salary where name = 'x'",
+		"delete from emp where salary < :NEW.emp.salary",
+	}
+	for _, sql := range cases {
+		st, err := parser.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := SubstituteStatement(st, b, schemaOf)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		// No Param refs survive substitution.
+		checkNoParams(t, sub)
+	}
+}
+
+func checkNoParams(t *testing.T, st parser.Statement) {
+	t.Helper()
+	var nodes []expr.Node
+	switch s := st.(type) {
+	case *parser.Select:
+		nodes = append(nodes, s.Where)
+		for _, it := range s.Items {
+			nodes = append(nodes, it.Expr)
+		}
+	case *parser.Insert:
+		nodes = append(nodes, s.Values...)
+	case *parser.Update:
+		nodes = append(nodes, s.Where)
+		for _, sc := range s.Sets {
+			nodes = append(nodes, sc.Value)
+		}
+	case *parser.Delete:
+		nodes = append(nodes, s.Where)
+	}
+	for _, n := range nodes {
+		expr.Walk(n, func(m expr.Node) bool {
+			if ref, ok := m.(*expr.ColumnRef); ok && ref.Param {
+				t.Errorf("param ref %s survived substitution", ref)
+			}
+			return true
+		})
+	}
+}
+
+func TestBareRefsNotSubstitutedInExecSQL(t *testing.T) {
+	// "where emp.name='Fred'" addresses the TABLE, not the binding.
+	b := binding("Bob", 1, 0)
+	st, _ := parser.Parse("select * from emp where emp.name = 'Fred'")
+	sub, err := SubstituteStatement(st, b, schemaOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := sub.(*parser.Select)
+	ref := sel.Where.(*expr.Binary).Left.(*expr.ColumnRef)
+	if ref.Column != "name" {
+		t.Error("bare table ref should survive")
+	}
+}
+
+func TestMultiVariableBinding(t *testing.T) {
+	// The IrisHouseAlert shape: raise event args from two variables.
+	houseSchema := types.MustSchema(
+		types.Column{Name: "hno", Kind: types.KindInt},
+		types.Column{Name: "address", Kind: types.KindVarchar},
+	)
+	schemas := []*types.Schema{empSchema, houseSchema}
+	b := Binding{
+		VarIndex: map[string]int{"s": 0, "h": 1},
+		Tuples: []types.Tuple{
+			{types.NewString("Iris"), types.NewInt(1)},
+			{types.NewInt(100), types.NewString("12 Oak Ln")},
+		},
+	}
+	bus := event.NewBus()
+	defer bus.Close()
+	sub, _ := bus.Subscribe("E", 1)
+	e := &Executor{Bus: bus}
+	st, _ := parser.Parse("create trigger x from emp s, house h do raise event E(s.name, h.address)")
+	act := st.(*parser.CreateTrigger).Do
+	err := e.Execute(1, act, b, func(vi int) *types.Schema { return schemas[vi] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := <-sub.C()
+	if n.Args[0].Str() != "Iris" || n.Args[1].Str() != "12 Oak Ln" {
+		t.Errorf("args = %v", n.Args)
+	}
+}

@@ -1,0 +1,342 @@
+// Package expr implements TriggerMan's expression machinery: typed
+// syntax trees for when-clause predicates, three-valued evaluation,
+// conversion to conjunctive normal form, grouping of conjuncts by the
+// tuple variables they reference (§4 of the paper), and expression
+// signatures — the generalized form of a predicate with constants
+// replaced by numbered placeholders (§5).
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"triggerman/internal/types"
+)
+
+// Op enumerates operators appearing in predicate syntax trees.
+type Op uint8
+
+const (
+	// Comparison operators.
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	// Boolean connectives.
+	OpAnd
+	OpOr
+	OpNot
+	// Arithmetic.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpNeg
+	// String containment (LIKE with only %x% patterns is folded to this).
+	OpLike
+)
+
+// String returns the surface syntax of the operator.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpNot:
+		return "NOT"
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpNeg:
+		return "-"
+	case OpLike:
+		return "LIKE"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// IsComparison reports whether o is one of the six comparison operators
+// or LIKE.
+func (o Op) IsComparison() bool {
+	switch o {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpLike:
+		return true
+	}
+	return false
+}
+
+// Negate returns the comparison with inverted truth (e.g. < becomes >=).
+// It panics for non-comparison, non-negatable operators.
+func (o Op) Negate() Op {
+	switch o {
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	case OpGe:
+		return OpLt
+	default:
+		panic("expr: Negate on " + o.String())
+	}
+}
+
+// Node is a node in an expression syntax tree. Trees are immutable once
+// built; all transformation functions return new trees.
+type Node interface {
+	// String renders the node in surface syntax.
+	String() string
+	// equalShape is used by signature comparison; implemented in
+	// signature.go for each node type.
+	isNode()
+}
+
+// Const is a literal constant leaf.
+type Const struct {
+	Val types.Value
+}
+
+func (c *Const) isNode()        {}
+func (c *Const) String() string { return c.Val.String() }
+
+// ColumnRef is a reference to tupleVar.column. Var is the tuple-variable
+// name from the trigger's from clause; Column the attribute. During
+// binding, VarIdx/ColIdx are resolved to positional indexes.
+type ColumnRef struct {
+	Var    string
+	Column string
+	// VarIdx is the index of the tuple variable in the trigger's from
+	// list; -1 until bound.
+	VarIdx int
+	// ColIdx is the column position in that variable's schema; -1 until
+	// bound.
+	ColIdx int
+	// Old marks a :OLD reference (pre-update image); default is new.
+	Old bool
+	// Param marks a reference written with :NEW/:OLD parameter syntax.
+	// In execSQL action text, only Param references are macro-substituted
+	// with token values; bare references address the target table.
+	Param bool
+}
+
+func (c *ColumnRef) isNode() {}
+func (c *ColumnRef) String() string {
+	prefix := ""
+	if c.Old {
+		prefix = ":OLD."
+	}
+	if c.Var == "" {
+		return prefix + c.Column
+	}
+	return prefix + c.Var + "." + c.Column
+}
+
+// Placeholder replaces a constant in an expression signature. Num is the
+// 1-based left-to-right constant number (§5: CONSTANT_x).
+type Placeholder struct {
+	Num int
+}
+
+func (p *Placeholder) isNode()        {}
+func (p *Placeholder) String() string { return fmt.Sprintf("CONSTANT_%d", p.Num) }
+
+// Unary is NOT or arithmetic negation.
+type Unary struct {
+	Op    Op
+	Child Node
+}
+
+func (u *Unary) isNode() {}
+func (u *Unary) String() string {
+	if u.Op == OpNot {
+		return "NOT (" + u.Child.String() + ")"
+	}
+	return "-(" + u.Child.String() + ")"
+}
+
+// Binary is a two-operand operator application.
+type Binary struct {
+	Op          Op
+	Left, Right Node
+}
+
+func (b *Binary) isNode() {}
+func (b *Binary) String() string {
+	l, r := b.Left.String(), b.Right.String()
+	if needParens(b.Left, b.Op) {
+		l = "(" + l + ")"
+	}
+	if needParens(b.Right, b.Op) {
+		r = "(" + r + ")"
+	}
+	return l + " " + b.Op.String() + " " + r
+}
+
+func needParens(child Node, parent Op) bool {
+	c, ok := child.(*Binary)
+	if !ok {
+		return false
+	}
+	return prec(c.Op) < prec(parent)
+}
+
+func prec(o Op) int {
+	switch o {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpLike:
+		return 3
+	case OpAdd, OpSub:
+		return 4
+	case OpMul, OpDiv:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// FuncCall is a call to a built-in scalar function (upper, lower, abs,
+// length). Kept generic so new functions slot in without AST changes.
+type FuncCall struct {
+	Name string
+	Args []Node
+}
+
+func (f *FuncCall) isNode() {}
+func (f *FuncCall) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return strings.ToLower(f.Name) + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// And builds a conjunction, folding nil operands.
+func And(a, b Node) Node {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &Binary{Op: OpAnd, Left: a, Right: b}
+}
+
+// Or builds a disjunction, folding nil operands.
+func Or(a, b Node) Node {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &Binary{Op: OpOr, Left: a, Right: b}
+}
+
+// Not builds a negation.
+func Not(a Node) Node { return &Unary{Op: OpNot, Child: a} }
+
+// Cmp builds a comparison node.
+func Cmp(op Op, l, r Node) Node { return &Binary{Op: op, Left: l, Right: r} }
+
+// Col builds an unbound column reference.
+func Col(v, c string) *ColumnRef { return &ColumnRef{Var: v, Column: c, VarIdx: -1, ColIdx: -1} }
+
+// Lit builds a constant leaf.
+func Lit(v types.Value) *Const { return &Const{Val: v} }
+
+// Int, Float, Str are literal shorthands used heavily in tests.
+func Int(v int64) *Const     { return Lit(types.NewInt(v)) }
+func Float(v float64) *Const { return Lit(types.NewFloat(v)) }
+func Str(v string) *Const    { return Lit(types.NewString(v)) }
+
+// Walk calls fn for every node in the tree, pre-order. If fn returns
+// false the node's children are skipped.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch t := n.(type) {
+	case *Unary:
+		Walk(t.Child, fn)
+	case *Binary:
+		Walk(t.Left, fn)
+		Walk(t.Right, fn)
+	case *FuncCall:
+		for _, a := range t.Args {
+			Walk(a, fn)
+		}
+	}
+}
+
+// Clone deep-copies a tree.
+func Clone(n Node) Node {
+	switch t := n.(type) {
+	case nil:
+		return nil
+	case *Const:
+		c := *t
+		return &c
+	case *ColumnRef:
+		c := *t
+		return &c
+	case *Placeholder:
+		c := *t
+		return &c
+	case *Unary:
+		return &Unary{Op: t.Op, Child: Clone(t.Child)}
+	case *Binary:
+		return &Binary{Op: t.Op, Left: Clone(t.Left), Right: Clone(t.Right)}
+	case *FuncCall:
+		args := make([]Node, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = Clone(a)
+		}
+		return &FuncCall{Name: t.Name, Args: args}
+	default:
+		panic(fmt.Sprintf("expr: Clone of %T", n))
+	}
+}
+
+// Vars returns the set of distinct tuple-variable names referenced by
+// the tree, in first-appearance order.
+func Vars(n Node) []string {
+	var out []string
+	seen := make(map[string]bool)
+	Walk(n, func(m Node) bool {
+		if c, ok := m.(*ColumnRef); ok && !seen[c.Var] {
+			seen[c.Var] = true
+			out = append(out, c.Var)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,313 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CNF is a predicate in conjunctive normal form: an AND of clauses, each
+// clause an OR of atoms. An atom is a comparison (possibly under a
+// single NOT) or bare constant. Empty CNF means TRUE.
+type CNF struct {
+	Clauses []Clause
+}
+
+// Clause is a disjunction of atomic predicates.
+type Clause struct {
+	Atoms []Node
+}
+
+// Node reassembles the clause into a single OR tree.
+func (c Clause) Node() Node {
+	var out Node
+	for _, a := range c.Atoms {
+		out = Or(out, a)
+	}
+	return out
+}
+
+// String renders the clause.
+func (c Clause) String() string {
+	parts := make([]string, len(c.Atoms))
+	for i, a := range c.Atoms {
+		parts[i] = a.String()
+	}
+	return "(" + strings.Join(parts, " OR ") + ")"
+}
+
+// Node reassembles the CNF into a single AND-of-ORs tree, or nil for
+// the trivially true predicate.
+func (c CNF) Node() Node {
+	var out Node
+	for _, cl := range c.Clauses {
+		out = And(out, cl.Node())
+	}
+	return out
+}
+
+// String renders the CNF.
+func (c CNF) String() string {
+	if len(c.Clauses) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, len(c.Clauses))
+	for i, cl := range c.Clauses {
+		parts[i] = cl.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Vars returns the distinct tuple variables referenced by the clause.
+func (c Clause) Vars() []string { return Vars(c.Node()) }
+
+// ToCNF converts an arbitrary Boolean tree to conjunctive normal form:
+// push NOT inward (De Morgan, comparison negation), then distribute OR
+// over AND. Exponential in the worst case, as usual; trigger conditions
+// are small in practice ("most selection predicates will not contain
+// ORs", §5).
+func ToCNF(n Node) (CNF, error) {
+	if n == nil {
+		return CNF{}, nil
+	}
+	nnf, err := toNNF(n, false)
+	if err != nil {
+		return CNF{}, err
+	}
+	clauses := distribute(nnf)
+	return CNF{Clauses: clauses}, nil
+}
+
+// toNNF pushes negations down to atoms. neg tracks whether we are under
+// an odd number of NOTs.
+func toNNF(n Node, neg bool) (Node, error) {
+	switch t := n.(type) {
+	case *Unary:
+		if t.Op == OpNot {
+			return toNNF(t.Child, !neg)
+		}
+		// Arithmetic negation is an atom constituent.
+		if neg {
+			return Not(Clone(n)), nil
+		}
+		return Clone(n), nil
+	case *Binary:
+		switch t.Op {
+		case OpAnd:
+			l, err := toNNF(t.Left, neg)
+			if err != nil {
+				return nil, err
+			}
+			r, err := toNNF(t.Right, neg)
+			if err != nil {
+				return nil, err
+			}
+			if neg {
+				return Or(l, r), nil // De Morgan
+			}
+			return And(l, r), nil
+		case OpOr:
+			l, err := toNNF(t.Left, neg)
+			if err != nil {
+				return nil, err
+			}
+			r, err := toNNF(t.Right, neg)
+			if err != nil {
+				return nil, err
+			}
+			if neg {
+				return And(l, r), nil
+			}
+			return Or(l, r), nil
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			if neg {
+				return &Binary{Op: t.Op.Negate(), Left: Clone(t.Left), Right: Clone(t.Right)}, nil
+			}
+			return Clone(n), nil
+		case OpLike:
+			if neg {
+				return Not(Clone(n)), nil // NOT LIKE stays as a guarded atom
+			}
+			return Clone(n), nil
+		default:
+			// Arithmetic under boolean context: treat as atom.
+			if neg {
+				return Not(Clone(n)), nil
+			}
+			return Clone(n), nil
+		}
+	default:
+		if neg {
+			return Not(Clone(n)), nil
+		}
+		return Clone(n), nil
+	}
+}
+
+// distribute converts an NNF tree to a list of OR-clauses.
+func distribute(n Node) []Clause {
+	if b, ok := n.(*Binary); ok {
+		switch b.Op {
+		case OpAnd:
+			return append(distribute(b.Left), distribute(b.Right)...)
+		case OpOr:
+			left := distribute(b.Left)
+			right := distribute(b.Right)
+			// (A1 AND A2) OR (B1 AND B2) = cross product of clauses.
+			out := make([]Clause, 0, len(left)*len(right))
+			for _, lc := range left {
+				for _, rc := range right {
+					merged := Clause{Atoms: make([]Node, 0, len(lc.Atoms)+len(rc.Atoms))}
+					merged.Atoms = append(merged.Atoms, lc.Atoms...)
+					merged.Atoms = append(merged.Atoms, rc.Atoms...)
+					out = append(out, merged)
+				}
+			}
+			return out
+		}
+	}
+	return []Clause{{Atoms: []Node{n}}}
+}
+
+// PredicateClass classifies a conjunct group per §4 of the paper.
+type PredicateClass uint8
+
+const (
+	// Trivial refers to zero tuple variables (constant predicate).
+	Trivial PredicateClass = iota
+	// Selection refers to exactly one tuple variable.
+	Selection
+	// Join refers to exactly two tuple variables.
+	Join
+	// HyperJoin refers to three or more tuple variables.
+	HyperJoin
+)
+
+// String names the class.
+func (p PredicateClass) String() string {
+	switch p {
+	case Trivial:
+		return "trivial"
+	case Selection:
+		return "selection"
+	case Join:
+		return "join"
+	case HyperJoin:
+		return "hyper-join"
+	default:
+		return "?"
+	}
+}
+
+// ConjunctGroup is the AND of all CNF clauses that reference the same
+// set of tuple variables (§4: "Group the conjuncts by the set of data
+// sources they refer to").
+type ConjunctGroup struct {
+	// Vars is the sorted set of tuple-variable names the group refers to.
+	Vars []string
+	// Clauses are the CNF clauses in the group; their AND forms the
+	// selection/join predicate.
+	Clauses []Clause
+	// Class is derived from len(Vars).
+	Class PredicateClass
+}
+
+// Predicate reassembles the group into a single tree.
+func (g ConjunctGroup) Predicate() Node {
+	var out Node
+	for _, c := range g.Clauses {
+		out = And(out, c.Node())
+	}
+	return out
+}
+
+// CNF returns the group's clauses as a CNF value.
+func (g ConjunctGroup) CNF() CNF { return CNF{Clauses: g.Clauses} }
+
+// GroupConjuncts partitions CNF clauses by referenced tuple-variable
+// set. Groups come back ordered: trivial first, then selections in
+// first-appearance order of their variable, then joins, then hyper-joins.
+func GroupConjuncts(c CNF) []ConjunctGroup {
+	byKey := make(map[string]*ConjunctGroup)
+	var order []string
+	for _, cl := range c.Clauses {
+		vars := cl.Vars()
+		sort.Strings(vars)
+		key := strings.Join(vars, "\x00")
+		g, ok := byKey[key]
+		if !ok {
+			g = &ConjunctGroup{Vars: vars, Class: classOf(len(vars))}
+			byKey[key] = g
+			order = append(order, key)
+		}
+		g.Clauses = append(g.Clauses, cl)
+	}
+	out := make([]ConjunctGroup, 0, len(order))
+	for _, key := range order {
+		out = append(out, *byKey[key])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+func classOf(nvars int) PredicateClass {
+	switch nvars {
+	case 0:
+		return Trivial
+	case 1:
+		return Selection
+	case 2:
+		return Join
+	default:
+		return HyperJoin
+	}
+}
+
+// Binder resolves tuple-variable and column names to indexes.
+type Binder struct {
+	// VarIndex maps tuple-variable name (lower-cased) to its position in
+	// the trigger's from list.
+	VarIndex map[string]int
+	// ColumnIndex resolves (varIdx, columnName) to a column position,
+	// returning -1 if unknown.
+	ColumnIndex func(varIdx int, column string) int
+	// DefaultVar, when there is exactly one tuple variable, lets bare
+	// column names bind without qualification; -1 disables.
+	DefaultVar int
+}
+
+// Bind resolves all ColumnRefs in n in place (the tree is mutated; pass
+// a Clone if the original must be preserved).
+func (b *Binder) Bind(n Node) error {
+	var firstErr error
+	Walk(n, func(m Node) bool {
+		c, ok := m.(*ColumnRef)
+		if !ok || firstErr != nil {
+			return firstErr == nil
+		}
+		vi := -1
+		if c.Var == "" {
+			vi = b.DefaultVar
+			if vi < 0 {
+				firstErr = fmt.Errorf("expr: unqualified column %q is ambiguous", c.Column)
+				return false
+			}
+		} else {
+			idx, ok := b.VarIndex[strings.ToLower(c.Var)]
+			if !ok {
+				firstErr = fmt.Errorf("expr: unknown tuple variable %q", c.Var)
+				return false
+			}
+			vi = idx
+		}
+		ci := b.ColumnIndex(vi, c.Column)
+		if ci < 0 {
+			firstErr = fmt.Errorf("expr: unknown column %q of tuple variable %q", c.Column, c.Var)
+			return false
+		}
+		c.VarIdx = vi
+		c.ColIdx = ci
+		return true
+	})
+	return firstErr
+}

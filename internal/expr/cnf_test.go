@@ -1,0 +1,311 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"triggerman/internal/types"
+)
+
+func TestToCNFSimple(t *testing.T) {
+	// a AND b -> two clauses
+	n := And(Cmp(OpEq, Col("r", "a"), Int(1)), Cmp(OpEq, Col("r", "b"), Int(2)))
+	c, err := ToCNF(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clauses) != 2 || len(c.Clauses[0].Atoms) != 1 {
+		t.Fatalf("CNF = %s", c)
+	}
+}
+
+func TestToCNFDistribution(t *testing.T) {
+	// a OR (b AND c) -> (a OR b) AND (a OR c)
+	a := Cmp(OpEq, Col("r", "a"), Int(1))
+	b := Cmp(OpEq, Col("r", "b"), Int(2))
+	cc := Cmp(OpEq, Col("r", "c"), Int(3))
+	c, err := ToCNF(Or(a, And(b, cc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clauses) != 2 {
+		t.Fatalf("want 2 clauses, got %s", c)
+	}
+	for _, cl := range c.Clauses {
+		if len(cl.Atoms) != 2 {
+			t.Errorf("clause %s should have 2 atoms", cl)
+		}
+	}
+}
+
+func TestToCNFDeMorganAndNegation(t *testing.T) {
+	// NOT (a = 1 AND b < 2) -> (a <> 1 OR b >= 2)
+	n := Not(And(Cmp(OpEq, Col("r", "a"), Int(1)), Cmp(OpLt, Col("r", "b"), Int(2))))
+	c, err := ToCNF(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clauses) != 1 || len(c.Clauses[0].Atoms) != 2 {
+		t.Fatalf("CNF = %s", c)
+	}
+	got := c.String()
+	want := "(r.a <> 1 OR r.b >= 2)"
+	if got != want {
+		t.Errorf("CNF = %q, want %q", got, want)
+	}
+}
+
+func TestToCNFDoubleNegation(t *testing.T) {
+	a := Cmp(OpGt, Col("r", "x"), Int(5))
+	c, err := ToCNF(Not(Not(a)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != "(r.x > 5)" {
+		t.Errorf("CNF = %q", c)
+	}
+}
+
+func TestToCNFNotLike(t *testing.T) {
+	n := Not(Cmp(OpLike, Col("r", "s"), Str("a%")))
+	c, err := ToCNF(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Clauses[0].Atoms[0].(*Unary); !ok {
+		t.Errorf("NOT LIKE should stay a guarded atom: %s", c)
+	}
+}
+
+func TestToCNFNil(t *testing.T) {
+	c, err := ToCNF(nil)
+	if err != nil || len(c.Clauses) != 0 {
+		t.Errorf("nil -> %v, %v", c, err)
+	}
+	if c.String() != "TRUE" {
+		t.Errorf("empty CNF string = %q", c.String())
+	}
+	if c.Node() != nil {
+		t.Error("empty CNF Node should be nil")
+	}
+}
+
+// cnfEquivalent checks semantic equivalence of original and CNF over
+// random single-variable environments.
+func cnfEquivalent(t *testing.T, orig Node, cols map[string]int) {
+	t.Helper()
+	c, err := ToCNF(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := c.Node()
+	bindSingle(t, orig, cols)
+	if back != nil {
+		bindSingle(t, back, cols)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		env := SingleEnv{New: types.Tuple{
+			types.NewString(string(rune('a' + rng.Intn(3)))),
+			types.NewInt(int64(rng.Intn(10))),
+			types.NewInt(int64(rng.Intn(10))),
+		}}
+		a, err1 := EvalPredicate(orig, env)
+		if back == nil {
+			if a != True {
+				t.Fatalf("empty CNF but original = %s", a)
+			}
+			continue
+		}
+		b, err2 := EvalPredicate(back, env)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("eval: %v / %v", err1, err2)
+		}
+		if a != b {
+			t.Fatalf("env %v: original=%s cnf=%s (%s vs %s)", env.New, a, b, orig, back)
+		}
+	}
+}
+
+func TestCNFEquivalenceRandom(t *testing.T) {
+	cols := map[string]int{"name": 0, "x": 1, "y": 2}
+	mk := func() Node {
+		return nil
+	}
+	_ = mk
+	rng := rand.New(rand.NewSource(7))
+	var gen func(depth int) Node
+	gen = func(depth int) Node {
+		if depth == 0 || rng.Intn(3) == 0 {
+			cols := []string{"name", "x", "y"}
+			col := cols[rng.Intn(len(cols))]
+			ops := []Op{OpEq, OpNe, OpLt, OpGt, OpLe, OpGe}
+			op := ops[rng.Intn(len(ops))]
+			if col == "name" {
+				op = OpEq
+				return Cmp(op, Col("r", col), Str(string(rune('a'+rng.Intn(3)))))
+			}
+			return Cmp(op, Col("r", col), Int(int64(rng.Intn(10))))
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return And(gen(depth-1), gen(depth-1))
+		case 1:
+			return Or(gen(depth-1), gen(depth-1))
+		default:
+			return Not(gen(depth - 1))
+		}
+	}
+	for trial := 0; trial < 40; trial++ {
+		n := gen(3)
+		cnfEquivalent(t, n, cols)
+	}
+}
+
+func TestGroupConjuncts(t *testing.T) {
+	// s.name='Iris' AND s.spno=r.spno AND r.nno=h.nno  (IrisHouseAlert, §2)
+	sel := Cmp(OpEq, Col("s", "name"), Str("Iris"))
+	j1 := Cmp(OpEq, Col("s", "spno"), Col("r", "spno"))
+	j2 := Cmp(OpEq, Col("r", "nno"), Col("h", "nno"))
+	c, err := ToCNF(And(And(sel, j1), j2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := GroupConjuncts(c)
+	if len(groups) != 3 {
+		t.Fatalf("want 3 groups, got %d", len(groups))
+	}
+	if groups[0].Class != Selection || len(groups[0].Vars) != 1 || groups[0].Vars[0] != "s" {
+		t.Errorf("group 0 = %+v", groups[0])
+	}
+	if groups[1].Class != Join || groups[2].Class != Join {
+		t.Errorf("join groups: %v %v", groups[1].Class, groups[2].Class)
+	}
+}
+
+func TestGroupConjunctsTrivialAndHyper(t *testing.T) {
+	trivial := Cmp(OpEq, Int(1), Int(1))
+	hyper := Cmp(OpEq, &Binary{Op: OpAdd, Left: Col("a", "x"), Right: Col("b", "y")}, Col("c", "z"))
+	sel := Cmp(OpGt, Col("a", "x"), Int(0))
+	c, err := ToCNF(And(And(trivial, hyper), sel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := GroupConjuncts(c)
+	if len(groups) != 3 {
+		t.Fatalf("want 3 groups, got %d: %v", len(groups), groups)
+	}
+	// ordered: trivial, selection, hyper-join
+	if groups[0].Class != Trivial {
+		t.Errorf("group 0 class = %s", groups[0].Class)
+	}
+	if groups[1].Class != Selection {
+		t.Errorf("group 1 class = %s", groups[1].Class)
+	}
+	if groups[2].Class != HyperJoin {
+		t.Errorf("group 2 class = %s", groups[2].Class)
+	}
+	if Trivial.String() != "trivial" || HyperJoin.String() != "hyper-join" {
+		t.Error("class names")
+	}
+}
+
+func TestGroupMergesSameVarSet(t *testing.T) {
+	a := Cmp(OpGt, Col("r", "x"), Int(1))
+	b := Cmp(OpLt, Col("r", "x"), Int(10))
+	c, _ := ToCNF(And(a, b))
+	groups := GroupConjuncts(c)
+	if len(groups) != 1 || len(groups[0].Clauses) != 2 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if groups[0].Predicate() == nil {
+		t.Error("predicate reassembly")
+	}
+}
+
+func TestBinderErrors(t *testing.T) {
+	b := &Binder{
+		VarIndex:    map[string]int{"r": 0},
+		DefaultVar:  -1,
+		ColumnIndex: func(_ int, c string) int { return map[string]int{"x": 0}[c] - 0 },
+	}
+	// ColumnIndex above returns 0 for everything; build a stricter one.
+	b.ColumnIndex = func(_ int, c string) int {
+		if c == "x" {
+			return 0
+		}
+		return -1
+	}
+	if err := b.Bind(Cmp(OpEq, Col("unknown", "x"), Int(1))); err == nil {
+		t.Error("unknown variable should error")
+	}
+	if err := b.Bind(Cmp(OpEq, Col("r", "nope"), Int(1))); err == nil {
+		t.Error("unknown column should error")
+	}
+	if err := b.Bind(Cmp(OpEq, Col("", "x"), Int(1))); err == nil {
+		t.Error("unqualified without default should error")
+	}
+	b.DefaultVar = 0
+	n := Cmp(OpEq, Col("", "x"), Int(1))
+	if err := b.Bind(n); err != nil {
+		t.Errorf("default var bind: %v", err)
+	}
+	ref := n.(*Binary).Left.(*ColumnRef)
+	if ref.VarIdx != 0 || ref.ColIdx != 0 {
+		t.Errorf("bound ref = %+v", ref)
+	}
+}
+
+func TestWalkAndClone(t *testing.T) {
+	n := And(
+		Cmp(OpEq, Col("r", "a"), Int(1)),
+		&FuncCall{Name: "abs", Args: []Node{Col("r", "b")}},
+	)
+	count := 0
+	Walk(n, func(Node) bool { count++; return true })
+	if count != 6 { // And, Cmp, Col, Int, Func, Col
+		t.Errorf("walk count = %d", count)
+	}
+	cl := Clone(n)
+	if cl.String() != n.String() {
+		t.Errorf("clone %q != %q", cl.String(), n.String())
+	}
+	// mutating clone must not affect original
+	cl.(*Binary).Left.(*Binary).Left.(*ColumnRef).Column = "z"
+	if cl.String() == n.String() {
+		t.Error("clone aliases original")
+	}
+	vars := Vars(n)
+	if len(vars) != 1 || vars[0] != "r" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestOpHelpers(t *testing.T) {
+	if OpLt.Negate() != OpGe || OpEq.Negate() != OpNe {
+		t.Error("Negate")
+	}
+	if !OpLike.IsComparison() || OpAnd.IsComparison() {
+		t.Error("IsComparison")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Negate(OpAnd) should panic")
+		}
+	}()
+	_ = OpAnd.Negate()
+}
+
+func TestStringRendering(t *testing.T) {
+	n := Or(And(Cmp(OpEq, Col("r", "a"), Int(1)), Cmp(OpEq, Col("r", "b"), Int(2))),
+		Cmp(OpGt, Col("r", "c"), Int(3)))
+	got := n.String()
+	want := "r.a = 1 AND r.b = 2 OR r.c > 3" // AND binds tighter; no parens needed
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	old := &ColumnRef{Column: "salary", Old: true}
+	if old.String() != ":OLD.salary" {
+		t.Errorf("old ref = %q", old.String())
+	}
+}

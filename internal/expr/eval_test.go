@@ -1,0 +1,255 @@
+package expr
+
+import (
+	"testing"
+
+	"triggerman/internal/types"
+)
+
+// bindSingle binds every column ref to variable 0 with a fixed column
+// mapping, for tests.
+func bindSingle(t *testing.T, n Node, cols map[string]int) {
+	t.Helper()
+	b := &Binder{
+		VarIndex:   map[string]int{"r": 0, "emp": 0},
+		DefaultVar: 0,
+		ColumnIndex: func(_ int, c string) int {
+			if i, ok := cols[c]; ok {
+				return i
+			}
+			return -1
+		},
+	}
+	if err := b.Bind(n); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+}
+
+var empCols = map[string]int{"name": 0, "salary": 1, "dept": 2}
+
+func empEnv(name string, salary int64, dept string) SingleEnv {
+	return SingleEnv{New: types.Tuple{
+		types.NewString(name), types.NewInt(salary), types.NewString(dept),
+	}}
+}
+
+func TestTriLogic(t *testing.T) {
+	if triAnd(True, Unknown) != Unknown || triAnd(False, Unknown) != False {
+		t.Error("triAnd")
+	}
+	if triOr(True, Unknown) != True || triOr(False, Unknown) != Unknown {
+		t.Error("triOr")
+	}
+	if triNot(Unknown) != Unknown || triNot(True) != False {
+		t.Error("triNot")
+	}
+	if True.String() != "true" || False.String() != "false" || Unknown.String() != "unknown" {
+		t.Error("Tri.String")
+	}
+}
+
+func TestEvalComparisons(t *testing.T) {
+	env := empEnv("Bob", 90000, "eng")
+	cases := []struct {
+		n    Node
+		want Tri
+	}{
+		{Cmp(OpGt, Col("emp", "salary"), Int(80000)), True},
+		{Cmp(OpGt, Col("emp", "salary"), Int(95000)), False},
+		{Cmp(OpEq, Col("emp", "name"), Str("Bob")), True},
+		{Cmp(OpNe, Col("emp", "name"), Str("Bob")), False},
+		{Cmp(OpLe, Col("emp", "salary"), Int(90000)), True},
+		{Cmp(OpGe, Col("emp", "salary"), Int(90001)), False},
+		{Cmp(OpLt, Col("emp", "salary"), Float(90000.5)), True},
+		{Cmp(OpLike, Col("emp", "dept"), Str("e%")), True},
+		{Cmp(OpLike, Col("emp", "dept"), Str("x%")), False},
+	}
+	for _, c := range cases {
+		bindSingle(t, c.n, empCols)
+		got, err := EvalPredicate(c.n, env)
+		if err != nil {
+			t.Fatalf("%s: %v", c.n, err)
+		}
+		if got != c.want {
+			t.Errorf("%s = %s, want %s", c.n, got, c.want)
+		}
+	}
+}
+
+func TestEvalBooleans(t *testing.T) {
+	env := empEnv("Bob", 90000, "eng")
+	hi := Cmp(OpGt, Col("emp", "salary"), Int(80000)) // true
+	lo := Cmp(OpLt, Col("emp", "salary"), Int(80000)) // false
+	n := And(hi, Not(lo))
+	bindSingle(t, n, empCols)
+	if got, _ := EvalPredicate(n, env); got != True {
+		t.Errorf("AND/NOT = %s", got)
+	}
+	n2 := Or(Clone(lo), Clone(lo))
+	bindSingle(t, n2, empCols)
+	if got, _ := EvalPredicate(n2, env); got != False {
+		t.Errorf("OR = %s", got)
+	}
+}
+
+func TestEvalNullSemantics(t *testing.T) {
+	env := SingleEnv{New: types.Tuple{types.Null(), types.Null(), types.Null()}}
+	n := Cmp(OpEq, Col("emp", "name"), Str("Bob"))
+	bindSingle(t, n, empCols)
+	if got, _ := EvalPredicate(n, env); got != Unknown {
+		t.Errorf("NULL = 'Bob' should be unknown, got %s", got)
+	}
+	// unknown OR true = true
+	alwaysTrue := Cmp(OpEq, Int(1), Int(1))
+	n2 := Or(Clone(n), alwaysTrue)
+	bindSingle(t, n2, empCols)
+	if got, _ := EvalPredicate(n2, env); got != True {
+		t.Errorf("unknown OR true = %s", got)
+	}
+}
+
+func TestEvalOldImage(t *testing.T) {
+	oldRef := &ColumnRef{Var: "emp", Column: "salary", VarIdx: -1, ColIdx: -1, Old: true}
+	n := Cmp(OpGt, Col("emp", "salary"), oldRef) // salary increased
+	bindSingle(t, n, empCols)
+	env := SingleEnv{
+		New: types.Tuple{types.NewString("Bob"), types.NewInt(95000), types.NewString("eng")},
+		Old: types.Tuple{types.NewString("Bob"), types.NewInt(90000), types.NewString("eng")},
+	}
+	if got, _ := EvalPredicate(n, env); got != True {
+		t.Errorf("raise detection = %s", got)
+	}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	env := empEnv("Bob", 90000, "eng")
+	n := Cmp(OpGt, &Binary{Op: OpMul, Left: Col("emp", "salary"), Right: Float(1.1)}, Int(95000))
+	bindSingle(t, n, empCols)
+	if got, _ := EvalPredicate(n, env); got != True {
+		t.Errorf("salary*1.1 > 95000 = %s", got)
+	}
+	// integer arithmetic stays integral
+	v, err := EvalScalar(&Binary{Op: OpDiv, Left: Int(7), Right: Int(2)}, env)
+	if err != nil || v.Kind() != types.KindInt || v.Int() != 3 {
+		t.Errorf("7/2 = %v, %v", v, err)
+	}
+	if _, err := EvalScalar(&Binary{Op: OpDiv, Left: Int(1), Right: Int(0)}, env); err == nil {
+		t.Error("division by zero should error")
+	}
+	// string concatenation with +
+	v, err = EvalScalar(&Binary{Op: OpAdd, Left: Str("a"), Right: Str("b")}, env)
+	if err != nil || v.Str() != "ab" {
+		t.Errorf("'a'+'b' = %v, %v", v, err)
+	}
+	// null propagation
+	v, err = EvalScalar(&Binary{Op: OpAdd, Left: Lit(types.Null()), Right: Int(1)}, env)
+	if err != nil || !v.IsNull() {
+		t.Errorf("NULL+1 = %v, %v", v, err)
+	}
+	// negation
+	v, err = EvalScalar(&Unary{Op: OpNeg, Child: Int(5)}, env)
+	if err != nil || v.Int() != -5 {
+		t.Errorf("-5 = %v, %v", v, err)
+	}
+}
+
+func TestEvalFunctions(t *testing.T) {
+	env := empEnv("Bob", 90000, "eng")
+	cases := []struct {
+		f    *FuncCall
+		want types.Value
+	}{
+		{&FuncCall{Name: "upper", Args: []Node{Str("bob")}}, types.NewString("BOB")},
+		{&FuncCall{Name: "lower", Args: []Node{Str("BOB")}}, types.NewString("bob")},
+		{&FuncCall{Name: "length", Args: []Node{Str("abcd")}}, types.NewInt(4)},
+		{&FuncCall{Name: "abs", Args: []Node{Int(-7)}}, types.NewInt(7)},
+		{&FuncCall{Name: "abs", Args: []Node{Float(-2.5)}}, types.NewFloat(2.5)},
+	}
+	for _, c := range cases {
+		got, err := EvalScalar(c.f, env)
+		if err != nil {
+			t.Fatalf("%s: %v", c.f, err)
+		}
+		if !types.Equal(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.f, got, c.want)
+		}
+	}
+	if _, err := EvalScalar(&FuncCall{Name: "nope", Args: nil}, env); err == nil {
+		t.Error("unknown function should error")
+	}
+	if _, err := EvalScalar(&FuncCall{Name: "upper", Args: []Node{Str("a"), Str("b")}}, env); err == nil {
+		t.Error("arity error expected")
+	}
+	if _, err := EvalScalar(&FuncCall{Name: "abs", Args: []Node{Str("a")}}, env); err == nil {
+		t.Error("abs on string should error")
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	env := empEnv("Bob", 1, "x")
+	// unbound column
+	if _, err := EvalScalar(Col("emp", "salary"), env); err == nil {
+		t.Error("unbound column should error")
+	}
+	// placeholder leak
+	if _, err := EvalScalar(&Placeholder{Num: 1}, env); err == nil {
+		t.Error("placeholder eval should error")
+	}
+}
+
+func TestMatchLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%lo", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_y", false},
+		{"hello", "", false},
+		{"", "%", true},
+		{"", "", true},
+		{"abc", "a%c%", true},
+		{"abc", "%%%", true},
+		{"ab", "a_b", false},
+	}
+	for _, c := range cases {
+		if got := matchLike(c.s, c.p); got != c.want {
+			t.Errorf("like(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestMultiEnv(t *testing.T) {
+	e := MultiEnv{
+		Tuples: []types.Tuple{{types.NewInt(1)}, {types.NewInt(2)}},
+		Olds:   []types.Tuple{{types.NewInt(0)}},
+	}
+	if e.TupleFor(1, false).Get(0).Int() != 2 {
+		t.Error("TupleFor(1)")
+	}
+	if e.TupleFor(0, true).Get(0).Int() != 0 {
+		t.Error("TupleFor old")
+	}
+	if e.TupleFor(5, false) != nil || e.TupleFor(1, true) != nil {
+		t.Error("out-of-range should be nil")
+	}
+}
+
+func TestTruthiness(t *testing.T) {
+	n := Int(1)
+	if got, _ := EvalPredicate(n, SingleEnv{}); got != True {
+		t.Error("1 should be true")
+	}
+	if got, _ := EvalPredicate(Int(0), SingleEnv{}); got != False {
+		t.Error("0 should be false")
+	}
+	if got, _ := EvalPredicate(Lit(types.Null()), SingleEnv{}); got != Unknown {
+		t.Error("NULL should be unknown")
+	}
+	if got, _ := EvalPredicate(Str("x"), SingleEnv{}); got != True {
+		t.Error("'x' should be true")
+	}
+}

@@ -1,0 +1,371 @@
+// Package hashidx implements a disk-backed static hash index with
+// overflow chains over the storage engine. It is the equality
+// alternative to the clustered B+tree for constant tables (§5.1 notes
+// the composite key is used for equality retrieval; a hash index serves
+// the same probes with O(1) expected page touches). The bucket count is
+// fixed at creation — the standard static-hashing trade-off, adequate
+// for constant tables whose size class is chosen by the organization
+// policy.
+package hashidx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"triggerman/internal/storage"
+)
+
+// MaxKeySize bounds keys (same bound as the B+tree for interchangeability).
+const MaxKeySize = 512
+
+// Bucket page layout:
+//
+//	offset 0: uint16 entry count
+//	offset 2: uint16 free offset (next write position)
+//	offset 4: uint32 overflow page (InvalidPageID terminator)
+//	offset 8: entries, each: uint16 klen | key | uint64 val
+const (
+	bhdrSize   = 8
+	maxBuckets = (storage.PageSize - 16) / 4
+)
+
+// Index is the hash index handle.
+type Index struct {
+	mu      sync.Mutex
+	bp      *storage.BufferPool
+	meta    storage.PageID
+	buckets []storage.PageID
+	size    int
+}
+
+// Create allocates a hash index with the given bucket count.
+func Create(bp *storage.BufferPool, buckets int) (*Index, error) {
+	if buckets < 1 {
+		buckets = 1
+	}
+	if buckets > maxBuckets {
+		return nil, fmt.Errorf("hashidx: %d buckets exceeds max %d", buckets, maxBuckets)
+	}
+	meta, err := bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	metaID := meta.ID
+	idx := &Index{bp: bp, meta: metaID, buckets: make([]storage.PageID, buckets)}
+	for i := range idx.buckets {
+		p, err := bp.NewPage()
+		if err != nil {
+			bp.Unpin(metaID, true)
+			return nil, err
+		}
+		initBucket(p)
+		idx.buckets[i] = p.ID
+		if err := bp.Unpin(p.ID, true); err != nil {
+			bp.Unpin(metaID, true)
+			return nil, err
+		}
+	}
+	idx.writeMeta(meta)
+	return idx, bp.Unpin(metaID, true)
+}
+
+// Open reattaches to an index by its meta page.
+func Open(bp *storage.BufferPool, metaID storage.PageID) (*Index, error) {
+	p, err := bp.FetchPage(metaID)
+	if err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(p.Data[0:]))
+	if n < 1 || n > maxBuckets {
+		bp.Unpin(metaID, false)
+		return nil, fmt.Errorf("hashidx: corrupt meta page (buckets=%d)", n)
+	}
+	idx := &Index{bp: bp, meta: metaID, buckets: make([]storage.PageID, n)}
+	idx.size = int(binary.LittleEndian.Uint64(p.Data[4:]))
+	for i := 0; i < n; i++ {
+		idx.buckets[i] = storage.PageID(binary.LittleEndian.Uint32(p.Data[12+i*4:]))
+	}
+	return idx, bp.Unpin(metaID, false)
+}
+
+// MetaPage returns the index's persistent identity.
+func (ix *Index) MetaPage() storage.PageID { return ix.meta }
+
+// Buckets returns the bucket count.
+func (ix *Index) Buckets() int { return len(ix.buckets) }
+
+// Len returns the entry count.
+func (ix *Index) Len() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.size
+}
+
+func (ix *Index) writeMeta(p *storage.Page) {
+	binary.LittleEndian.PutUint32(p.Data[0:], uint32(len(ix.buckets)))
+	binary.LittleEndian.PutUint64(p.Data[4:], uint64(ix.size))
+	for i, b := range ix.buckets {
+		binary.LittleEndian.PutUint32(p.Data[12+i*4:], uint32(b))
+	}
+}
+
+func (ix *Index) syncMeta() error {
+	p, err := ix.bp.FetchPage(ix.meta)
+	if err != nil {
+		return err
+	}
+	ix.writeMeta(p)
+	return ix.bp.Unpin(ix.meta, true)
+}
+
+func initBucket(p *storage.Page) {
+	binary.LittleEndian.PutUint16(p.Data[0:], 0)
+	binary.LittleEndian.PutUint16(p.Data[2:], bhdrSize)
+	binary.LittleEndian.PutUint32(p.Data[4:], uint32(storage.InvalidPageID))
+}
+
+func bucketCount(p *storage.Page) int { return int(binary.LittleEndian.Uint16(p.Data[0:])) }
+func bucketFree(p *storage.Page) int  { return int(binary.LittleEndian.Uint16(p.Data[2:])) }
+func setBucketCount(p *storage.Page, n int) {
+	binary.LittleEndian.PutUint16(p.Data[0:], uint16(n))
+}
+func setBucketFree(p *storage.Page, n int) {
+	binary.LittleEndian.PutUint16(p.Data[2:], uint16(n))
+}
+func overflow(p *storage.Page) storage.PageID {
+	return storage.PageID(binary.LittleEndian.Uint32(p.Data[4:]))
+}
+func setOverflow(p *storage.Page, id storage.PageID) {
+	binary.LittleEndian.PutUint32(p.Data[4:], uint32(id))
+}
+
+func bucketOf(key []byte, n int) int {
+	h := fnv.New64a()
+	h.Write(key)
+	return int(h.Sum64() % uint64(n))
+}
+
+// iterate walks all entries of a bucket chain. fn's tombstone flag:
+// entries with val == tombstone are skipped by the public API; internal
+// callers see them too via raw.
+const tombstone = ^uint64(0)
+
+type entryPos struct {
+	page storage.PageID
+	off  int
+}
+
+func (ix *Index) iterate(bucket int, fn func(pos entryPos, key []byte, val uint64) bool) error {
+	id := ix.buckets[bucket]
+	for id != storage.InvalidPageID {
+		p, err := ix.bp.FetchPage(id)
+		if err != nil {
+			return err
+		}
+		n := bucketCount(p)
+		off := bhdrSize
+		stop := false
+		for e := 0; e < n && !stop; e++ {
+			klen := int(binary.LittleEndian.Uint16(p.Data[off:]))
+			key := p.Data[off+2 : off+2+klen]
+			val := binary.LittleEndian.Uint64(p.Data[off+2+klen:])
+			if !fn(entryPos{id, off}, key, val) {
+				stop = true
+			}
+			off += 2 + klen + 8
+		}
+		next := overflow(p)
+		if err := ix.bp.Unpin(id, false); err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+		id = next
+	}
+	return nil
+}
+
+// Insert adds (key, val). Re-inserting an existing pair is a no-op
+// returning false. val must not be the reserved tombstone (all-ones).
+func (ix *Index) Insert(key []byte, val uint64) (bool, error) {
+	if len(key) > MaxKeySize {
+		return false, fmt.Errorf("hashidx: key of %d bytes exceeds max %d", len(key), MaxKeySize)
+	}
+	if val == tombstone {
+		return false, fmt.Errorf("hashidx: value %d is reserved", val)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	b := bucketOf(key, len(ix.buckets))
+	// Duplicate check; remember a tombstone slot of matching size class.
+	dup := false
+	var reuse *entryPos
+	err := ix.iterate(b, func(pos entryPos, k []byte, v uint64) bool {
+		if v == tombstone && len(k) == len(key) && reuse == nil {
+			p := pos
+			reuse = &p
+		}
+		if v != tombstone && bytes.Equal(k, key) && v == val {
+			dup = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	if dup {
+		return false, nil
+	}
+	if reuse != nil {
+		// Overwrite the tombstone in place.
+		p, err := ix.bp.FetchPage(reuse.page)
+		if err != nil {
+			return false, err
+		}
+		off := reuse.off
+		klen := int(binary.LittleEndian.Uint16(p.Data[off:]))
+		copy(p.Data[off+2:off+2+klen], key)
+		binary.LittleEndian.PutUint64(p.Data[off+2+klen:], val)
+		if err := ix.bp.Unpin(reuse.page, true); err != nil {
+			return false, err
+		}
+		ix.size++
+		return true, ix.syncMeta()
+	}
+	// Append to the first chain page with room, growing the chain if
+	// needed.
+	need := 2 + len(key) + 8
+	id := ix.buckets[b]
+	for {
+		p, err := ix.bp.FetchPage(id)
+		if err != nil {
+			return false, err
+		}
+		if storage.PageSize-bucketFree(p) >= need {
+			off := bucketFree(p)
+			binary.LittleEndian.PutUint16(p.Data[off:], uint16(len(key)))
+			copy(p.Data[off+2:], key)
+			binary.LittleEndian.PutUint64(p.Data[off+2+len(key):], val)
+			setBucketFree(p, off+need)
+			setBucketCount(p, bucketCount(p)+1)
+			if err := ix.bp.Unpin(id, true); err != nil {
+				return false, err
+			}
+			ix.size++
+			return true, ix.syncMeta()
+		}
+		next := overflow(p)
+		if next != storage.InvalidPageID {
+			ix.bp.Unpin(id, false)
+			id = next
+			continue
+		}
+		// Grow the chain.
+		np, nerr := ix.bp.NewPage()
+		if nerr != nil {
+			ix.bp.Unpin(id, false)
+			return false, nerr
+		}
+		initBucket(np)
+		setOverflow(p, np.ID)
+		if err := ix.bp.Unpin(id, true); err != nil {
+			ix.bp.Unpin(np.ID, true)
+			return false, err
+		}
+		id = np.ID
+		if err := ix.bp.Unpin(np.ID, true); err != nil {
+			return false, err
+		}
+	}
+}
+
+// Lookup returns every value stored under key.
+func (ix *Index) Lookup(key []byte) ([]uint64, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var out []uint64
+	err := ix.iterate(bucketOf(key, len(ix.buckets)), func(_ entryPos, k []byte, v uint64) bool {
+		if v != tombstone && bytes.Equal(k, key) {
+			out = append(out, v)
+		}
+		return true
+	})
+	return out, err
+}
+
+// Contains reports whether the exact pair exists.
+func (ix *Index) Contains(key []byte, val uint64) (bool, error) {
+	vals, err := ix.Lookup(key)
+	if err != nil {
+		return false, err
+	}
+	for _, v := range vals {
+		if v == val {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Delete removes the exact (key, val) pair by tombstoning its entry.
+func (ix *Index) Delete(key []byte, val uint64) (bool, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var found *entryPos
+	err := ix.iterate(bucketOf(key, len(ix.buckets)), func(pos entryPos, k []byte, v uint64) bool {
+		if v != tombstone && bytes.Equal(k, key) && v == val {
+			p := pos
+			found = &p
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	if found == nil {
+		return false, nil
+	}
+	p, err := ix.bp.FetchPage(found.page)
+	if err != nil {
+		return false, err
+	}
+	klen := int(binary.LittleEndian.Uint16(p.Data[found.off:]))
+	binary.LittleEndian.PutUint64(p.Data[found.off+2+klen:], tombstone)
+	if err := ix.bp.Unpin(found.page, true); err != nil {
+		return false, err
+	}
+	ix.size--
+	return true, ix.syncMeta()
+}
+
+// ScanAll visits every live entry (unordered), for rebuilds and tests.
+func (ix *Index) ScanAll(fn func(key []byte, val uint64) bool) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for b := range ix.buckets {
+		stop := false
+		err := ix.iterate(b, func(_ entryPos, k []byte, v uint64) bool {
+			if v == tombstone {
+				return true
+			}
+			if !fn(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}

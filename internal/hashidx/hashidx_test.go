@@ -1,0 +1,268 @@
+package hashidx
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"triggerman/internal/btree"
+	"triggerman/internal/storage"
+	"triggerman/internal/types"
+)
+
+func newIdx(t testing.TB, buckets int) *Index {
+	t.Helper()
+	bp := storage.NewBufferPool(storage.NewMem(), 512)
+	ix, err := Create(bp, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func key(s string) []byte {
+	return types.EncodeKey(nil, types.Tuple{types.NewString(s)})
+}
+
+func TestInsertLookup(t *testing.T) {
+	ix := newIdx(t, 8)
+	added, err := ix.Insert(key("a"), 1)
+	if err != nil || !added {
+		t.Fatal(err)
+	}
+	if added, _ := ix.Insert(key("a"), 1); added {
+		t.Error("duplicate pair should be a no-op")
+	}
+	ix.Insert(key("a"), 2)
+	ix.Insert(key("b"), 3)
+	vals, err := ix.Lookup(key("a"))
+	if err != nil || len(vals) != 2 {
+		t.Fatalf("lookup a = %v, %v", vals, err)
+	}
+	vals, _ = ix.Lookup(key("missing"))
+	if len(vals) != 0 {
+		t.Error("missing key")
+	}
+	if ix.Len() != 3 {
+		t.Errorf("len = %d", ix.Len())
+	}
+	if ok, _ := ix.Contains(key("b"), 3); !ok {
+		t.Error("contains")
+	}
+	if ok, _ := ix.Contains(key("b"), 4); ok {
+		t.Error("contains wrong val")
+	}
+}
+
+func TestDeleteAndTombstoneReuse(t *testing.T) {
+	ix := newIdx(t, 4)
+	ix.Insert(key("x"), 10)
+	ok, err := ix.Delete(key("x"), 10)
+	if err != nil || !ok {
+		t.Fatal("delete")
+	}
+	if ok, _ := ix.Delete(key("x"), 10); ok {
+		t.Error("double delete")
+	}
+	if vals, _ := ix.Lookup(key("x")); len(vals) != 0 {
+		t.Error("deleted still visible")
+	}
+	// Same-length key reuses the tombstone slot: page usage stays flat.
+	ix.Insert(key("y"), 20)
+	if vals, _ := ix.Lookup(key("y")); len(vals) != 1 || vals[0] != 20 {
+		t.Error("tombstone reuse broke lookup")
+	}
+	if ix.Len() != 1 {
+		t.Errorf("len = %d", ix.Len())
+	}
+}
+
+func TestOverflowChains(t *testing.T) {
+	// One bucket forces deep chains.
+	ix := newIdx(t, 1)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		added, err := ix.Insert(key(fmt.Sprintf("key-%05d", i)), uint64(i))
+		if err != nil || !added {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if ix.Len() != n {
+		t.Fatalf("len = %d", ix.Len())
+	}
+	for i := 0; i < n; i += 97 {
+		vals, err := ix.Lookup(key(fmt.Sprintf("key-%05d", i)))
+		if err != nil || len(vals) != 1 || vals[0] != uint64(i) {
+			t.Fatalf("lookup %d = %v, %v", i, vals, err)
+		}
+	}
+	seen := 0
+	ix.ScanAll(func([]byte, uint64) bool { seen++; return true })
+	if seen != n {
+		t.Errorf("scan saw %d", seen)
+	}
+}
+
+func TestPersistenceAcrossOpen(t *testing.T) {
+	disk := storage.NewMem()
+	bp := storage.NewBufferPool(disk, 256)
+	ix, err := Create(bp, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		ix.Insert(key(fmt.Sprintf("k%04d", i)), uint64(i))
+	}
+	ix.Delete(key("k0042"), 42)
+	meta := ix.MetaPage()
+	bp.FlushAll()
+
+	bp2 := storage.NewBufferPool(disk, 256)
+	ix2, err := Open(bp2, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Len() != 499 || ix2.Buckets() != 16 {
+		t.Fatalf("reopened len=%d buckets=%d", ix2.Len(), ix2.Buckets())
+	}
+	vals, _ := ix2.Lookup(key("k0007"))
+	if len(vals) != 1 || vals[0] != 7 {
+		t.Errorf("reopened lookup = %v", vals)
+	}
+	if vals, _ := ix2.Lookup(key("k0042")); len(vals) != 0 {
+		t.Error("deleted entry resurrected")
+	}
+	// Corrupt meta detection.
+	if _, err := Open(storage.NewBufferPool(storage.NewMem(), 8), mustNewPage(t)); err == nil {
+		t.Error("opening a zero page as meta should fail")
+	}
+}
+
+func mustNewPage(t *testing.T) storage.PageID {
+	t.Helper()
+	bp := storage.NewBufferPool(storage.NewMem(), 8)
+	p, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(p.ID, true)
+	return p.ID
+}
+
+func TestValidation(t *testing.T) {
+	bp := storage.NewBufferPool(storage.NewMem(), 64)
+	if _, err := Create(bp, maxBuckets+1); err == nil {
+		t.Error("too many buckets")
+	}
+	ix, _ := Create(bp, 2)
+	if _, err := ix.Insert(make([]byte, MaxKeySize+1), 1); err == nil {
+		t.Error("oversized key")
+	}
+	if _, err := ix.Insert(key("a"), ^uint64(0)); err == nil {
+		t.Error("reserved value")
+	}
+}
+
+func TestRandomizedAgainstModel(t *testing.T) {
+	ix := newIdx(t, 8)
+	rng := rand.New(rand.NewSource(5))
+	model := map[string]map[uint64]bool{}
+	for step := 0; step < 4000; step++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(150))
+		v := uint64(rng.Intn(12))
+		kb := key(k)
+		switch rng.Intn(3) {
+		case 0, 1:
+			added, err := ix.Insert(kb, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if model[k] == nil {
+				model[k] = map[uint64]bool{}
+			}
+			if added == model[k][v] {
+				t.Fatalf("step %d: added=%v model=%v", step, added, model[k][v])
+			}
+			model[k][v] = true
+		default:
+			ok, err := ix.Delete(kb, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != (model[k] != nil && model[k][v]) {
+				t.Fatalf("step %d: delete=%v model=%v", step, ok, model[k][v])
+			}
+			if model[k] != nil {
+				delete(model[k], v)
+			}
+		}
+	}
+	total := 0
+	for k, vs := range model {
+		total += len(vs)
+		vals, err := ix.Lookup(key(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != len(vs) {
+			t.Fatalf("key %s: %d vals, model %d", k, len(vals), len(vs))
+		}
+		for _, v := range vals {
+			if !vs[v] {
+				t.Fatalf("key %s: extra value %d", k, v)
+			}
+		}
+	}
+	if ix.Len() != total {
+		t.Fatalf("len %d != model %d", ix.Len(), total)
+	}
+}
+
+// Ablation: point-lookup cost, hash index vs clustered B+tree, for the
+// equality constant-table role (§5.1's "it may still be possible to use
+// an index" discussion).
+func BenchmarkPointLookupHashVsBTree(b *testing.B) {
+	const n = 100000
+	for _, structure := range []string{"hash", "btree"} {
+		b.Run(structure, func(b *testing.B) {
+			bp := storage.NewBufferPool(storage.NewMem(), 1<<16)
+			keys := make([][]byte, n)
+			for i := range keys {
+				keys[i] = key(fmt.Sprintf("user%07d", i))
+			}
+			var lookup func([]byte) ([]uint64, error)
+			switch structure {
+			case "hash":
+				ix, err := Create(bp, 1000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i, k := range keys {
+					if _, err := ix.Insert(k, uint64(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				lookup = ix.Lookup
+			case "btree":
+				tr, err := btree.Create(bp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i, k := range keys {
+					if _, err := tr.Insert(k, uint64(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				lookup = tr.Lookup
+			}
+			rng := rand.New(rand.NewSource(9))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vals, err := lookup(keys[rng.Intn(n)])
+				if err != nil || len(vals) != 1 {
+					b.Fatalf("lookup: %v %v", vals, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package intervalskiplist
+
+import (
+	"math/rand"
+
+	"triggerman/internal/types"
+)
+
+// boundSkip is a plain skip list keyed by a single bound value, with a
+// bucket of intervals per distinct bound. It serves the half-unbounded
+// intervals — (C, +inf), [C, +inf), (-inf, C), (-inf, C] — for which a
+// stabbing query is a prefix or suffix of the bound order, so no marker
+// machinery is needed. Half-unbounded intervals are the overwhelmingly
+// common case in predicate indexing (every <, <=, >, >= comparison
+// yields one); routing them here keeps interval insertion logarithmic
+// where the general marker structure degenerates (all markers of
+// suffix-shaped intervals pile onto the topmost edges into the tail).
+type boundSkip struct {
+	head  *bnode
+	rng   *rand.Rand
+	nodes int
+	size  int
+}
+
+type bnode struct {
+	val     types.Value
+	isHead  bool
+	forward []*bnode
+	items   map[uint64]Interval
+}
+
+func newBoundSkip(seed int64) *boundSkip {
+	return &boundSkip{
+		head: &bnode{isHead: true, forward: make([]*bnode, maxLevel)},
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+func bnodeLess(a *bnode, v types.Value) bool {
+	if a.isHead {
+		return true
+	}
+	return types.Compare(a.val, v) < 0
+}
+
+func (b *boundSkip) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && b.rng.Intn(2) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// add inserts iv under the given bound.
+func (b *boundSkip) add(bound types.Value, iv Interval) {
+	var update [maxLevel]*bnode
+	x := b.head
+	for i := maxLevel - 1; i >= 0; i-- {
+		for x.forward[i] != nil && bnodeLess(x.forward[i], bound) {
+			x = x.forward[i]
+		}
+		update[i] = x
+	}
+	n := update[0].forward[0]
+	if n == nil || types.Compare(n.val, bound) != 0 {
+		lvl := b.randomLevel()
+		n = &bnode{val: bound, forward: make([]*bnode, lvl), items: make(map[uint64]Interval)}
+		for i := 0; i < lvl; i++ {
+			n.forward[i] = update[i].forward[i]
+			update[i].forward[i] = n
+		}
+		b.nodes++
+	}
+	n.items[iv.ID] = iv
+	b.size++
+}
+
+// remove deletes the interval with the given ID under bound.
+func (b *boundSkip) remove(bound types.Value, id uint64) bool {
+	x := b.head
+	for i := maxLevel - 1; i >= 0; i-- {
+		for x.forward[i] != nil && bnodeLess(x.forward[i], bound) {
+			x = x.forward[i]
+		}
+	}
+	n := x.forward[0]
+	if n == nil || types.Compare(n.val, bound) != 0 {
+		return false
+	}
+	if _, ok := n.items[id]; !ok {
+		return false
+	}
+	delete(n.items, id)
+	b.size--
+	// Empty buckets are retained (nodes are cheap and churn is rare).
+	return true
+}
+
+// ascendFromHead iterates buckets in ascending bound order until fn
+// returns false.
+func (b *boundSkip) ascendFromHead(fn func(bound types.Value, items map[uint64]Interval) bool) {
+	for n := b.head.forward[0]; n != nil; n = n.forward[0] {
+		if !fn(n.val, n.items) {
+			return
+		}
+	}
+}
+
+// ascendFrom iterates buckets with bound >= v in ascending order.
+func (b *boundSkip) ascendFrom(v types.Value, fn func(bound types.Value, items map[uint64]Interval) bool) {
+	x := b.head
+	for i := maxLevel - 1; i >= 0; i-- {
+		for x.forward[i] != nil && bnodeLess(x.forward[i], v) {
+			x = x.forward[i]
+		}
+	}
+	for n := x.forward[0]; n != nil; n = n.forward[0] {
+		if !fn(n.val, n.items) {
+			return
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package intervalskiplist
+
+import (
+	"testing"
+	"triggerman/internal/types"
+)
+
+func BenchmarkInsertMonotonic100k(b *testing.B) {
+	for iter := 0; iter < b.N; iter++ {
+		l := New(1)
+		for i := uint64(0); i < 100000; i++ {
+			l.Insert(Gt(i, types.NewInt(int64(i))))
+		}
+	}
+}
+
+func BenchmarkStab100k(b *testing.B) {
+	l := New(1)
+	for i := uint64(0); i < 100000; i++ {
+		l.Insert(Gt(i, types.NewInt(int64(i))))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		l.Stab(types.NewInt(1000), func(Interval) bool { n++; return true })
+		if n != 1000 {
+			b.Fatal(n)
+		}
+	}
+}

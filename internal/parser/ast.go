@@ -1,0 +1,209 @@
+// Package parser parses the TriggerMan command language (§2): trigger
+// DDL (create/drop trigger, trigger sets, define data source) and the
+// mini-SQL dialect used in execSQL rule actions.
+package parser
+
+import (
+	"strings"
+
+	"triggerman/internal/expr"
+	"triggerman/internal/types"
+)
+
+// Statement is any parsed command.
+type Statement interface{ stmt() }
+
+// EventOp is the update-event kind an event condition names. A missing
+// on clause means "insert or update" implicitly (§5).
+type EventOp uint8
+
+const (
+	// OpInsertOrUpdate is the implicit event when no on clause names the
+	// tuple variable.
+	OpInsertOrUpdate EventOp = iota
+	// OpInsert fires on inserts.
+	OpInsert
+	// OpDelete fires on deletes.
+	OpDelete
+	// OpUpdate fires on updates (optionally of specific columns).
+	OpUpdate
+)
+
+// String names the event op in command-language spelling.
+func (o EventOp) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpUpdate:
+		return "update"
+	default:
+		return "insert or update"
+	}
+}
+
+// FromItem is one entry of a from clause: a data source usage with an
+// optional tuple-variable alias ("salesperson s").
+type FromItem struct {
+	Source string
+	Alias  string
+}
+
+// Var returns the tuple-variable name binding this item (alias if
+// present, else the source name).
+func (f FromItem) Var() string {
+	if f.Alias != "" {
+		return f.Alias
+	}
+	return f.Source
+}
+
+// EventSpec is a parsed on clause. Exactly one tuple variable may carry
+// an event condition (§4).
+type EventSpec struct {
+	Op EventOp
+	// Target names the data source or tuple variable the event applies
+	// to ("insert to house" → "house").
+	Target string
+	// Columns restricts update events to specific columns
+	// ("update(emp.salary)" → ["salary"], with Target "emp").
+	Columns []string
+}
+
+// Action is a rule action (the do clause).
+type Action interface{ action() }
+
+// ExecSQL runs a mini-SQL statement, with :NEW/:OLD references bound to
+// the firing token at execution time (the paper's macro substitution).
+type ExecSQL struct {
+	// SQL is the raw statement text as written in the trigger.
+	SQL string
+	// Stmt is the pre-parsed statement; :NEW/:OLD column refs remain
+	// unbound until fire time.
+	Stmt Statement
+}
+
+func (*ExecSQL) action() {}
+
+// RaiseEvent raises a named external event with computed arguments
+// ("raise event NewHouseInIrisNeighborhood(h.hno, h.address)").
+type RaiseEvent struct {
+	Name string
+	Args []expr.Node
+}
+
+func (*RaiseEvent) action() {}
+
+// CreateTrigger is a parsed create trigger command.
+type CreateTrigger struct {
+	Name    string
+	SetName string
+	Flags   []string
+	From    []FromItem
+	On      *EventSpec
+	When    expr.Node
+	GroupBy []string
+	Having  expr.Node
+	Do      Action
+	// Text is the original command text, stored in the trigger catalog.
+	Text string
+}
+
+func (*CreateTrigger) stmt() {}
+
+// VarIndex returns tuple-variable name → from-list position, lower-cased.
+func (c *CreateTrigger) VarIndex() map[string]int {
+	m := make(map[string]int, len(c.From))
+	for i, f := range c.From {
+		m[strings.ToLower(f.Var())] = i
+	}
+	return m
+}
+
+// DropTrigger drops a trigger by name.
+type DropTrigger struct{ Name string }
+
+func (*DropTrigger) stmt() {}
+
+// CreateTriggerSet creates a named trigger set.
+type CreateTriggerSet struct {
+	Name     string
+	Comments string
+}
+
+func (*CreateTriggerSet) stmt() {}
+
+// DropTriggerSet drops a trigger set.
+type DropTriggerSet struct{ Name string }
+
+func (*DropTriggerSet) stmt() {}
+
+// SetEnabled enables or disables a trigger or trigger set.
+type SetEnabled struct {
+	Name    string
+	Set     bool // true when targeting a trigger set
+	Enabled bool
+}
+
+func (*SetEnabled) stmt() {}
+
+// DefineDataSource imports a data source with its schema
+// ("define data source house(hno int, address varchar, ...)").
+type DefineDataSource struct {
+	Name    string
+	Columns []types.Column
+}
+
+func (*DefineDataSource) stmt() {}
+
+// --- mini-SQL statements (execSQL dialect) ---
+
+// SelectItem is one projection of a select list.
+type SelectItem struct {
+	Expr  expr.Node
+	Alias string
+	// Star marks "select *".
+	Star bool
+}
+
+// Select is a single-table select.
+type Select struct {
+	Items []SelectItem
+	Table string
+	Where expr.Node
+}
+
+func (*Select) stmt() {}
+
+// Insert inserts one row of computed values.
+type Insert struct {
+	Table   string
+	Columns []string // empty means positional
+	Values  []expr.Node
+}
+
+func (*Insert) stmt() {}
+
+// SetClause is one assignment of an update statement.
+type SetClause struct {
+	Column string
+	Value  expr.Node
+}
+
+// Update updates rows matching Where.
+type Update struct {
+	Table string
+	Sets  []SetClause
+	Where expr.Node
+}
+
+func (*Update) stmt() {}
+
+// Delete deletes rows matching Where.
+type Delete struct {
+	Table string
+	Where expr.Node
+}
+
+func (*Delete) stmt() {}

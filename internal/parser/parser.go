@@ -1,0 +1,930 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"triggerman/internal/expr"
+	"triggerman/internal/sqlscan"
+	"triggerman/internal/types"
+)
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []sqlscan.Token
+	pos  int
+	src  string
+}
+
+// New builds a parser for src, tokenizing eagerly.
+func New(src string) (*Parser, error) {
+	toks, err := sqlscan.New(src).All()
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{toks: toks, src: src}, nil
+}
+
+// Parse parses a single TriggerMan command.
+func Parse(src string) (Statement, error) {
+	p, err := New(src)
+	if err != nil {
+		return nil, err
+	}
+	st, err := p.Statement()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEnd(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// ParseExpr parses a standalone expression (used by tests and the
+// console's explain mode).
+func ParseExpr(src string) (expr.Node, error) {
+	p, err := New(src)
+	if err != nil {
+		return nil, err
+	}
+	n, err := p.Expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEnd(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (p *Parser) cur() sqlscan.Token { return p.toks[p.pos] }
+func (p *Parser) peek() sqlscan.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *Parser) advance() sqlscan.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("parse error at offset %d (near %q): %s",
+		p.cur().Pos, p.cur().Text, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) accept(word string) bool {
+	if p.cur().Is(word) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) acceptSymbol(sym string) bool {
+	if p.cur().IsSymbol(sym) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(word string) error {
+	if !p.accept(word) {
+		return p.errf("expected %q", word)
+	}
+	return nil
+}
+
+func (p *Parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return p.errf("expected %q", sym)
+	}
+	return nil
+}
+
+func (p *Parser) ident() (string, error) {
+	if p.cur().Kind != sqlscan.Ident {
+		return "", p.errf("expected identifier")
+	}
+	return p.advance().Text, nil
+}
+
+func (p *Parser) expectEnd() error {
+	p.acceptSymbol(";")
+	if p.cur().Kind != sqlscan.EOF {
+		return p.errf("unexpected trailing input")
+	}
+	return nil
+}
+
+// Statement parses any command, dispatching on the leading keywords.
+func (p *Parser) Statement() (Statement, error) {
+	switch {
+	case p.cur().Is("create"):
+		if p.peek().Is("trigger") {
+			return p.createTriggerOrSet()
+		}
+		return nil, p.errf("expected 'trigger' after 'create'")
+	case p.cur().Is("drop"):
+		return p.dropStatement()
+	case p.cur().Is("define"):
+		return p.defineDataSource()
+	case p.cur().Is("enable"), p.cur().Is("disable"):
+		return p.setEnabled()
+	case p.cur().Is("select"):
+		return p.selectStmt()
+	case p.cur().Is("insert"):
+		return p.insertStmt()
+	case p.cur().Is("update"):
+		return p.updateStmt()
+	case p.cur().Is("delete"):
+		return p.deleteStmt()
+	default:
+		return nil, p.errf("unknown command")
+	}
+}
+
+func (p *Parser) createTriggerOrSet() (Statement, error) {
+	start := p.cur().Pos
+	p.advance() // create
+	p.advance() // trigger
+	if p.accept("set") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st := &CreateTriggerSet{Name: name}
+		if p.cur().Kind == sqlscan.String {
+			st.Comments = p.advance().Text
+		}
+		return st, nil
+	}
+	ct := &CreateTrigger{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ct.Name = name
+	if p.accept("in") {
+		if ct.SetName, err = p.ident(); err != nil {
+			return nil, err
+		}
+	}
+	// Optional flags before the from clause; each flag is a bare
+	// identifier that is not one of the clause keywords.
+	for p.cur().Kind == sqlscan.Ident && !isClauseKeyword(p.cur().Text) {
+		ct.Flags = append(ct.Flags, strings.ToLower(p.advance().Text))
+	}
+	// Clauses may appear with on before from (the paper writes both
+	// "from emp on update(...)" and "on insert to house from ...").
+	for {
+		switch {
+		case p.accept("from"):
+			if ct.From, err = p.fromList(); err != nil {
+				return nil, err
+			}
+		case p.accept("on"):
+			if ct.On, err = p.eventSpec(); err != nil {
+				return nil, err
+			}
+		case p.accept("when"):
+			if ct.When, err = p.Expr(); err != nil {
+				return nil, err
+			}
+		case p.accept("group"):
+			if err = p.expect("by"); err != nil {
+				return nil, err
+			}
+			if ct.GroupBy, err = p.nameList(); err != nil {
+				return nil, err
+			}
+		case p.accept("having"):
+			if ct.Having, err = p.Expr(); err != nil {
+				return nil, err
+			}
+		case p.accept("do"):
+			if ct.Do, err = p.actionClause(); err != nil {
+				return nil, err
+			}
+			end := p.cur().Pos
+			if end > len(p.src) {
+				end = len(p.src)
+			}
+			ct.Text = strings.TrimSpace(p.src[start:])
+			_ = end
+			if len(ct.From) == 0 {
+				return nil, fmt.Errorf("parse error: create trigger %s has no from clause", ct.Name)
+			}
+			return ct, nil
+		default:
+			return nil, p.errf("expected trigger clause (from/on/when/group by/having/do)")
+		}
+	}
+}
+
+func isClauseKeyword(w string) bool {
+	switch strings.ToLower(w) {
+	case "from", "on", "when", "group", "having", "do", "in":
+		return true
+	}
+	return false
+}
+
+func (p *Parser) fromList() ([]FromItem, error) {
+	var out []FromItem
+	for {
+		src, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		item := FromItem{Source: src}
+		// Optional alias: an identifier that is not a clause keyword.
+		if p.cur().Kind == sqlscan.Ident && !isClauseKeyword(p.cur().Text) {
+			item.Alias = p.advance().Text
+		}
+		out = append(out, item)
+		if !p.acceptSymbol(",") {
+			return out, nil
+		}
+	}
+}
+
+// eventSpec parses forms like:
+//
+//	insert to house
+//	delete from emp
+//	update(emp.salary, emp.dept)
+//	update of emp
+//	update to emp
+func (p *Parser) eventSpec() (*EventSpec, error) {
+	es := &EventSpec{}
+	switch {
+	case p.accept("insert"):
+		es.Op = OpInsert
+	case p.accept("delete"):
+		es.Op = OpDelete
+	case p.accept("update"):
+		es.Op = OpUpdate
+	default:
+		return nil, p.errf("expected insert, delete or update")
+	}
+	if es.Op == OpUpdate && p.acceptSymbol("(") {
+		for {
+			qual, col, err := p.qualifiedName()
+			if err != nil {
+				return nil, err
+			}
+			if qual != "" {
+				if es.Target != "" && !strings.EqualFold(es.Target, qual) {
+					return nil, fmt.Errorf("parse error: update event names two targets (%s, %s)", es.Target, qual)
+				}
+				es.Target = qual
+			}
+			es.Columns = append(es.Columns, col)
+			if p.acceptSymbol(")") {
+				break
+			}
+			if err := p.expectSymbol(","); err != nil {
+				return nil, err
+			}
+		}
+		return es, nil
+	}
+	// "to", "from", "of" are interchangeable connective words here.
+	if p.accept("to") || p.accept("from") || p.accept("of") {
+		t, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		es.Target = t
+	}
+	return es, nil
+}
+
+// qualifiedName parses ident or ident.ident, returning (qualifier, name).
+func (p *Parser) qualifiedName() (string, string, error) {
+	a, err := p.ident()
+	if err != nil {
+		return "", "", err
+	}
+	if p.acceptSymbol(".") {
+		b, err := p.ident()
+		if err != nil {
+			return "", "", err
+		}
+		return a, b, nil
+	}
+	return "", a, nil
+}
+
+func (p *Parser) nameList() ([]string, error) {
+	var out []string
+	for {
+		_, name, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, name)
+		if !p.acceptSymbol(",") {
+			return out, nil
+		}
+	}
+}
+
+func (p *Parser) actionClause() (Action, error) {
+	switch {
+	case p.accept("execsql"):
+		if p.cur().Kind != sqlscan.String {
+			return nil, p.errf("execSQL expects a string literal")
+		}
+		sql := p.advance().Text
+		inner, err := parseActionSQL(sql)
+		if err != nil {
+			return nil, fmt.Errorf("in execSQL action: %w", err)
+		}
+		return &ExecSQL{SQL: sql, Stmt: inner}, nil
+	case p.accept("raise"):
+		if err := p.expect("event"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		re := &RaiseEvent{Name: name}
+		if p.acceptSymbol("(") {
+			if !p.acceptSymbol(")") {
+				for {
+					arg, err := p.Expr()
+					if err != nil {
+						return nil, err
+					}
+					re.Args = append(re.Args, arg)
+					if p.acceptSymbol(")") {
+						break
+					}
+					if err := p.expectSymbol(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		return re, nil
+	default:
+		return nil, p.errf("expected execSQL or raise event action")
+	}
+}
+
+// parseActionSQL parses the mini-SQL inside an execSQL string.
+func parseActionSQL(sql string) (Statement, error) {
+	p, err := New(sql)
+	if err != nil {
+		return nil, err
+	}
+	st, err := p.Statement()
+	if err != nil {
+		return nil, err
+	}
+	switch st.(type) {
+	case *Select, *Insert, *Update, *Delete:
+	default:
+		return nil, fmt.Errorf("parse error: execSQL only supports select/insert/update/delete")
+	}
+	if err := p.expectEnd(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *Parser) dropStatement() (Statement, error) {
+	p.advance() // drop
+	if err := p.expect("trigger"); err != nil {
+		return nil, err
+	}
+	if p.accept("set") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTriggerSet{Name: name}, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTrigger{Name: name}, nil
+}
+
+func (p *Parser) setEnabled() (Statement, error) {
+	enabled := p.cur().Is("enable")
+	p.advance()
+	if err := p.expect("trigger"); err != nil {
+		return nil, err
+	}
+	isSet := p.accept("set")
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &SetEnabled{Name: name, Set: isSet, Enabled: enabled}, nil
+}
+
+func (p *Parser) defineDataSource() (Statement, error) {
+	p.advance() // define
+	if err := p.expect("data"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("source"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ds := &DefineDataSource{Name: name}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		tn, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		kind, err := types.KindFromName(tn)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		// Optional (n) width spec, accepted and ignored.
+		if p.acceptSymbol("(") {
+			if p.cur().Kind != sqlscan.Number {
+				return nil, p.errf("expected width")
+			}
+			p.advance()
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		}
+		ds.Columns = append(ds.Columns, types.Column{Name: col, Kind: kind})
+		if p.acceptSymbol(")") {
+			return ds, nil
+		}
+		if err := p.expectSymbol(","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// --- mini-SQL ---
+
+func (p *Parser) selectStmt() (Statement, error) {
+	p.advance() // select
+	st := &Select{}
+	for {
+		if p.acceptSymbol("*") {
+			st.Items = append(st.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.Expr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept("as") {
+				if item.Alias, err = p.ident(); err != nil {
+					return nil, err
+				}
+			}
+			st.Items = append(st.Items, item)
+		}
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expect("from"); err != nil {
+		return nil, err
+	}
+	var err error
+	if st.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if p.accept("where") {
+		if st.Where, err = p.Expr(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *Parser) insertStmt() (Statement, error) {
+	p.advance() // insert
+	if err := p.expect("into"); err != nil {
+		return nil, err
+	}
+	st := &Insert{}
+	var err error
+	if st.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol("(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, c)
+			if p.acceptSymbol(")") {
+				break
+			}
+			if err := p.expectSymbol(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expect("values"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	for {
+		e, err := p.Expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Values = append(st.Values, e)
+		if p.acceptSymbol(")") {
+			break
+		}
+		if err := p.expectSymbol(","); err != nil {
+			return nil, err
+		}
+	}
+	if len(st.Columns) > 0 && len(st.Columns) != len(st.Values) {
+		return nil, fmt.Errorf("parse error: insert names %d columns but supplies %d values", len(st.Columns), len(st.Values))
+	}
+	return st, nil
+}
+
+func (p *Parser) updateStmt() (Statement, error) {
+	p.advance() // update
+	st := &Update{}
+	var err error
+	if st.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expect("set"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		val, err := p.Expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, SetClause{Column: col, Value: val})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.accept("where") {
+		if st.Where, err = p.Expr(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *Parser) deleteStmt() (Statement, error) {
+	p.advance() // delete
+	if err := p.expect("from"); err != nil {
+		return nil, err
+	}
+	st := &Delete{}
+	var err error
+	if st.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if p.accept("where") {
+		if st.Where, err = p.Expr(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// --- expressions (precedence climbing) ---
+
+// Expr parses a full Boolean expression.
+func (p *Parser) Expr() (expr.Node, error) { return p.orExpr() }
+
+func (p *Parser) orExpr() (expr.Node, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("or") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Or(left, right)
+	}
+	return left, nil
+}
+
+func (p *Parser) andExpr() (expr.Node, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("and") {
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.And(left, right)
+	}
+	return left, nil
+}
+
+func (p *Parser) notExpr() (expr.Node, error) {
+	if p.accept("not") {
+		child, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not(child), nil
+	}
+	return p.comparison()
+}
+
+var cmpOps = map[string]expr.Op{
+	"=": expr.OpEq, "<>": expr.OpNe, "<": expr.OpLt,
+	"<=": expr.OpLe, ">": expr.OpGt, ">=": expr.OpGe,
+}
+
+func (p *Parser) comparison() (expr.Node, error) {
+	left, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == sqlscan.Symbol {
+		if op, ok := cmpOps[p.cur().Text]; ok {
+			p.advance()
+			right, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return expr.Cmp(op, left, right), nil
+		}
+	}
+	if p.accept("like") {
+		right, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Cmp(expr.OpLike, left, right), nil
+	}
+	if p.accept("between") {
+		lo, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return expr.And(
+			expr.Cmp(expr.OpGe, left, lo),
+			expr.Cmp(expr.OpLe, expr.Clone(left), hi)), nil
+	}
+	negate := false
+	if p.cur().Is("not") && p.peek().Is("in") {
+		p.advance()
+		negate = true
+	}
+	if p.accept("in") {
+		// x in (a, b, c) desugars to (x = a OR x = b OR x = c).
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var out expr.Node
+		for {
+			item, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			out = expr.Or(out, expr.Cmp(expr.OpEq, expr.Clone(left), item))
+			if p.acceptSymbol(")") {
+				break
+			}
+			if err := p.expectSymbol(","); err != nil {
+				return nil, err
+			}
+		}
+		if out == nil {
+			return nil, p.errf("empty IN list")
+		}
+		if negate {
+			return expr.Not(out), nil
+		}
+		return out, nil
+	}
+	if negate {
+		return nil, p.errf("expected 'in' after 'not'")
+	}
+	return left, nil
+}
+
+func (p *Parser) addExpr() (expr.Node, error) {
+	left, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op expr.Op
+		switch {
+		case p.acceptSymbol("+"):
+			op = expr.OpAdd
+		case p.acceptSymbol("-"):
+			op = expr.OpSub
+		default:
+			return left, nil
+		}
+		right, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &expr.Binary{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) mulExpr() (expr.Node, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op expr.Op
+		switch {
+		case p.acceptSymbol("*"):
+			op = expr.OpMul
+		case p.acceptSymbol("/"):
+			op = expr.OpDiv
+		default:
+			return left, nil
+		}
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &expr.Binary{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) unary() (expr.Node, error) {
+	if p.acceptSymbol("-") {
+		child, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of literals immediately.
+		if c, ok := child.(*expr.Const); ok {
+			switch c.Val.Kind() {
+			case types.KindInt:
+				return expr.Int(-c.Val.Int()), nil
+			case types.KindFloat:
+				return expr.Float(-c.Val.Float()), nil
+			}
+		}
+		return &expr.Unary{Op: expr.OpNeg, Child: child}, nil
+	}
+	if p.acceptSymbol("+") {
+		return p.unary()
+	}
+	return p.primary()
+}
+
+func (p *Parser) primary() (expr.Node, error) {
+	t := p.cur()
+	switch t.Kind {
+	case sqlscan.Number:
+		p.advance()
+		if t.IsFloat {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad float literal %q", t.Text)
+			}
+			return expr.Float(f), nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			// Overflowing integers degrade to float.
+			f, ferr := strconv.ParseFloat(t.Text, 64)
+			if ferr != nil {
+				return nil, p.errf("bad numeric literal %q", t.Text)
+			}
+			return expr.Float(f), nil
+		}
+		return expr.Int(i), nil
+	case sqlscan.String:
+		p.advance()
+		return expr.Str(t.Text), nil
+	case sqlscan.Param:
+		// :NEW.var.col, :NEW.col, :OLD.var.col, :OLD.col
+		p.advance()
+		old := false
+		switch strings.ToLower(t.Text) {
+		case "new":
+		case "old":
+			old = true
+		default:
+			return nil, p.errf("unknown parameter :%s (want :NEW or :OLD)", t.Text)
+		}
+		if err := p.expectSymbol("."); err != nil {
+			return nil, err
+		}
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ref := &expr.ColumnRef{Column: a, VarIdx: -1, ColIdx: -1, Old: old, Param: true}
+		if p.acceptSymbol(".") {
+			b, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ref.Var, ref.Column = a, b
+		}
+		return ref, nil
+	case sqlscan.Ident:
+		if t.Is("null") {
+			p.advance()
+			return expr.Lit(types.Null()), nil
+		}
+		p.advance()
+		// Function call?
+		if p.cur().IsSymbol("(") {
+			p.advance()
+			fc := &expr.FuncCall{Name: t.Text}
+			if !p.acceptSymbol(")") {
+				for {
+					arg, err := p.Expr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, arg)
+					if p.acceptSymbol(")") {
+						break
+					}
+					if err := p.expectSymbol(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return fc, nil
+		}
+		// Qualified or bare column reference.
+		ref := &expr.ColumnRef{Column: t.Text, VarIdx: -1, ColIdx: -1}
+		if p.acceptSymbol(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ref.Var, ref.Column = t.Text, col
+		}
+		return ref, nil
+	case sqlscan.Symbol:
+		if t.Text == "(" {
+			p.advance()
+			inner, err := p.Expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+	}
+	return nil, p.errf("expected expression")
+}

@@ -1,0 +1,420 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"triggerman/internal/expr"
+	"triggerman/internal/types"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return st
+}
+
+func TestParseUpdateFredTrigger(t *testing.T) {
+	// The paper's §2 example verbatim (modulo nested-quote escaping).
+	src := `create trigger updateFred
+	  from emp
+	  on update(emp.salary)
+	  when emp.name = 'Bob'
+	  do execSQL 'update emp set salary=:NEW.emp.salary where emp.name=''Fred'''`
+	ct := mustParse(t, src).(*CreateTrigger)
+	if ct.Name != "updateFred" {
+		t.Errorf("name = %q", ct.Name)
+	}
+	if len(ct.From) != 1 || ct.From[0].Source != "emp" || ct.From[0].Var() != "emp" {
+		t.Errorf("from = %+v", ct.From)
+	}
+	if ct.On == nil || ct.On.Op != OpUpdate || ct.On.Target != "emp" ||
+		len(ct.On.Columns) != 1 || ct.On.Columns[0] != "salary" {
+		t.Errorf("on = %+v", ct.On)
+	}
+	if ct.When == nil || ct.When.String() != "emp.name = 'Bob'" {
+		t.Errorf("when = %v", ct.When)
+	}
+	act, ok := ct.Do.(*ExecSQL)
+	if !ok {
+		t.Fatalf("action = %T", ct.Do)
+	}
+	up, ok := act.Stmt.(*Update)
+	if !ok {
+		t.Fatalf("inner stmt = %T", act.Stmt)
+	}
+	if up.Table != "emp" || len(up.Sets) != 1 || up.Sets[0].Column != "salary" {
+		t.Errorf("update = %+v", up)
+	}
+	ref, ok := up.Sets[0].Value.(*expr.ColumnRef)
+	if !ok || ref.Var != "emp" || ref.Column != "salary" || ref.Old {
+		t.Errorf(":NEW ref = %+v", up.Sets[0].Value)
+	}
+	if up.Where == nil {
+		t.Error("where missing")
+	}
+	if ct.Text == "" {
+		t.Error("original text not captured")
+	}
+}
+
+func TestParseIrisHouseAlert(t *testing.T) {
+	// The paper's §2 multi-table example verbatim.
+	src := `create trigger IrisHouseAlert
+	  on insert to house
+	  from salesperson s, house h, represents r
+	  when s.name = 'Iris' and s.spno=r.spno and r.nno=h.nno
+	  do raise event NewHouseInIrisNeighborhood(h.hno, h.address)`
+	ct := mustParse(t, src).(*CreateTrigger)
+	if len(ct.From) != 3 {
+		t.Fatalf("from = %+v", ct.From)
+	}
+	if ct.From[0].Var() != "s" || ct.From[1].Var() != "h" || ct.From[2].Var() != "r" {
+		t.Errorf("aliases: %+v", ct.From)
+	}
+	if ct.On.Op != OpInsert || ct.On.Target != "house" {
+		t.Errorf("on = %+v", ct.On)
+	}
+	re, ok := ct.Do.(*RaiseEvent)
+	if !ok || re.Name != "NewHouseInIrisNeighborhood" || len(re.Args) != 2 {
+		t.Fatalf("action = %+v", ct.Do)
+	}
+	vi := ct.VarIndex()
+	if vi["s"] != 0 || vi["h"] != 1 || vi["r"] != 2 {
+		t.Errorf("VarIndex = %v", vi)
+	}
+}
+
+func TestParseTriggerInSetWithFlags(t *testing.T) {
+	src := `create trigger t1 in nightly noopt deferred
+	  from emp when emp.salary > 100 do raise event Big(emp.salary)`
+	ct := mustParse(t, src).(*CreateTrigger)
+	if ct.SetName != "nightly" {
+		t.Errorf("set = %q", ct.SetName)
+	}
+	if len(ct.Flags) != 2 || ct.Flags[0] != "noopt" || ct.Flags[1] != "deferred" {
+		t.Errorf("flags = %v", ct.Flags)
+	}
+	if ct.On != nil {
+		t.Errorf("no event expected, got %+v", ct.On)
+	}
+}
+
+func TestParseGroupByHaving(t *testing.T) {
+	src := `create trigger agg from sales
+	  group by region
+	  having count(region) > 10
+	  do raise event HotRegion()`
+	ct := mustParse(t, src).(*CreateTrigger)
+	if len(ct.GroupBy) != 1 || ct.GroupBy[0] != "region" {
+		t.Errorf("group by = %v", ct.GroupBy)
+	}
+	if ct.Having == nil {
+		t.Error("having missing")
+	}
+	re := ct.Do.(*RaiseEvent)
+	if len(re.Args) != 0 {
+		t.Errorf("args = %v", re.Args)
+	}
+}
+
+func TestParseEventForms(t *testing.T) {
+	for _, c := range []struct {
+		src    string
+		op     EventOp
+		target string
+	}{
+		{"on insert to house", OpInsert, "house"},
+		{"on delete from emp", OpDelete, "emp"},
+		{"on update of emp", OpUpdate, "emp"},
+		{"on update(emp.salary, emp.dept)", OpUpdate, "emp"},
+	} {
+		src := "create trigger x from emp " + c.src + " do raise event E()"
+		ct := mustParse(t, src).(*CreateTrigger)
+		if ct.On.Op != c.op || !strings.EqualFold(ct.On.Target, c.target) {
+			t.Errorf("%q -> %+v", c.src, ct.On)
+		}
+	}
+	// conflicting update targets
+	if _, err := Parse("create trigger x from a, b on update(a.x, b.y) do raise event E()"); err == nil {
+		t.Error("two-target update event should fail")
+	}
+}
+
+func TestParseEventOpString(t *testing.T) {
+	if OpInsert.String() != "insert" || OpInsertOrUpdate.String() != "insert or update" {
+		t.Error("EventOp strings")
+	}
+}
+
+func TestParseDefineDataSource(t *testing.T) {
+	src := `define data source house(hno int, address varchar(80), price float, nno int, spno int)`
+	ds := mustParse(t, src).(*DefineDataSource)
+	if ds.Name != "house" || len(ds.Columns) != 5 {
+		t.Fatalf("ds = %+v", ds)
+	}
+	if ds.Columns[1].Kind != types.KindVarchar || ds.Columns[2].Kind != types.KindFloat {
+		t.Errorf("column kinds: %+v", ds.Columns)
+	}
+	if _, err := Parse("define data source x(a blob)"); err == nil {
+		t.Error("unknown type should fail")
+	}
+}
+
+func TestParseDDLMisc(t *testing.T) {
+	if st := mustParse(t, "drop trigger t1").(*DropTrigger); st.Name != "t1" {
+		t.Errorf("drop = %+v", st)
+	}
+	if st := mustParse(t, "create trigger set s1 'batch rules'").(*CreateTriggerSet); st.Name != "s1" || st.Comments != "batch rules" {
+		t.Errorf("create set = %+v", st)
+	}
+	if st := mustParse(t, "drop trigger set s1").(*DropTriggerSet); st.Name != "s1" {
+		t.Errorf("drop set = %+v", st)
+	}
+	if st := mustParse(t, "disable trigger t2").(*SetEnabled); st.Enabled || st.Set || st.Name != "t2" {
+		t.Errorf("disable = %+v", st)
+	}
+	if st := mustParse(t, "enable trigger set s2").(*SetEnabled); !st.Enabled || !st.Set {
+		t.Errorf("enable set = %+v", st)
+	}
+}
+
+func TestParseMiniSQL(t *testing.T) {
+	sel := mustParse(t, "select name, salary * 2 as dbl from emp where salary > 10").(*Select)
+	if sel.Table != "emp" || len(sel.Items) != 2 || sel.Items[1].Alias != "dbl" {
+		t.Errorf("select = %+v", sel)
+	}
+	star := mustParse(t, "select * from emp").(*Select)
+	if !star.Items[0].Star {
+		t.Error("star item")
+	}
+	ins := mustParse(t, "insert into emp(name, salary) values ('Bob', 100)").(*Insert)
+	if ins.Table != "emp" || len(ins.Columns) != 2 || len(ins.Values) != 2 {
+		t.Errorf("insert = %+v", ins)
+	}
+	insPos := mustParse(t, "insert into emp values ('Bob', 100, 'eng')").(*Insert)
+	if len(insPos.Columns) != 0 || len(insPos.Values) != 3 {
+		t.Errorf("positional insert = %+v", insPos)
+	}
+	if _, err := Parse("insert into emp(a, b) values (1)"); err == nil {
+		t.Error("column/value arity mismatch should fail")
+	}
+	up := mustParse(t, "update emp set salary = salary + 1, dept = 'x' where name = 'Bob'").(*Update)
+	if len(up.Sets) != 2 || up.Where == nil {
+		t.Errorf("update = %+v", up)
+	}
+	del := mustParse(t, "delete from emp where salary < 0").(*Delete)
+	if del.Table != "emp" || del.Where == nil {
+		t.Errorf("delete = %+v", del)
+	}
+	delAll := mustParse(t, "delete from emp").(*Delete)
+	if delAll.Where != nil {
+		t.Error("bare delete should have nil where")
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"1 + 2 * 3", "1 + 2 * 3"},
+		{"(1 + 2) * 3", "(1 + 2) * 3"},
+		{"a.x > 5 and b.y < 3 or c.z = 1", "a.x > 5 AND b.y < 3 OR c.z = 1"},
+		{"not a.x = 1", "NOT (a.x = 1)"},
+		{"-5", "-5"},
+		{"-x", "-(x)"},
+		{"x between 1 and 10", "x >= 1 AND x <= 10"},
+		{"name like 'a%'", "name LIKE 'a%'"},
+		{"upper(name) = 'BOB'", "upper(name) = 'BOB'"},
+		{"null", "NULL"},
+		{"1.5e2", "150"},
+		{"x <> 3", "x <> 3"},
+	}
+	for _, c := range cases {
+		n, err := ParseExpr(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if n.String() != c.want {
+			t.Errorf("%q -> %q, want %q", c.src, n.String(), c.want)
+		}
+	}
+}
+
+func TestParseExprPrecedenceEval(t *testing.T) {
+	n, err := ParseExpr("2 + 3 * 4 - 6 / 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := expr.EvalScalar(n, expr.SingleEnv{})
+	if err != nil || v.Int() != 11 {
+		t.Errorf("eval = %v, %v", v, err)
+	}
+}
+
+func TestParseParamRefs(t *testing.T) {
+	n, err := ParseExpr(":OLD.emp.salary < :NEW.emp.salary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := n.(*expr.Binary)
+	l := b.Left.(*expr.ColumnRef)
+	r := b.Right.(*expr.ColumnRef)
+	if !l.Old || l.Var != "emp" || l.Column != "salary" {
+		t.Errorf("old ref = %+v", l)
+	}
+	if r.Old || r.Var != "emp" {
+		t.Errorf("new ref = %+v", r)
+	}
+	// short form :NEW.salary
+	n2, err := ParseExpr(":NEW.salary > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := n2.(*expr.Binary).Left.(*expr.ColumnRef)
+	if ref.Var != "" || ref.Column != "salary" {
+		t.Errorf("short ref = %+v", ref)
+	}
+	if _, err := ParseExpr(":BAD.x"); err == nil {
+		t.Error(":BAD should fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"create table x",
+		"create trigger",
+		"create trigger t do raise event E()", // no from
+		"create trigger t from emp",           // no do
+		"create trigger t from emp do flySouth",
+		"create trigger t from emp do execSQL 'drop trigger x'", // non-DML in execSQL
+		"create trigger t from emp do execSQL 'select * from'",
+		"select from emp",
+		"select * emp",
+		"insert emp values (1)",
+		"update emp salary = 1",
+		"delete emp",
+		"define data source x",
+		"drop trigger",
+		"1 +",
+		"(1",
+		"x >",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q should fail to parse", src)
+		}
+	}
+	if _, err := ParseExpr("1 2"); err == nil {
+		t.Error("trailing input should fail")
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	if _, err := Parse("drop trigger t1;"); err != nil {
+		t.Errorf("trailing semicolon: %v", err)
+	}
+}
+
+func TestParseOnBeforeFrom(t *testing.T) {
+	// on clause may precede from, as in the IrisHouseAlert example.
+	src := "create trigger x on insert to h from h do raise event E()"
+	ct := mustParse(t, src).(*CreateTrigger)
+	if ct.On == nil || ct.On.Target != "h" || len(ct.From) != 1 {
+		t.Errorf("on-first: %+v", ct)
+	}
+}
+
+func TestParseNumericOverflowToFloat(t *testing.T) {
+	n, err := ParseExpr("99999999999999999999999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := n.(*expr.Const)
+	if c.Val.Kind() != types.KindFloat {
+		t.Errorf("overflowing int should become float, got %s", c.Val.Kind())
+	}
+}
+
+func TestParseUnaryPlusAndNegFloat(t *testing.T) {
+	n, _ := ParseExpr("+5")
+	if n.(*expr.Const).Val.Int() != 5 {
+		t.Error("+5")
+	}
+	n, _ = ParseExpr("-2.5")
+	if n.(*expr.Const).Val.Float() != -2.5 {
+		t.Error("-2.5")
+	}
+}
+
+func TestParseInList(t *testing.T) {
+	n, err := ParseExpr("dept in ('eng', 'ops', 'qa')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "dept = 'eng' OR dept = 'ops' OR dept = 'qa'"
+	if n.String() != want {
+		t.Errorf("IN desugar = %q, want %q", n.String(), want)
+	}
+	n, err = ParseExpr("x not in (1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.String() != "NOT (x = 1 OR x = 2)" {
+		t.Errorf("NOT IN = %q", n.String())
+	}
+	if _, err := ParseExpr("x in ()"); err == nil {
+		t.Error("empty IN list should fail")
+	}
+	if _, err := ParseExpr("x in (1,"); err == nil {
+		t.Error("unterminated IN list should fail")
+	}
+}
+
+func TestParserNeverPanics(t *testing.T) {
+	// Robustness: arbitrary garbage must produce errors, not panics.
+	rng := rand.New(rand.NewSource(31))
+	alphabet := []byte("abcdef0123 ()'=<>,.:;*/+-_%\n\t\"\\xyzDOSELECTcreatetriggerfromwhen")
+	for i := 0; i < 20000; i++ {
+		n := rng.Intn(60)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", buf, r)
+				}
+			}()
+			Parse(string(buf))
+			ParseExpr(string(buf))
+		}()
+	}
+	// Mutations of valid statements.
+	valid := []string{
+		"create trigger t from emp on update(emp.salary) when emp.name = 'Bob' do raise event E(emp.x)",
+		"select a, b from t where x in (1,2,3) and y between 2 and 9",
+		"insert into t(a) values (upper('x'))",
+	}
+	for i := 0; i < 20000; i++ {
+		s := []byte(valid[rng.Intn(len(valid))])
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			s[rng.Intn(len(s))] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated %q: %v", s, r)
+				}
+			}()
+			Parse(string(s))
+		}()
+	}
+}

@@ -1,0 +1,127 @@
+package predindex
+
+import "math"
+
+// CostModel is the organization-selection cost model the paper defers
+// to its long version ("A cost model that illustrates the tradeoffs is
+// presented in [Hans98b]", §5.2). It estimates the per-probe cost of
+// each constant-set organization as a function of equivalence-class
+// size and derives the size thresholds at which the cheaper structure
+// changes, subject to a main-memory budget that forces large classes
+// onto disk-backed tables.
+//
+// The default constants are calibrated from this repository's E2
+// measurements (EXPERIMENTS.md); they matter only through the
+// crossovers they imply, so order-of-magnitude accuracy suffices.
+type CostModel struct {
+	// ListBase and ListPerEntry model the main-memory list:
+	// cost = ListBase + ListPerEntry * size.
+	ListBase, ListPerEntry float64
+	// IndexProbe models the main-memory hash / ordered index:
+	// cost = IndexProbe (size-independent for point probes).
+	IndexProbe float64
+	// TableBase and TablePerEntry model the non-indexed table scan.
+	TableBase, TablePerEntry float64
+	// IndexedTableBase and IndexedTableLog model the clustered-index
+	// table: cost = IndexedTableBase + IndexedTableLog * log2(size).
+	IndexedTableBase, IndexedTableLog float64
+
+	// BytesPerEntry estimates the main-memory footprint of one
+	// expression instance (constants + ref + index overhead).
+	BytesPerEntry int
+	// MemoryBudget bounds the total main memory a single equivalence
+	// class may consume before it must move to a table organization
+	// (0 = unlimited, table organizations never chosen).
+	MemoryBudget int64
+}
+
+// DefaultCostModel is calibrated from the E2 sweep on the reference
+// machine: list ≈ 0.5µs + 11ns/entry, hash probe ≈ 0.6µs, table scan ≈
+// 8µs + 320ns/entry, indexed table ≈ 2µs + 0.3µs·log2(n).
+var DefaultCostModel = CostModel{
+	ListBase:         500,
+	ListPerEntry:     11,
+	IndexProbe:       600,
+	TableBase:        8000,
+	TablePerEntry:    320,
+	IndexedTableBase: 2000,
+	IndexedTableLog:  300,
+	BytesPerEntry:    256,
+	MemoryBudget:     64 << 20, // the paper's 64MB sizing example
+}
+
+// ProbeCost estimates one probe against a class of the given size under
+// the given organization, in nanoseconds.
+func (m CostModel) ProbeCost(org Organization, size int) float64 {
+	if size < 1 {
+		size = 1
+	}
+	switch org {
+	case OrgMemoryList:
+		return m.ListBase + m.ListPerEntry*float64(size)
+	case OrgMemoryIndex:
+		return m.IndexProbe
+	case OrgTable:
+		return m.TableBase + m.TablePerEntry*float64(size)
+	case OrgIndexedTable:
+		return m.IndexedTableBase + m.IndexedTableLog*math.Log2(float64(size)+1)
+	default:
+		return math.Inf(1)
+	}
+}
+
+// fitsMemory reports whether a class of the given size may stay in main
+// memory under the budget.
+func (m CostModel) fitsMemory(size int) bool {
+	if m.MemoryBudget <= 0 {
+		return true
+	}
+	return int64(size)*int64(m.BytesPerEntry) <= m.MemoryBudget
+}
+
+// Choose returns the cheapest admissible organization for a class of
+// the given size: the cheaper of the main-memory structures while the
+// class fits the budget, else the cheaper of the table structures
+// (§5.2: "Strategies 3 and 4 must be implemented to make it feasible to
+// process very large numbers of triggers ... Strategies 1 and 2 are
+// also required in order to make the common case fast").
+func (m CostModel) Choose(size int) Organization {
+	if m.fitsMemory(size) {
+		if m.ProbeCost(OrgMemoryList, size) <= m.ProbeCost(OrgMemoryIndex, size) {
+			return OrgMemoryList
+		}
+		return OrgMemoryIndex
+	}
+	if m.ProbeCost(OrgTable, size) <= m.ProbeCost(OrgIndexedTable, size) {
+		return OrgTable
+	}
+	return OrgIndexedTable
+}
+
+// Policy derives the adaptive thresholds the index uses at run time:
+// ListMax is the list/index probe-cost crossover and MemMax the largest
+// class the memory budget admits.
+func (m CostModel) Policy() Policy {
+	// list cost = index cost  =>  size = (IndexProbe - ListBase) / slope
+	listMax := 0
+	if m.ListPerEntry > 0 {
+		listMax = int((m.IndexProbe - m.ListBase) / m.ListPerEntry)
+	}
+	if listMax < 1 {
+		listMax = 1
+	}
+	memMax := int(math.MaxInt32)
+	if m.MemoryBudget > 0 && m.BytesPerEntry > 0 {
+		memMax = int(m.MemoryBudget / int64(m.BytesPerEntry))
+	}
+	if memMax <= listMax {
+		memMax = listMax + 1
+	}
+	return Policy{ListMax: listMax, MemMax: memMax}
+}
+
+// WithCostModel configures the index's adaptive thresholds from a cost
+// model instead of raw cutoffs.
+func WithCostModel(m CostModel) Option {
+	return func(ix *Index) { ix.policy = m.Policy() }
+}

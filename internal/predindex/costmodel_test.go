@@ -1,0 +1,109 @@
+package predindex
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestCostModelShapes(t *testing.T) {
+	m := DefaultCostModel
+	// List is linear, index flat.
+	if m.ProbeCost(OrgMemoryList, 10) >= m.ProbeCost(OrgMemoryList, 10000) {
+		t.Error("list cost should grow")
+	}
+	if m.ProbeCost(OrgMemoryIndex, 10) != m.ProbeCost(OrgMemoryIndex, 10000) {
+		t.Error("index probe should be size-independent")
+	}
+	// Non-indexed table is linear; indexed table logarithmic.
+	lin := m.ProbeCost(OrgTable, 100000) / m.ProbeCost(OrgTable, 1000)
+	logn := m.ProbeCost(OrgIndexedTable, 100000) / m.ProbeCost(OrgIndexedTable, 1000)
+	if lin < 10 {
+		t.Errorf("table scan growth %f too shallow", lin)
+	}
+	if logn > 3 {
+		t.Errorf("indexed table growth %f too steep", logn)
+	}
+	if !math.IsInf(m.ProbeCost(OrgAuto, 1), 1) {
+		t.Error("auto has no probe cost")
+	}
+	if m.ProbeCost(OrgMemoryList, 0) != m.ProbeCost(OrgMemoryList, 1) {
+		t.Error("size clamps at 1")
+	}
+}
+
+func TestCostModelChoose(t *testing.T) {
+	m := DefaultCostModel
+	if got := m.Choose(4); got != OrgMemoryList {
+		t.Errorf("tiny class -> %s", got)
+	}
+	if got := m.Choose(5000); got != OrgMemoryIndex {
+		t.Errorf("medium class -> %s", got)
+	}
+	// Over budget: 64MB / 256B = 262144 entries.
+	if got := m.Choose(300000); got != OrgIndexedTable {
+		t.Errorf("huge class -> %s", got)
+	}
+	// With a tiny budget everything large goes to tables.
+	small := m
+	small.MemoryBudget = 1024
+	if got := small.Choose(100); got != OrgIndexedTable {
+		t.Errorf("over-budget class -> %s", got)
+	}
+	// Unlimited budget never chooses tables.
+	unlimited := m
+	unlimited.MemoryBudget = 0
+	if got := unlimited.Choose(10_000_000); got != OrgMemoryIndex {
+		t.Errorf("unlimited budget -> %s", got)
+	}
+	// Degenerate: indexed table worse than scan for size 1 with odd
+	// constants still returns a table org.
+	weird := m
+	weird.MemoryBudget = 1
+	weird.IndexedTableBase = 1e9
+	if got := weird.Choose(10); got != OrgTable {
+		t.Errorf("cheap scan should win: %s", got)
+	}
+}
+
+func TestCostModelPolicy(t *testing.T) {
+	p := DefaultCostModel.Policy()
+	// Crossover (600-500)/11 ≈ 9.
+	if p.ListMax < 4 || p.ListMax > 32 {
+		t.Errorf("ListMax = %d", p.ListMax)
+	}
+	if p.MemMax != int(DefaultCostModel.MemoryBudget)/DefaultCostModel.BytesPerEntry {
+		t.Errorf("MemMax = %d", p.MemMax)
+	}
+	// Degenerate models still yield a usable policy.
+	var zero CostModel
+	pz := zero.Policy()
+	if pz.ListMax < 1 || pz.MemMax <= pz.ListMax {
+		t.Errorf("zero-model policy = %+v", pz)
+	}
+}
+
+func TestWithCostModelDrivesAdaptiveIndex(t *testing.T) {
+	m := DefaultCostModel
+	m.MemoryBudget = 40 * int64(m.BytesPerEntry) // force tables at 41+
+	ix := New(WithCostModel(m))
+	ix.AddSource(empSrc, empSchema)
+	// No DB configured: classes cap at mm-index instead of tables.
+	var entry *SignatureEntry
+	for i := uint64(1); i <= 60; i++ {
+		sig, consts := buildSig(t, fmt.Sprintf("emp.name = 'c%03d'", i))
+		e, err := ix.AddPredicate(empSrc, EventMask{AnyOp: true}, sig, consts, refFor(t, sig, consts, i, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		entry = e
+	}
+	if entry.Organization() != OrgMemoryIndex {
+		t.Errorf("org without DB = %s", entry.Organization())
+	}
+	// Matching still exact.
+	ms := matchAll(t, ix, insertTok("c042", 1, "d"))
+	if len(ms) != 1 || ms[0].TriggerID != 42 {
+		t.Errorf("matches = %+v", ms)
+	}
+}

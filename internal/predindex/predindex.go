@@ -1,0 +1,577 @@
+// Package predindex implements the paper's selection predicate index
+// (Figures 3–5): a root hash table on data source ID leading to
+// per-source expression-signature lists, each signature owning a
+// constant set keyed by the constants extracted from trigger predicates,
+// each constant linked to a triggerID set of expression instances. The
+// structure is fully normalized (§5.3): a constant shared by N triggers
+// is tested once, not N times.
+//
+// Each signature's constant set can be organized four ways (§5.2):
+// main-memory list, main-memory index, non-indexed database table, or
+// indexed database table. Small equivalence classes use the low-overhead
+// structures; large ones must use tables. An adaptive policy switches
+// organization as the class grows.
+package predindex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"triggerman/internal/datasource"
+	"triggerman/internal/expr"
+	"triggerman/internal/minisql"
+	"triggerman/internal/types"
+)
+
+// Organization selects a constant-set storage strategy (§5.2).
+type Organization uint8
+
+const (
+	// OrgAuto lets the policy pick and switch organizations by size.
+	OrgAuto Organization = iota
+	// OrgMemoryList is strategy 1: an unordered main-memory list.
+	OrgMemoryList
+	// OrgMemoryIndex is strategy 2: a main-memory hash or interval index.
+	OrgMemoryIndex
+	// OrgTable is strategy 3: a non-indexed database table.
+	OrgTable
+	// OrgIndexedTable is strategy 4: a database table with a clustered
+	// index on [const1..constK].
+	OrgIndexedTable
+)
+
+// String names the organization.
+func (o Organization) String() string {
+	switch o {
+	case OrgAuto:
+		return "auto"
+	case OrgMemoryList:
+		return "mm-list"
+	case OrgMemoryIndex:
+		return "mm-index"
+	case OrgTable:
+		return "table"
+	case OrgIndexedTable:
+		return "indexed-table"
+	default:
+		return fmt.Sprintf("org(%d)", uint8(o))
+	}
+}
+
+// Policy holds the adaptive-organization thresholds (the cost model of
+// [Hans98b] reduces to size cutoffs between the strategies).
+type Policy struct {
+	// ListMax is the largest class kept as a main-memory list.
+	ListMax int
+	// MemMax is the largest class kept in a main-memory index; beyond
+	// it the class moves to an indexed database table.
+	MemMax int
+}
+
+// DefaultPolicy matches the paper's guidance: lists for tiny classes,
+// memory indexes for the common case, tables for the huge tail.
+var DefaultPolicy = Policy{ListMax: 16, MemMax: 65536}
+
+// Ref is one element of a triggerID set: an expression instance of some
+// trigger, with the A-TREAT node to forward matched tokens to and the
+// non-indexable rest of its predicate.
+type Ref struct {
+	ExprID    uint64
+	TriggerID uint64
+	// NextNode identifies the discrimination-network node
+	// (nextNetworkNode in the paper's const_tableN schema); for network
+	// triggers it is the tuple-variable index.
+	NextNode int32
+	// Rest is the instantiated, bound non-indexable part E_NI; empty
+	// means the whole predicate was indexable.
+	Rest expr.CNF
+	// FireMask is the event condition under which a match may fire the
+	// trigger (the signature's own mask may be broader — AllOps — for
+	// alpha-memory maintenance of multi-variable triggers).
+	FireMask EventMask
+	// MultiVar marks refs belonging to triggers with more than one tuple
+	// variable (their alpha memories need maintenance on every event).
+	MultiVar bool
+	// Gator marks refs whose trigger runs a Gator network; maintenance
+	// and firing both happen through the network's incremental token
+	// protocol rather than the TREAT maintain-then-enumerate split.
+	Gator bool
+	// Aggregate marks refs of group-by/having triggers: matched tokens
+	// feed incremental aggregate state, and firing happens on having
+	// transitions rather than per match.
+	Aggregate bool
+}
+
+// Match is a successful selection-predicate match for a token.
+type Match struct {
+	Ref
+	// SourceID echoes the probed data source.
+	SourceID int32
+}
+
+// Stats counts index activity for the experiments. Counters are
+// updated atomically; a snapshot is returned by Index.Stats.
+type Stats struct {
+	Tokens        int64 // tokens probed
+	SigProbes     int64 // signature entries consulted
+	ConstCompares int64 // constant comparisons / index probes
+	RestTests     int64 // rest-of-predicate evaluations
+	Matches       int64 // refs matched
+}
+
+// EventMask matches tokens by operation and, for update events,
+// by updated columns.
+type EventMask struct {
+	Op datasource.Op
+	// AnyOp, when set, means insert-or-update (the implicit event, §5).
+	AnyOp bool
+	// AllOps accepts every operation. Multi-variable triggers register
+	// their selection predicates under AllOps so alpha memories stay
+	// maintained on every kind of update; the per-variable fire mask
+	// lives on the Ref.
+	AllOps bool
+	// Columns restricts update events; empty means any column.
+	Columns []int
+}
+
+// Matches reports whether the mask accepts the token.
+func (m EventMask) Matches(t datasource.Token) bool {
+	switch {
+	case m.AllOps:
+		return true
+	case m.AnyOp:
+		if t.Op == datasource.OpDelete {
+			return false
+		}
+	default:
+		if t.Op != m.Op {
+			return false
+		}
+	}
+	if len(m.Columns) > 0 && t.Op == datasource.OpUpdate {
+		updated := t.UpdatedColumns()
+		for _, want := range m.Columns {
+			for _, got := range updated {
+				if want == got {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// key renders the mask's contribution to signature identity.
+func (m EventMask) key() string {
+	cols := make([]string, len(m.Columns))
+	for i, c := range m.Columns {
+		cols[i] = fmt.Sprint(c)
+	}
+	sort.Strings(cols)
+	switch {
+	case m.AllOps:
+		return "all|" + strings.Join(cols, ",")
+	case m.AnyOp:
+		return "any|" + strings.Join(cols, ",")
+	default:
+		return m.Op.String() + "|" + strings.Join(cols, ",")
+	}
+}
+
+// Encode serializes the mask for constant-table storage.
+func (m EventMask) Encode() string {
+	cols := make([]string, len(m.Columns))
+	for i, c := range m.Columns {
+		cols[i] = fmt.Sprint(c)
+	}
+	op := m.Op.String()
+	switch {
+	case m.AllOps:
+		op = "all"
+	case m.AnyOp:
+		op = "any"
+	}
+	return op + "|" + strings.Join(cols, ",")
+}
+
+// DecodeEventMask parses an Encode result.
+func DecodeEventMask(s string) (EventMask, error) {
+	parts := strings.SplitN(s, "|", 2)
+	if len(parts) != 2 {
+		return EventMask{}, fmt.Errorf("predindex: bad event mask %q", s)
+	}
+	var m EventMask
+	switch parts[0] {
+	case "all":
+		m.AllOps = true
+	case "any":
+		m.AnyOp = true
+	case "insert":
+		m.Op = datasource.OpInsert
+	case "delete":
+		m.Op = datasource.OpDelete
+	case "update":
+		m.Op = datasource.OpUpdate
+	default:
+		return EventMask{}, fmt.Errorf("predindex: bad event mask op %q", parts[0])
+	}
+	if parts[1] != "" {
+		for _, cs := range strings.Split(parts[1], ",") {
+			var c int
+			if _, err := fmt.Sscanf(cs, "%d", &c); err != nil {
+				return EventMask{}, fmt.Errorf("predindex: bad event mask column %q", cs)
+			}
+			m.Columns = append(m.Columns, c)
+		}
+	}
+	return m, nil
+}
+
+// Index is the root predicate index.
+type Index struct {
+	mu     sync.RWMutex
+	policy Policy
+	db     *minisql.DB // backing store for table organizations
+	// forceOrg, when not OrgAuto, pins every new signature to one
+	// organization (benchmarks use this).
+	forceOrg Organization
+
+	sources map[int32]*sourceIndex
+	nextSig uint64
+
+	stats Stats
+}
+
+type sourceIndex struct {
+	schema *types.Schema
+	// sigs keys on event-mask + canonical generalized expression.
+	sigs map[string]*SignatureEntry
+	list []*SignatureEntry
+}
+
+// SignatureEntry is one unique expression signature for a data source,
+// with its constant set.
+type SignatureEntry struct {
+	ID     uint64
+	Source int32
+	Mask   EventMask
+	Sig    *expr.Signature
+
+	mu         sync.RWMutex
+	set        constantSet
+	org        Organization
+	partitions int
+	size       int // expression instances stored
+}
+
+// Option configures an Index.
+type Option func(*Index)
+
+// WithPolicy overrides the adaptive thresholds.
+func WithPolicy(p Policy) Option { return func(ix *Index) { ix.policy = p } }
+
+// WithDB supplies the database used by table organizations. Without it,
+// classes stay in memory regardless of size.
+func WithDB(db *minisql.DB) Option { return func(ix *Index) { ix.db = db } }
+
+// WithForcedOrganization pins all constant sets to one strategy.
+func WithForcedOrganization(o Organization) Option {
+	return func(ix *Index) { ix.forceOrg = o }
+}
+
+// New builds an empty predicate index.
+func New(opts ...Option) *Index {
+	ix := &Index{
+		policy:  DefaultPolicy,
+		sources: make(map[int32]*sourceIndex),
+	}
+	for _, o := range opts {
+		o(ix)
+	}
+	return ix
+}
+
+// Stats returns a snapshot of the index counters.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Tokens:        atomic.LoadInt64(&ix.stats.Tokens),
+		SigProbes:     atomic.LoadInt64(&ix.stats.SigProbes),
+		ConstCompares: atomic.LoadInt64(&ix.stats.ConstCompares),
+		RestTests:     atomic.LoadInt64(&ix.stats.RestTests),
+		Matches:       atomic.LoadInt64(&ix.stats.Matches),
+	}
+}
+
+// AddSource registers a data source's schema (required before adding
+// predicates or probing tokens for it).
+func (ix *Index) AddSource(id int32, schema *types.Schema) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.sources[id]; !ok {
+		ix.sources[id] = &sourceIndex{schema: schema, sigs: make(map[string]*SignatureEntry)}
+	}
+}
+
+// Signatures returns the signature entries for a source (tests and the
+// console's dump command).
+func (ix *Index) Signatures(source int32) []*SignatureEntry {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	si, ok := ix.sources[source]
+	if !ok {
+		return nil
+	}
+	out := make([]*SignatureEntry, len(si.list))
+	copy(out, si.list)
+	return out
+}
+
+// SignatureCount reports the number of distinct signatures on a source.
+func (ix *Index) SignatureCount(source int32) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	si, ok := ix.sources[source]
+	if !ok {
+		return 0
+	}
+	return len(si.list)
+}
+
+// AddPredicate registers one selection predicate instance: the
+// signature is interned (creating its constant set on first sight, per
+// §5.1 step 5) and the instance's constants and ref are added to the
+// equivalence class.
+func (ix *Index) AddPredicate(source int32, mask EventMask, sig *expr.Signature, consts []types.Value, ref Ref) (*SignatureEntry, error) {
+	ix.mu.Lock()
+	si, ok := ix.sources[source]
+	if !ok {
+		ix.mu.Unlock()
+		return nil, fmt.Errorf("predindex: unknown data source %d", source)
+	}
+	key := mask.key() + "\x00" + sig.Canonical()
+	entry, seen := si.sigs[key]
+	if !seen {
+		ix.nextSig++
+		entry = &SignatureEntry{
+			ID:         ix.nextSig,
+			Source:     source,
+			Mask:       mask,
+			Sig:        sig,
+			partitions: 1,
+		}
+		org := ix.forceOrg
+		if org == OrgAuto {
+			org = OrgMemoryList
+		}
+		set, err := ix.newSet(entry, org)
+		if err != nil {
+			ix.mu.Unlock()
+			return nil, err
+		}
+		entry.set = set
+		entry.org = org
+		si.sigs[key] = entry
+		si.list = append(si.list, entry)
+	}
+	ix.mu.Unlock()
+
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	if err := entry.set.add(consts, ref); err != nil {
+		return nil, err
+	}
+	entry.size++
+	return entry, ix.maybeReorganize(entry)
+}
+
+// RemovePredicate removes one expression instance from its class.
+func (ix *Index) RemovePredicate(entry *SignatureEntry, consts []types.Value, exprID uint64) error {
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	removed, err := entry.set.remove(consts, exprID)
+	if err != nil {
+		return err
+	}
+	if !removed {
+		return fmt.Errorf("predindex: expression %d not found in signature %d", exprID, entry.ID)
+	}
+	entry.size--
+	return nil
+}
+
+// Organization reports the entry's current constant-set strategy.
+func (e *SignatureEntry) Organization() Organization {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.org
+}
+
+// Size reports the number of expression instances in the class.
+func (e *SignatureEntry) Size() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.size
+}
+
+// SetPartitions splits every triggerID set of this signature into n
+// round-robin partitions (Figure 5), enabling condition-level
+// concurrency: MatchPartition(p) visits only partition p.
+func (e *SignatureEntry) SetPartitions(n int) error {
+	if n < 1 {
+		return fmt.Errorf("predindex: partitions must be >= 1")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.partitions = n
+	return e.set.repartition(n)
+}
+
+// Partitions reports the signature's partition count.
+func (e *SignatureEntry) Partitions() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.partitions
+}
+
+// maybeReorganize migrates the constant set when its size crosses a
+// policy threshold. Caller holds entry.mu.
+func (ix *Index) maybeReorganize(e *SignatureEntry) error {
+	if ix.forceOrg != OrgAuto {
+		return nil
+	}
+	want := e.org
+	switch {
+	case e.size <= ix.policy.ListMax:
+		want = OrgMemoryList
+	case e.size <= ix.policy.MemMax || ix.db == nil:
+		want = OrgMemoryIndex
+	default:
+		want = OrgIndexedTable
+	}
+	if want == e.org {
+		return nil
+	}
+	// Never downgrade from a table organization (rebuilding memory
+	// structures from a shrinking table is possible but pointless for
+	// trigger workloads, which shrink rarely).
+	if (e.org == OrgIndexedTable || e.org == OrgTable) && want != OrgIndexedTable && want != OrgTable {
+		return nil
+	}
+	return ix.migrate(e, want)
+}
+
+// migrate rebuilds the entry's constant set under a new organization.
+// Caller holds entry.mu.
+func (ix *Index) migrate(e *SignatureEntry, want Organization) error {
+	ns, err := ix.newSet(e, want)
+	if err != nil {
+		return err
+	}
+	if err := e.set.forEach(func(consts types.Tuple, ref Ref) error {
+		return ns.add(consts, ref)
+	}); err != nil {
+		return err
+	}
+	if err := ns.repartition(e.partitions); err != nil {
+		return err
+	}
+	e.set = ns
+	e.org = want
+	return nil
+}
+
+func (ix *Index) newSet(e *SignatureEntry, org Organization) (constantSet, error) {
+	switch org {
+	case OrgMemoryList:
+		return newMemList(e.Sig), nil
+	case OrgMemoryIndex:
+		return newMemIndex(e.Sig), nil
+	case OrgTable, OrgIndexedTable:
+		if ix.db == nil {
+			return nil, fmt.Errorf("predindex: table organization requires a database (WithDB)")
+		}
+		si := ix.sources[e.Source]
+		var schema *types.Schema
+		if si != nil {
+			schema = si.schema
+		}
+		return newTableSet(ix.db, e, schema, org == OrgIndexedTable)
+	default:
+		return nil, fmt.Errorf("predindex: cannot instantiate organization %s", org)
+	}
+}
+
+// MatchToken probes the index with a token and streams every matching
+// expression instance. This is the §5.4 algorithm: locate the data
+// source predicate index, consult each signature's predicate-testing
+// structure, then test remaining clauses of partially indexable
+// predicates.
+func (ix *Index) MatchToken(tok datasource.Token, fn func(Match) bool) error {
+	return ix.matchToken(tok, -1, fn)
+}
+
+// MatchTokenPartition is MatchToken restricted to one partition of every
+// triggerID set (task type 3 of §6).
+func (ix *Index) MatchTokenPartition(tok datasource.Token, part int, fn func(Match) bool) error {
+	return ix.matchToken(tok, part, fn)
+}
+
+func (ix *Index) matchToken(tok datasource.Token, part int, fn func(Match) bool) error {
+	ix.mu.RLock()
+	si, ok := ix.sources[tok.SourceID]
+	if !ok {
+		ix.mu.RUnlock()
+		return fmt.Errorf("predindex: token for unknown data source %d", tok.SourceID)
+	}
+	sigs := si.list
+	ix.mu.RUnlock()
+
+	atomic.AddInt64(&ix.stats.Tokens, 1)
+	tuple := tok.Effective()
+	env := expr.SingleEnv{New: tuple, Old: tok.Old}
+	var restTests, matches int64
+	stop := false
+	for _, e := range sigs {
+		if stop {
+			break
+		}
+		if !e.Mask.Matches(tok) {
+			continue
+		}
+		atomic.AddInt64(&ix.stats.SigProbes, 1)
+		e.mu.RLock()
+		set := e.set
+		parts := e.partitions
+		e.mu.RUnlock()
+		probePart := part
+		if probePart >= parts {
+			probePart = probePart % parts
+		}
+		compares, err := set.match(tuple, probePart, func(ref Ref) bool {
+			if len(ref.Rest.Clauses) > 0 {
+				restTests++
+				ok, err := expr.EvalPredicate(ref.Rest.Node(), env)
+				if err != nil || ok != expr.True {
+					return true
+				}
+			}
+			matches++
+			if !fn(Match{Ref: ref, SourceID: tok.SourceID}) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		atomic.AddInt64(&ix.stats.ConstCompares, int64(compares))
+		if err != nil {
+			return err
+		}
+	}
+	atomic.AddInt64(&ix.stats.RestTests, restTests)
+	atomic.AddInt64(&ix.stats.Matches, matches)
+	return nil
+}

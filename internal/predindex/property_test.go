@@ -1,0 +1,214 @@
+package predindex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"triggerman/internal/expr"
+	"triggerman/internal/minisql"
+	"triggerman/internal/parser"
+	"triggerman/internal/storage"
+	"triggerman/internal/types"
+)
+
+// TestPropertyIndexMatchesNaive is the package's oracle: for random
+// predicate populations (equality, range, composite, disjunctive — all
+// indexability classes) and random tokens, the predicate index must
+// return exactly the trigger set a naive evaluate-everything matcher
+// returns, under every organization.
+func TestPropertyIndexMatchesNaive(t *testing.T) {
+	orgs := []Organization{OrgMemoryList, OrgMemoryIndex, OrgIndexedTable, OrgTable}
+	for _, org := range orgs {
+		t.Run(org.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(org) * 7919))
+			var opts []Option
+			bp := storage.NewBufferPool(storage.NewMem(), 1024)
+			db, err := minisql.Create(bp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts = append(opts, WithDB(db), WithForcedOrganization(org))
+			ix := New(opts...)
+			ix.AddSource(empSrc, empSchema)
+
+			type naive struct {
+				id   uint64
+				pred expr.Node
+			}
+			var preds []naive
+
+			n := 120
+			if org == OrgTable {
+				n = 40 // full scans per probe; keep the oracle fast
+			}
+			for i := 0; i < n; i++ {
+				when := randomWhen(rng)
+				sig, consts := buildSig(t, when)
+				ref := refFor(t, sig, consts, uint64(i+1), uint64(i+1))
+				if _, err := ix.AddPredicate(empSrc, EventMask{AnyOp: true}, sig, consts, ref); err != nil {
+					t.Fatalf("%q: %v", when, err)
+				}
+				node := mustBound(t, when)
+				preds = append(preds, naive{uint64(i + 1), node})
+			}
+
+			for probe := 0; probe < 200; probe++ {
+				tok := insertTok(
+					fmt.Sprintf("u%02d", rng.Intn(20)),
+					int64(rng.Intn(2000)),
+					fmt.Sprintf("d%02d", rng.Intn(20)))
+				want := map[uint64]bool{}
+				env := expr.SingleEnv{New: tok.New}
+				for _, p := range preds {
+					ok, err := expr.EvalPredicate(p.pred, env)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ok == expr.True {
+						want[p.id] = true
+					}
+				}
+				got := map[uint64]bool{}
+				if err := ix.MatchToken(tok, func(m Match) bool {
+					if got[m.TriggerID] {
+						t.Fatalf("duplicate match for trigger %d", m.TriggerID)
+					}
+					got[m.TriggerID] = true
+					return true
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("probe %d %s: got %d matches, want %d\n got=%v\nwant=%v",
+						probe, tok, len(got), len(want), got, want)
+				}
+				for id := range want {
+					if !got[id] {
+						t.Fatalf("probe %d: missing trigger %d", probe, id)
+					}
+				}
+			}
+		})
+	}
+}
+
+// randomWhen generates a random single-variable predicate exercising
+// every indexability class.
+func randomWhen(rng *rand.Rand) string {
+	name := func() string { return fmt.Sprintf("'u%02d'", rng.Intn(20)) }
+	dept := func() string { return fmt.Sprintf("'d%02d'", rng.Intn(20)) }
+	sal := func() int { return rng.Intn(2000) }
+	switch rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("emp.name = %s", name())
+	case 1:
+		return fmt.Sprintf("emp.salary > %d", sal())
+	case 2:
+		return fmt.Sprintf("emp.salary <= %d", sal())
+	case 3:
+		return fmt.Sprintf("emp.name = %s and emp.dept = %s", name(), dept())
+	case 4:
+		return fmt.Sprintf("emp.name = %s and emp.salary > %d", name(), sal())
+	case 5:
+		return fmt.Sprintf("emp.name = %s or emp.dept = %s", name(), dept())
+	case 6:
+		return fmt.Sprintf("emp.salary between %d and %d", sal()/2, 1000+sal())
+	default:
+		return fmt.Sprintf("not (emp.dept = %s)", dept())
+	}
+}
+
+func mustBound(t *testing.T, when string) expr.Node {
+	t.Helper()
+	n, err := parseAndBind(when)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func parseAndBind(when string) (expr.Node, error) {
+	n, err := parser.ParseExpr(when)
+	if err != nil {
+		return nil, err
+	}
+	b := &expr.Binder{
+		VarIndex:   map[string]int{"emp": 0},
+		DefaultVar: 0,
+		ColumnIndex: func(_ int, col string) int {
+			return empSchema.ColumnIndex(col)
+		},
+	}
+	if err := b.Bind(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// TestPropertyRemoveRestoresNaive removes a random half of the
+// predicates and re-checks the oracle, covering delete paths of every
+// organization.
+func TestPropertyRemoveRestoresNaive(t *testing.T) {
+	for _, org := range []Organization{OrgMemoryList, OrgMemoryIndex, OrgIndexedTable} {
+		t.Run(org.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(org) * 104729))
+			bp := storage.NewBufferPool(storage.NewMem(), 1024)
+			db, _ := minisql.Create(bp)
+			ix := New(WithDB(db), WithForcedOrganization(org))
+			ix.AddSource(empSrc, empSchema)
+
+			type entryInfo struct {
+				id     uint64
+				pred   expr.Node
+				entry  *SignatureEntry
+				consts []types.Value
+			}
+			var all []entryInfo
+			for i := 0; i < 80; i++ {
+				when := randomWhen(rng)
+				sig, consts := buildSig(t, when)
+				ref := refFor(t, sig, consts, uint64(i+1), uint64(i+1))
+				e, err := ix.AddPredicate(empSrc, EventMask{AnyOp: true}, sig, consts, ref)
+				if err != nil {
+					t.Fatal(err)
+				}
+				all = append(all, entryInfo{uint64(i + 1), mustBound(t, when), e, consts})
+			}
+			live := map[uint64]expr.Node{}
+			for _, e := range all {
+				live[e.id] = e.pred
+			}
+			for _, e := range all {
+				if rng.Intn(2) == 0 {
+					if err := ix.RemovePredicate(e.entry, e.consts, e.id); err != nil {
+						t.Fatal(err)
+					}
+					delete(live, e.id)
+				}
+			}
+			for probe := 0; probe < 100; probe++ {
+				tok := insertTok(
+					fmt.Sprintf("u%02d", rng.Intn(20)),
+					int64(rng.Intn(2000)),
+					fmt.Sprintf("d%02d", rng.Intn(20)))
+				env := expr.SingleEnv{New: tok.New}
+				want := map[uint64]bool{}
+				for id, pred := range live {
+					ok, err := expr.EvalPredicate(pred, env)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ok == expr.True {
+						want[id] = true
+					}
+				}
+				got := map[uint64]bool{}
+				ix.MatchToken(tok, func(m Match) bool { got[m.TriggerID] = true; return true })
+				if len(got) != len(want) {
+					t.Fatalf("probe %d: got %v want %v", probe, got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package sqlscan
+
+import (
+	"strings"
+	"testing"
+)
+
+func scanAll(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := New(src).All()
+	if err != nil {
+		t.Fatalf("scan %q: %v", src, err)
+	}
+	return toks
+}
+
+func TestScanCreateTrigger(t *testing.T) {
+	src := `create trigger updateFred from emp on update(emp.salary)
+	        when emp.name = 'Bob' do execSQL 'update emp set salary=5'`
+	toks := scanAll(t, src)
+	// spot-check a few tokens
+	if !toks[0].Is("create") || !toks[1].Is("TRIGGER") {
+		t.Errorf("keywords: %v %v", toks[0], toks[1])
+	}
+	var sawString, sawParen, sawEq bool
+	for _, tok := range toks {
+		switch {
+		case tok.Kind == String && strings.HasPrefix(tok.Text, "update emp"):
+			sawString = true
+		case tok.IsSymbol("("):
+			sawParen = true
+		case tok.IsSymbol("="):
+			sawEq = true
+		}
+	}
+	if !sawString || !sawParen || !sawEq {
+		t.Errorf("missing tokens: str=%v paren=%v eq=%v", sawString, sawParen, sawEq)
+	}
+	if toks[len(toks)-1].Kind != EOF {
+		t.Error("missing EOF")
+	}
+}
+
+func TestScanNumbers(t *testing.T) {
+	cases := []struct {
+		src     string
+		text    string
+		isFloat bool
+	}{
+		{"42", "42", false},
+		{"3.14", "3.14", true},
+		{".5", ".5", true},
+		{"1e6", "1e6", true},
+		{"2.5e-3", "2.5e-3", true},
+		{"7E+2", "7E+2", true},
+	}
+	for _, c := range cases {
+		toks := scanAll(t, c.src)
+		if toks[0].Kind != Number || toks[0].Text != c.text || toks[0].IsFloat != c.isFloat {
+			t.Errorf("scan %q = %+v", c.src, toks[0])
+		}
+	}
+}
+
+func TestScanNumberThenIdent(t *testing.T) {
+	if _, err := New("12abc").All(); err == nil {
+		t.Error("12abc should be a lexical error")
+	}
+	// "1e" is number 1 followed by identifier e (no exponent digits).
+	toks, err := New("1 e").All()
+	if err != nil || toks[0].Text != "1" || !toks[1].Is("e") {
+		t.Errorf("1 e: %v, %v", toks, err)
+	}
+}
+
+func TestScanQualifiedName(t *testing.T) {
+	toks := scanAll(t, "emp.salary")
+	if !toks[0].Is("emp") || !toks[1].IsSymbol(".") || !toks[2].Is("salary") {
+		t.Errorf("emp.salary = %v", toks)
+	}
+}
+
+func TestScanStringEscapes(t *testing.T) {
+	toks := scanAll(t, `'it''s ok'`)
+	if toks[0].Kind != String || toks[0].Text != "it's ok" {
+		t.Errorf("escaped string = %+v", toks[0])
+	}
+	if _, err := New("'unterminated").All(); err == nil {
+		t.Error("unterminated string should error")
+	}
+}
+
+func TestScanParams(t *testing.T) {
+	toks := scanAll(t, ":NEW.emp.salary = :OLD.emp.salary")
+	if toks[0].Kind != Param || toks[0].Text != "NEW" {
+		t.Errorf("param = %+v", toks[0])
+	}
+	var oldSeen bool
+	for _, tok := range toks {
+		if tok.Kind == Param && tok.Text == "OLD" {
+			oldSeen = true
+		}
+	}
+	if !oldSeen {
+		t.Error(":OLD not scanned")
+	}
+}
+
+func TestScanSymbols(t *testing.T) {
+	toks := scanAll(t, "<> != <= >= < > = ( ) , + - * / ; ==")
+	want := []string{"<>", "<>", "<=", ">=", "<", ">", "=", "(", ")", ",", "+", "-", "*", "/", ";", "="}
+	for i, w := range want {
+		if !toks[i].IsSymbol(w) {
+			t.Errorf("symbol %d = %+v, want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestScanComments(t *testing.T) {
+	toks := scanAll(t, "a -- line comment\nb /* block */ c")
+	if !toks[0].Is("a") || !toks[1].Is("b") || !toks[2].Is("c") {
+		t.Errorf("comments: %v", toks)
+	}
+	// unterminated block comment just consumes the rest
+	toks = scanAll(t, "a /* never ends")
+	if !toks[0].Is("a") || toks[1].Kind != EOF {
+		t.Errorf("unterminated comment: %v", toks)
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	for _, bad := range []string{"@", "#", "\x01"} {
+		if _, err := New(bad).All(); err == nil {
+			t.Errorf("%q should be a lexical error", bad)
+		} else if !strings.Contains(err.Error(), "syntax error") {
+			t.Errorf("error text: %v", err)
+		}
+	}
+}
+
+func TestScanBareColon(t *testing.T) {
+	toks := scanAll(t, ": 5")
+	if !toks[0].IsSymbol(":") {
+		t.Errorf("bare colon = %+v", toks[0])
+	}
+}
+
+func TestTokenKindString(t *testing.T) {
+	kinds := []TokenKind{EOF, Ident, Number, String, Symbol, Param}
+	for _, k := range kinds {
+		if k.String() == "?" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestScanEmptyAndWhitespace(t *testing.T) {
+	toks := scanAll(t, "   \t\n  ")
+	if len(toks) != 1 || toks[0].Kind != EOF {
+		t.Errorf("whitespace-only: %v", toks)
+	}
+}
+
+func TestScanPositions(t *testing.T) {
+	toks := scanAll(t, "ab cd")
+	if toks[0].Pos != 0 || toks[1].Pos != 3 {
+		t.Errorf("positions: %+v", toks)
+	}
+}

@@ -1,0 +1,199 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// BufferPool caches pages in a bounded set of frames with LRU
+// replacement and pin counting — the same discipline the paper's trigger
+// cache borrows ("analogous to the pin operation in a traditional buffer
+// pool", §5.4).
+type BufferPool struct {
+	mu     sync.Mutex
+	disk   DiskManager
+	cap    int
+	frames map[PageID]*frame
+	lru    *list.List // front = most recent; holds unpinned page IDs
+
+	stats PoolStats
+}
+
+// PoolStats counts buffer pool activity for experiments.
+type PoolStats struct {
+	Hits, Misses, Evictions, Flushes int
+}
+
+type frame struct {
+	page  *Page
+	pins  int
+	dirty bool
+	lruEl *list.Element // non-nil only while unpinned
+}
+
+// NewBufferPool builds a pool of capacity frames over disk. Capacity
+// must be at least 1.
+func NewBufferPool(disk DiskManager, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		disk:   disk,
+		cap:    capacity,
+		frames: make(map[PageID]*frame, capacity),
+		lru:    list.New(),
+	}
+}
+
+// Disk exposes the underlying disk manager (benchmarks read I/O counts).
+func (bp *BufferPool) Disk() DiskManager { return bp.disk }
+
+// Stats returns a snapshot of pool counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// FetchPage pins page id and returns it, reading from disk on a miss.
+// Callers must Unpin when done.
+func (bp *BufferPool) FetchPage(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		bp.pinLocked(id, fr)
+		return fr.page, nil
+	}
+	bp.stats.Misses++
+	fr, err := bp.allocFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.disk.ReadPage(id, fr.page.Data[:]); err != nil {
+		delete(bp.frames, id)
+		return nil, err
+	}
+	return fr.page, nil
+}
+
+// NewPage allocates a fresh page on disk, pins it, and returns it
+// zero-filled. Callers must Unpin when done.
+func (bp *BufferPool) NewPage() (*Page, error) {
+	id, err := bp.disk.AllocatePage()
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, err := bp.allocFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	fr.dirty = true
+	return fr.page, nil
+}
+
+func (bp *BufferPool) pinLocked(id PageID, fr *frame) {
+	fr.pins++
+	if fr.lruEl != nil {
+		bp.lru.Remove(fr.lruEl)
+		fr.lruEl = nil
+	}
+}
+
+// allocFrameLocked finds a free frame (evicting if needed), installs an
+// empty pinned frame for id, and returns it.
+func (bp *BufferPool) allocFrameLocked(id PageID) (*frame, error) {
+	if len(bp.frames) >= bp.cap {
+		if err := bp.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	fr := &frame{page: &Page{ID: id}, pins: 1}
+	bp.frames[id] = fr
+	return fr, nil
+}
+
+func (bp *BufferPool) evictLocked() error {
+	el := bp.lru.Back()
+	if el == nil {
+		return fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", bp.cap)
+	}
+	victim := el.Value.(PageID)
+	fr := bp.frames[victim]
+	if fr.dirty {
+		if err := bp.disk.WritePage(victim, fr.page.Data[:]); err != nil {
+			return err
+		}
+		bp.stats.Flushes++
+	}
+	bp.lru.Remove(el)
+	delete(bp.frames, victim)
+	bp.stats.Evictions++
+	return nil
+}
+
+// Unpin releases one pin on page id, marking it dirty when the caller
+// modified it. The page becomes evictable when its pin count reaches 0.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("storage: unpin of uncached page %d", id)
+	}
+	if fr.pins <= 0 {
+		return fmt.Errorf("storage: unpin of unpinned page %d", id)
+	}
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+	if fr.pins == 0 {
+		fr.lruEl = bp.lru.PushFront(id)
+	}
+	return nil
+}
+
+// FlushPage writes one page to disk if it is cached and dirty, then
+// syncs the disk manager — the durability primitive for write-ahead
+// semantics on the persistent update queue.
+func (bp *BufferPool) FlushPage(id PageID) error {
+	bp.mu.Lock()
+	fr, ok := bp.frames[id]
+	if ok && fr.dirty {
+		if err := bp.disk.WritePage(id, fr.page.Data[:]); err != nil {
+			bp.mu.Unlock()
+			return err
+		}
+		fr.dirty = false
+		bp.stats.Flushes++
+	}
+	bp.mu.Unlock()
+	return bp.disk.Sync()
+}
+
+// FlushAll writes every dirty cached page to disk.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, fr := range bp.frames {
+		if fr.dirty {
+			if err := bp.disk.WritePage(id, fr.page.Data[:]); err != nil {
+				return err
+			}
+			fr.dirty = false
+			bp.stats.Flushes++
+		}
+	}
+	return bp.disk.Sync()
+}
+
+// Cached reports the number of resident frames (for tests).
+func (bp *BufferPool) Cached() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}

@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+// faultDisk wraps a DiskManager and fails operations on command,
+// exercising error propagation through the buffer pool and heap layers.
+type faultDisk struct {
+	inner                             DiskManager
+	failReads, failWrites, failAllocs bool
+}
+
+func (d *faultDisk) ReadPage(id PageID, buf []byte) error {
+	if d.failReads {
+		return fmt.Errorf("injected read fault on page %d", id)
+	}
+	return d.inner.ReadPage(id, buf)
+}
+func (d *faultDisk) WritePage(id PageID, buf []byte) error {
+	if d.failWrites {
+		return fmt.Errorf("injected write fault on page %d", id)
+	}
+	return d.inner.WritePage(id, buf)
+}
+func (d *faultDisk) AllocatePage() (PageID, error) {
+	if d.failAllocs {
+		return InvalidPageID, fmt.Errorf("injected allocation fault")
+	}
+	return d.inner.AllocatePage()
+}
+func (d *faultDisk) NumPages() int { return d.inner.NumPages() }
+func (d *faultDisk) Sync() error   { return d.inner.Sync() }
+func (d *faultDisk) Close() error  { return d.inner.Close() }
+
+func TestBufferPoolReadFaultPropagates(t *testing.T) {
+	fd := &faultDisk{inner: NewMem()}
+	bp := NewBufferPool(fd, 2)
+	p, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := p.ID
+	bp.Unpin(id, true)
+	// Evict it by allocating past capacity.
+	p2, _ := bp.NewPage()
+	bp.Unpin(p2.ID, true)
+	p3, _ := bp.NewPage()
+	bp.Unpin(p3.ID, true)
+
+	fd.failReads = true
+	if _, err := bp.FetchPage(id); err == nil {
+		t.Error("read fault should propagate through FetchPage")
+	}
+	fd.failReads = false
+	if _, err := bp.FetchPage(id); err != nil {
+		t.Errorf("recovery after fault: %v", err)
+	}
+	bp.Unpin(id, false)
+}
+
+func TestBufferPoolWriteFaultOnEviction(t *testing.T) {
+	fd := &faultDisk{inner: NewMem()}
+	bp := NewBufferPool(fd, 1)
+	p, _ := bp.NewPage()
+	p.InitSlotted()
+	p.InsertRecord([]byte("dirty"))
+	bp.Unpin(p.ID, true)
+
+	fd.failWrites = true
+	// Evicting the dirty page must fail, not lose the data silently.
+	if _, err := bp.NewPage(); err == nil {
+		t.Error("dirty eviction with write fault should fail")
+	}
+	if err := bp.FlushAll(); err == nil {
+		t.Error("FlushAll with write fault should fail")
+	}
+	fd.failWrites = false
+	if err := bp.FlushAll(); err != nil {
+		t.Errorf("flush after recovery: %v", err)
+	}
+}
+
+func TestHeapAllocFaultPropagates(t *testing.T) {
+	fd := &faultDisk{inner: NewMem()}
+	bp := NewBufferPool(fd, 8)
+	h, err := CreateHeap(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the first page, then make chain growth fail.
+	big := make([]byte, 1000)
+	for i := 0; i < 4; i++ {
+		if _, err := h.Insert(big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fd.failAllocs = true
+	if _, err := h.Insert(big); err == nil {
+		t.Error("chain growth with alloc fault should fail")
+	}
+	fd.failAllocs = false
+	if _, err := h.Insert(big); err != nil {
+		t.Errorf("insert after recovery: %v", err)
+	}
+	// Count stayed consistent through the failure.
+	n := 0
+	h.Scan(func(RID, []byte) bool { n++; return true })
+	if n != h.Count() {
+		t.Errorf("scan %d != count %d after fault", n, h.Count())
+	}
+}
+
+func TestCreateHeapAllocFault(t *testing.T) {
+	fd := &faultDisk{inner: NewMem(), failAllocs: true}
+	bp := NewBufferPool(fd, 4)
+	if _, err := CreateHeap(bp); err == nil {
+		t.Error("CreateHeap with alloc fault should fail")
+	}
+}
+
+func TestOpenHeapReadFault(t *testing.T) {
+	fd := &faultDisk{inner: NewMem()}
+	bp := NewBufferPool(fd, 4)
+	h, _ := CreateHeap(bp)
+	h.Insert([]byte("x"))
+	bp.FlushAll()
+
+	fd.failReads = true
+	bp2 := NewBufferPool(fd, 4)
+	if _, err := OpenHeap(bp2, h.FirstPage()); err == nil {
+		t.Error("OpenHeap with read fault should fail")
+	}
+}

@@ -1,0 +1,234 @@
+// Package storage implements the disk substrate that stands in for the
+// host DBMS (Informix in the paper): a paged file with a buffer pool and
+// slotted-page heap files. Constant tables (§5.1), the trigger catalogs,
+// and the persistent update-descriptor queue (Figure 1) are all stored
+// here, so the "non-indexed database table" and "indexed database table"
+// constant-set organizations (§5.2) pay genuine page-I/O costs.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the fixed size of every page in bytes.
+const PageSize = 4096
+
+// PageID identifies a page within a pager. InvalidPageID marks "none".
+type PageID uint32
+
+// InvalidPageID is the null page reference.
+const InvalidPageID PageID = 0xFFFFFFFF
+
+// Slotted page layout:
+//
+//	offset 0:  uint16 slot count
+//	offset 2:  uint16 free-space start (grows up, after slot array)
+//	offset 4:  uint16 free-space end (records grow down from PageSize)
+//	offset 6:  uint32 next page in heap chain (InvalidPageID terminator)
+//	offset 10: slot array, 4 bytes per slot: uint16 offset, uint16 length
+//
+// A slot with offset 0xFFFF is dead (deleted record).
+const (
+	pageHeaderSize = 10
+	slotSize       = 4
+	deadSlot       = 0xFFFF
+)
+
+// Page is a fixed-size page image with slotted-record accessors. The
+// buffer pool hands out *Page frames; mutators set the dirty flag via
+// the pool, not here.
+type Page struct {
+	ID   PageID
+	Data [PageSize]byte
+}
+
+// InitSlotted formats the page as an empty slotted page.
+func (p *Page) InitSlotted() {
+	for i := range p.Data[:pageHeaderSize] {
+		p.Data[i] = 0
+	}
+	p.setSlotCount(0)
+	p.setFreeStart(pageHeaderSize)
+	p.setFreeEnd(PageSize)
+	p.SetNextPage(InvalidPageID)
+}
+
+func (p *Page) slotCount() int     { return int(binary.LittleEndian.Uint16(p.Data[0:])) }
+func (p *Page) setSlotCount(n int) { binary.LittleEndian.PutUint16(p.Data[0:], uint16(n)) }
+func (p *Page) freeStart() int     { return int(binary.LittleEndian.Uint16(p.Data[2:])) }
+func (p *Page) setFreeStart(n int) { binary.LittleEndian.PutUint16(p.Data[2:], uint16(n)) }
+func (p *Page) freeEnd() int       { return int(binary.LittleEndian.Uint16(p.Data[4:])) }
+func (p *Page) setFreeEnd(n int)   { binary.LittleEndian.PutUint16(p.Data[4:], uint16(n)) }
+
+// NextPage returns the next page in the heap chain.
+func (p *Page) NextPage() PageID { return PageID(binary.LittleEndian.Uint32(p.Data[6:])) }
+
+// SetNextPage links the heap chain.
+func (p *Page) SetNextPage(id PageID) { binary.LittleEndian.PutUint32(p.Data[6:], uint32(id)) }
+
+// NumSlots returns the slot-array length (including dead slots).
+func (p *Page) NumSlots() int { return p.slotCount() }
+
+func (p *Page) slot(i int) (offset, length int) {
+	base := pageHeaderSize + i*slotSize
+	return int(binary.LittleEndian.Uint16(p.Data[base:])),
+		int(binary.LittleEndian.Uint16(p.Data[base+2:]))
+}
+
+func (p *Page) setSlot(i, offset, length int) {
+	base := pageHeaderSize + i*slotSize
+	binary.LittleEndian.PutUint16(p.Data[base:], uint16(offset))
+	binary.LittleEndian.PutUint16(p.Data[base+2:], uint16(length))
+}
+
+// FreeSpace returns the bytes available for a new record (accounting for
+// its slot entry).
+func (p *Page) FreeSpace() int {
+	free := p.freeEnd() - p.freeStart() - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// InsertRecord stores rec in the page, returning its slot number.
+// It fails when the record does not fit.
+func (p *Page) InsertRecord(rec []byte) (int, error) {
+	if len(rec) > p.FreeSpace() {
+		return 0, fmt.Errorf("storage: record of %d bytes does not fit (free %d)", len(rec), p.FreeSpace())
+	}
+	// Reuse a dead slot if present (keeps slot array from growing
+	// unboundedly under churn).
+	slotIdx := -1
+	n := p.slotCount()
+	for i := 0; i < n; i++ {
+		if off, _ := p.slot(i); off == deadSlot {
+			slotIdx = i
+			break
+		}
+	}
+	if slotIdx == -1 {
+		slotIdx = n
+		p.setSlotCount(n + 1)
+		p.setFreeStart(p.freeStart() + slotSize)
+	}
+	end := p.freeEnd()
+	start := end - len(rec)
+	copy(p.Data[start:end], rec)
+	p.setFreeEnd(start)
+	p.setSlot(slotIdx, start, len(rec))
+	return slotIdx, nil
+}
+
+// Record returns the record bytes at slot i, or nil when the slot is
+// dead or out of range. The returned slice aliases the page image.
+func (p *Page) Record(i int) []byte {
+	if i < 0 || i >= p.slotCount() {
+		return nil
+	}
+	off, length := p.slot(i)
+	if off == deadSlot {
+		return nil
+	}
+	return p.Data[off : off+length]
+}
+
+// DeleteRecord marks slot i dead. Space is reclaimed by Compact.
+func (p *Page) DeleteRecord(i int) error {
+	if i < 0 || i >= p.slotCount() {
+		return fmt.Errorf("storage: delete of invalid slot %d", i)
+	}
+	if off, _ := p.slot(i); off == deadSlot {
+		return fmt.Errorf("storage: slot %d already dead", i)
+	}
+	p.setSlot(i, deadSlot, 0)
+	return nil
+}
+
+// UpdateRecord replaces the record at slot i. If the new record does not
+// fit in place it is re-stored within the page when possible; the caller
+// must handle ErrPageFull by relocating to another page.
+func (p *Page) UpdateRecord(i int, rec []byte) error {
+	if i < 0 || i >= p.slotCount() {
+		return fmt.Errorf("storage: update of invalid slot %d", i)
+	}
+	off, length := p.slot(i)
+	if off == deadSlot {
+		return fmt.Errorf("storage: update of dead slot %d", i)
+	}
+	if len(rec) <= length {
+		copy(p.Data[off:off+len(rec)], rec)
+		p.setSlot(i, off, len(rec))
+		return nil
+	}
+	// Needs more room: try appending a fresh copy.
+	if len(rec) > p.freeEnd()-p.freeStart() {
+		// Compact to coalesce dead space, then retry.
+		p.Compact()
+		off, _ = p.slot(i)
+	}
+	if len(rec) > p.freeEnd()-p.freeStart() {
+		return ErrPageFull
+	}
+	end := p.freeEnd()
+	start := end - len(rec)
+	copy(p.Data[start:end], rec)
+	p.setFreeEnd(start)
+	p.setSlot(i, start, len(rec))
+	return nil
+}
+
+// ErrPageFull reports that a record cannot fit in the page.
+var ErrPageFull = fmt.Errorf("storage: page full")
+
+// Compact rewrites live records contiguously at the end of the page,
+// reclaiming space from deleted and superseded records.
+func (p *Page) Compact() {
+	type live struct{ slot, length int }
+	n := p.slotCount()
+	var recs []live
+	for i := 0; i < n; i++ {
+		if off, length := p.slot(i); off != deadSlot {
+			recs = append(recs, live{i, length})
+		}
+	}
+	var buf [PageSize]byte
+	end := PageSize
+	for _, r := range recs {
+		off, _ := p.slot(r.slot)
+		end -= r.length
+		copy(buf[end:end+r.length], p.Data[off:off+r.length])
+		p.setSlot(r.slot, end, r.length)
+	}
+	copy(p.Data[end:], buf[end:])
+	p.setFreeEnd(end)
+}
+
+// LiveRecords counts non-dead slots.
+func (p *Page) LiveRecords() int {
+	n := 0
+	for i := 0; i < p.slotCount(); i++ {
+		if off, _ := p.slot(i); off != deadSlot {
+			n++
+		}
+	}
+	return n
+}
+
+// RID identifies a record: (page, slot).
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// Pack encodes the RID as a uint64 for index payloads.
+func (r RID) Pack() uint64 { return uint64(r.Page)<<16 | uint64(r.Slot) }
+
+// UnpackRID decodes a packed RID.
+func UnpackRID(v uint64) RID {
+	return RID{Page: PageID(v >> 16), Slot: uint16(v & 0xFFFF)}
+}
+
+// String renders the RID.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }

@@ -1,0 +1,268 @@
+// Package taskq implements the concurrent processing machinery of §6: a
+// shared task queue holding the four task kinds the paper defines, and N
+// driver workers that each run the TmanTest() loop — drain tasks for at
+// most THRESHOLD, yield, and come back after T when the queue was empty.
+//
+// The paper cannot spawn threads inside Informix, so it multiplexes
+// driver *processes* over a shared-memory queue; here goroutines play
+// the driver role and the queue is an in-process structure, preserving
+// the scheduling discipline (bounded drain slices, idle backoff).
+package taskq
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the §6 task types.
+type Kind uint8
+
+const (
+	// ProcessToken matches one token against the whole predicate index
+	// (task type 1).
+	ProcessToken Kind = iota
+	// RunAction executes one fired rule action (task type 2).
+	RunAction
+	// TokenConditions matches one token against one partition of the
+	// predicate index's triggerID sets (task type 3).
+	TokenConditions
+	// TokenActions runs the set of rule actions triggered by one token
+	// (task type 4).
+	TokenActions
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case ProcessToken:
+		return "process-token"
+	case RunAction:
+		return "run-action"
+	case TokenConditions:
+		return "token-conditions"
+	case TokenActions:
+		return "token-actions"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Task is one unit of work. Run executes it; tasks may enqueue follow-up
+// tasks (e.g. a ProcessToken task spawning RunAction tasks).
+type Task struct {
+	Kind Kind
+	Run  func() error
+}
+
+// Config tunes the driver pool.
+type Config struct {
+	// Drivers is N; 0 means ceil(NUM_CPUS * ConcurrencyLevel).
+	Drivers int
+	// ConcurrencyLevel is TMAN_CONCURRENCY_LEVEL in (0, 1]; default 1.0.
+	ConcurrencyLevel float64
+	// T is the idle re-poll interval (paper default 250ms; tests and
+	// benchmarks use much smaller values).
+	T time.Duration
+	// Threshold bounds one TmanTest drain slice (paper default 250ms).
+	Threshold time.Duration
+	// OnError receives task errors (default: counted and dropped).
+	OnError func(error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ConcurrencyLevel <= 0 || c.ConcurrencyLevel > 1 {
+		c.ConcurrencyLevel = 1.0
+	}
+	if c.Drivers <= 0 {
+		n := int(float64(runtime.NumCPU())*c.ConcurrencyLevel + 0.999999)
+		if n < 1 {
+			n = 1
+		}
+		c.Drivers = n
+	}
+	if c.T <= 0 {
+		c.T = 250 * time.Millisecond
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Stats counts pool activity.
+type Stats struct {
+	Enqueued, Executed, Errors int64
+	// DrainSlices counts TmanTest invocations that found work.
+	DrainSlices int64
+}
+
+// Pool is the shared task queue plus its driver goroutines.
+type Pool struct {
+	cfg Config
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Task
+	head   int
+	closed bool
+
+	pending sync.WaitGroup // open tasks (queued or running)
+	drivers sync.WaitGroup
+
+	stats Stats
+}
+
+// New creates a pool and starts its drivers.
+func New(cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{cfg: cfg}
+	p.cond = sync.NewCond(&p.mu)
+	p.drivers.Add(cfg.Drivers)
+	for i := 0; i < cfg.Drivers; i++ {
+		go p.driver()
+	}
+	return p
+}
+
+// Drivers reports the configured driver count.
+func (p *Pool) Drivers() int { return p.cfg.Drivers }
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Enqueued:    atomic.LoadInt64(&p.stats.Enqueued),
+		Executed:    atomic.LoadInt64(&p.stats.Executed),
+		Errors:      atomic.LoadInt64(&p.stats.Errors),
+		DrainSlices: atomic.LoadInt64(&p.stats.DrainSlices),
+	}
+}
+
+// Submit enqueues a task. It fails after Close.
+func (p *Pool) Submit(t Task) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("taskq: pool is closed")
+	}
+	p.pending.Add(1)
+	p.queue = append(p.queue, t)
+	atomic.AddInt64(&p.stats.Enqueued, 1)
+	p.cond.Signal()
+	p.mu.Unlock()
+	return nil
+}
+
+// QueueLen reports the number of queued (not yet running) tasks.
+func (p *Pool) QueueLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue) - p.head
+}
+
+// pop removes the next task, blocking while the queue is empty. The
+// paper's external driver processes must re-poll every T because they
+// cannot be signalled; in-process drivers are woken immediately on
+// Submit, which strictly dominates the T-polling discipline (T remains
+// configurable for the network daemon's external-driver mode).
+// ok is false when the pool is closed and drained.
+func (p *Pool) pop() (Task, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.head >= len(p.queue) {
+		if p.closed {
+			return Task{}, false
+		}
+		p.cond.Wait()
+	}
+	t := p.queue[p.head]
+	p.queue[p.head] = Task{}
+	p.head++
+	if p.head > 1024 && p.head*2 > len(p.queue) {
+		p.queue = append(p.queue[:0], p.queue[p.head:]...)
+		p.head = 0
+	}
+	return t, true
+}
+
+// tryPop is pop without blocking.
+func (p *Pool) tryPop() (Task, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.head >= len(p.queue) {
+		return Task{}, false
+	}
+	t := p.queue[p.head]
+	p.queue[p.head] = Task{}
+	p.head++
+	return t, true
+}
+
+// driver is one TriggerMan driver: call TmanTest (a bounded drain),
+// and immediately call again while work remained; otherwise wait for
+// a wake-up or the idle interval T.
+func (p *Pool) driver() {
+	defer p.drivers.Done()
+	for {
+		t, ok := p.pop()
+		if !ok {
+			return
+		}
+		p.tmanTest(t)
+	}
+}
+
+// tmanTest runs the first task and keeps draining until Threshold
+// elapses, mirroring the paper's pseudocode (get task, execute, yield).
+func (p *Pool) tmanTest(first Task) {
+	atomic.AddInt64(&p.stats.DrainSlices, 1)
+	deadline := time.Now().Add(p.cfg.Threshold)
+	t := first
+	for {
+		p.runTask(t)
+		if time.Now().After(deadline) {
+			return
+		}
+		var ok bool
+		t, ok = p.tryPop()
+		if !ok {
+			return
+		}
+		// The paper calls mi_yield() between tasks so other Informix
+		// work can run; Gosched is the goroutine analogue.
+		runtime.Gosched()
+	}
+}
+
+func (p *Pool) runTask(t Task) {
+	defer p.pending.Done()
+	if t.Run == nil {
+		return
+	}
+	if err := t.Run(); err != nil {
+		atomic.AddInt64(&p.stats.Errors, 1)
+		if p.cfg.OnError != nil {
+			p.cfg.OnError(err)
+		}
+	}
+	atomic.AddInt64(&p.stats.Executed, 1)
+}
+
+// Drain blocks until every task enqueued so far (and every follow-up
+// task they spawn) has finished.
+func (p *Pool) Drain() {
+	p.pending.Wait()
+}
+
+// Close stops accepting tasks, waits for the queue to drain, and stops
+// the drivers.
+func (p *Pool) Close() {
+	p.pending.Wait()
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.drivers.Wait()
+}

@@ -1,0 +1,158 @@
+package taskq
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSubmitAndDrain(t *testing.T) {
+	p := New(Config{Drivers: 4, T: time.Millisecond, Threshold: time.Millisecond})
+	defer p.Close()
+	var count int64
+	for i := 0; i < 1000; i++ {
+		err := p.Submit(Task{Kind: ProcessToken, Run: func() error {
+			atomic.AddInt64(&count, 1)
+			return nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain()
+	if count != 1000 {
+		t.Fatalf("executed %d", count)
+	}
+	st := p.Stats()
+	if st.Enqueued != 1000 || st.Executed != 1000 || st.Errors != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFollowUpTasks(t *testing.T) {
+	// A ProcessToken task fans out RunAction tasks; Drain must cover the
+	// whole tree.
+	p := New(Config{Drivers: 2, T: time.Millisecond, Threshold: time.Millisecond})
+	defer p.Close()
+	var actions int64
+	for i := 0; i < 10; i++ {
+		p.Submit(Task{Kind: ProcessToken, Run: func() error {
+			for j := 0; j < 5; j++ {
+				p.Submit(Task{Kind: RunAction, Run: func() error {
+					atomic.AddInt64(&actions, 1)
+					return nil
+				}})
+			}
+			return nil
+		}})
+	}
+	p.Drain()
+	if actions != 50 {
+		t.Fatalf("actions = %d", actions)
+	}
+}
+
+func TestErrorsCounted(t *testing.T) {
+	var seen int64
+	p := New(Config{Drivers: 1, OnError: func(error) { atomic.AddInt64(&seen, 1) }})
+	defer p.Close()
+	p.Submit(Task{Run: func() error { return fmt.Errorf("boom") }})
+	p.Submit(Task{Run: nil}) // nil Run is a no-op, not a crash
+	p.Drain()
+	if p.Stats().Errors != 1 || seen != 1 {
+		t.Errorf("errors = %d, seen = %d", p.Stats().Errors, seen)
+	}
+}
+
+func TestCloseRejectsNewWork(t *testing.T) {
+	p := New(Config{Drivers: 1})
+	p.Close()
+	if err := p.Submit(Task{Run: func() error { return nil }}); err == nil {
+		t.Error("submit after close should fail")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Drivers < 1 {
+		t.Error("default drivers")
+	}
+	if cfg.T != 250*time.Millisecond || cfg.Threshold != 250*time.Millisecond {
+		t.Error("paper defaults for T and THRESHOLD")
+	}
+	half := Config{ConcurrencyLevel: 0.5}.withDefaults()
+	if half.Drivers > cfg.Drivers || half.Drivers < 1 {
+		t.Errorf("TMAN_CONCURRENCY_LEVEL=0.5 -> %d drivers (full=%d)", half.Drivers, cfg.Drivers)
+	}
+	bad := Config{ConcurrencyLevel: 7}.withDefaults()
+	if bad.ConcurrencyLevel != 1.0 {
+		t.Error("out-of-range level should clamp to 1.0")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{ProcessToken, RunAction, TokenConditions, TokenActions} {
+		if k.String() == "" {
+			t.Error("kind name")
+		}
+	}
+}
+
+func TestParallelismActuallyHappens(t *testing.T) {
+	// With 4 drivers and tasks that block on a shared barrier, all 4
+	// must be in-flight simultaneously.
+	p := New(Config{Drivers: 4, Threshold: time.Microsecond})
+	defer p.Close()
+	var inFlight, peak int64
+	var mu sync.Mutex
+	for i := 0; i < 40; i++ {
+		p.Submit(Task{Run: func() error {
+			cur := atomic.AddInt64(&inFlight, 1)
+			mu.Lock()
+			if cur > peak {
+				peak = cur
+			}
+			mu.Unlock()
+			time.Sleep(2 * time.Millisecond)
+			atomic.AddInt64(&inFlight, -1)
+			return nil
+		}})
+	}
+	p.Drain()
+	if peak < 2 {
+		t.Errorf("peak concurrency = %d, expected parallel drivers", peak)
+	}
+}
+
+func TestQueueLenAndSlide(t *testing.T) {
+	p := New(Config{Drivers: 1, Threshold: time.Millisecond})
+	defer p.Close()
+	block := make(chan struct{})
+	p.Submit(Task{Run: func() error { <-block; return nil }})
+	for i := 0; i < 3000; i++ {
+		p.Submit(Task{Run: func() error { return nil }})
+	}
+	if p.QueueLen() < 2500 {
+		t.Errorf("queue len = %d", p.QueueLen())
+	}
+	close(block)
+	p.Drain()
+	if p.QueueLen() != 0 {
+		t.Errorf("queue len after drain = %d", p.QueueLen())
+	}
+}
+
+func TestDrainSliceAccounting(t *testing.T) {
+	p := New(Config{Drivers: 1, Threshold: 50 * time.Millisecond})
+	defer p.Close()
+	for i := 0; i < 100; i++ {
+		p.Submit(Task{Run: func() error { return nil }})
+	}
+	p.Drain()
+	st := p.Stats()
+	if st.DrainSlices < 1 || st.DrainSlices > 100 {
+		t.Errorf("drain slices = %d", st.DrainSlices)
+	}
+}

@@ -1,0 +1,196 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"triggerman/internal/datasource"
+	"triggerman/internal/event"
+)
+
+// Backend is the server's view of the trigger system (implemented by
+// the root triggerman.System).
+type Backend interface {
+	// Command executes one command-language statement.
+	Command(text string) (string, error)
+	// Subscribe registers for events.
+	Subscribe(name string, buffer int) (*event.Subscription, error)
+	// PushToken delivers an update descriptor from a data source
+	// program.
+	PushToken(source string, op datasource.Op, old, new []Value) error
+	// StatsText renders a stats summary.
+	StatsText() string
+}
+
+// Server accepts TriggerMan client and data-source connections.
+type Server struct {
+	backend Backend
+	ln      net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// Serve starts accepting on ln; it returns when the listener closes.
+func Serve(ln net.Listener, backend Backend) *Server {
+	s := &Server{backend: backend, ln: ln, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the listener and disconnects every client.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	<-s.done
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.done)
+	var wg sync.WaitGroup
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			wg.Wait()
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// session is one client connection's state.
+type session struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+	subs    map[string]*event.Subscription
+	stop    chan struct{}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	sess := &session{conn: conn, subs: make(map[string]*event.Subscription), stop: make(chan struct{})}
+	defer func() {
+		close(sess.stop)
+		for _, sub := range sess.subs {
+			sub.Cancel()
+		}
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		var req Request
+		if err := ReadMsg(conn, &req); err != nil {
+			return
+		}
+		resp := s.dispatch(sess, &req)
+		sess.writeMu.Lock()
+		err := WriteMsg(conn, resp)
+		sess.writeMu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(sess *session, req *Request) *Response {
+	resp := &Response{ID: req.ID}
+	fail := func(err error) *Response {
+		resp.OK = false
+		resp.Error = err.Error()
+		return resp
+	}
+	switch req.Op {
+	case "ping":
+		resp.OK = true
+		resp.Output = "pong"
+	case "stats":
+		resp.OK = true
+		resp.Output = s.backend.StatsText()
+	case "command":
+		out, err := s.backend.Command(req.Text)
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Output = out
+	case "subscribe":
+		key := req.Event
+		if _, dup := sess.subs[key]; dup {
+			return fail(fmt.Errorf("wire: already subscribed to %q", key))
+		}
+		sub, err := s.backend.Subscribe(req.Event, 256)
+		if err != nil {
+			return fail(err)
+		}
+		sess.subs[key] = sub
+		go sess.pump(sub)
+		resp.OK = true
+		resp.Output = "subscribed"
+	case "unsubscribe":
+		sub, ok := sess.subs[req.Event]
+		if !ok {
+			return fail(fmt.Errorf("wire: not subscribed to %q", req.Event))
+		}
+		sub.Cancel()
+		delete(sess.subs, req.Event)
+		resp.OK = true
+		resp.Output = "unsubscribed"
+	case "push":
+		op, err := ParseTokenOp(req.TokenOp)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.backend.PushToken(req.Source, op, req.Old, req.New); err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+	default:
+		return fail(fmt.Errorf("wire: unknown op %q", req.Op))
+	}
+	return resp
+}
+
+// pump forwards a subscription's notifications to the connection until
+// the subscription or session ends.
+func (sess *session) pump(sub *event.Subscription) {
+	for {
+		select {
+		case n, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			msg := &Response{OK: true, Event: &EventMsg{
+				Name:      n.Name,
+				Args:      FromTuple(n.Args),
+				TriggerID: n.TriggerID,
+				Seq:       n.Seq,
+			}}
+			sess.writeMu.Lock()
+			err := WriteMsg(sess.conn, msg)
+			sess.writeMu.Unlock()
+			if err != nil {
+				return
+			}
+		case <-sess.stop:
+			return
+		}
+	}
+}

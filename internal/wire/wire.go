@@ -1,0 +1,175 @@
+// Package wire defines the client/server protocol of Figure 1: client
+// applications connect to the trigger processor to issue commands,
+// register for events, and receive notifications; data source programs
+// push update descriptors through the data source API. Messages are
+// length-prefixed JSON over TCP (stdlib only).
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"triggerman/internal/datasource"
+	"triggerman/internal/types"
+)
+
+// MaxMessageSize bounds a single frame (16 MiB).
+const MaxMessageSize = 16 << 20
+
+// Request is a client-to-server message.
+type Request struct {
+	// ID correlates the response; client-chosen, nonzero.
+	ID uint64 `json:"id"`
+	// Op is one of "command", "subscribe", "unsubscribe", "push",
+	// "stats", "ping".
+	Op string `json:"op"`
+	// Text is the command text for "command".
+	Text string `json:"text,omitempty"`
+	// Event names the event for "subscribe"/"unsubscribe" ("" or "*"
+	// subscribes to all).
+	Event string `json:"event,omitempty"`
+	// Source names the data source for "push".
+	Source string `json:"source,omitempty"`
+	// TokenOp is "insert", "delete" or "update" for "push".
+	TokenOp string `json:"tokenOp,omitempty"`
+	// Old and New carry the tuple images for "push".
+	Old []Value `json:"old,omitempty"`
+	New []Value `json:"new,omitempty"`
+}
+
+// Response is a server-to-client message. Unsolicited event
+// notifications arrive with ID 0 and Event set.
+type Response struct {
+	ID     uint64 `json:"id"`
+	OK     bool   `json:"ok"`
+	Error  string `json:"error,omitempty"`
+	Output string `json:"output,omitempty"`
+	// Event delivers a notification (ID == 0).
+	Event *EventMsg `json:"event,omitempty"`
+}
+
+// EventMsg is a raised event on the wire.
+type EventMsg struct {
+	Name      string  `json:"name"`
+	Args      []Value `json:"args"`
+	TriggerID uint64  `json:"triggerId"`
+	Seq       uint64  `json:"seq"`
+}
+
+// Value is the JSON form of a types.Value.
+type Value struct {
+	T string  `json:"t"` // "null", "int", "float", "char", "varchar"
+	I int64   `json:"i,omitempty"`
+	F float64 `json:"f,omitempty"`
+	S string  `json:"s,omitempty"`
+}
+
+// FromValue converts a types.Value to its wire form.
+func FromValue(v types.Value) Value {
+	switch v.Kind() {
+	case types.KindInt:
+		return Value{T: "int", I: v.Int()}
+	case types.KindFloat:
+		return Value{T: "float", F: v.Float()}
+	case types.KindChar:
+		return Value{T: "char", S: v.Str()}
+	case types.KindVarchar:
+		return Value{T: "varchar", S: v.Str()}
+	default:
+		return Value{T: "null"}
+	}
+}
+
+// ToValue converts a wire value back.
+func (w Value) ToValue() (types.Value, error) {
+	switch w.T {
+	case "int":
+		return types.NewInt(w.I), nil
+	case "float":
+		return types.NewFloat(w.F), nil
+	case "char":
+		return types.NewChar(w.S), nil
+	case "varchar":
+		return types.NewString(w.S), nil
+	case "null", "":
+		return types.Null(), nil
+	default:
+		return types.Null(), fmt.Errorf("wire: unknown value type %q", w.T)
+	}
+}
+
+// FromTuple converts a tuple to wire values.
+func FromTuple(t types.Tuple) []Value {
+	out := make([]Value, len(t))
+	for i, v := range t {
+		out[i] = FromValue(v)
+	}
+	return out
+}
+
+// ToTuple converts wire values back to a tuple.
+func ToTuple(ws []Value) (types.Tuple, error) {
+	if len(ws) == 0 {
+		return nil, nil
+	}
+	out := make(types.Tuple, len(ws))
+	for i, w := range ws {
+		v, err := w.ToValue()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ParseTokenOp maps the wire op name to a datasource.Op.
+func ParseTokenOp(s string) (datasource.Op, error) {
+	switch s {
+	case "insert":
+		return datasource.OpInsert, nil
+	case "delete":
+		return datasource.OpDelete, nil
+	case "update":
+		return datasource.OpUpdate, nil
+	default:
+		return 0, fmt.Errorf("wire: unknown token op %q", s)
+	}
+}
+
+// WriteMsg frames and writes one JSON message.
+func WriteMsg(w io.Writer, msg interface{}) error {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	if len(body) > MaxMessageSize {
+		return fmt.Errorf("wire: message of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadMsg reads one framed JSON message into out.
+func ReadMsg(r io.Reader, out interface{}) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessageSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, out)
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"triggerman/internal/datasource"
+	"triggerman/internal/expr"
+	"triggerman/internal/parser"
+	"triggerman/internal/types"
+)
+
+func parseAll(t *testing.T, stmts []string) {
+	t.Helper()
+	for _, s := range stmts {
+		st, err := parser.Parse(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if _, ok := st.(*parser.CreateTrigger); !ok {
+			t.Fatalf("%q parsed as %T", s, st)
+		}
+	}
+}
+
+func TestGeneratorsParse(t *testing.T) {
+	parseAll(t, EqualityTriggers(50, 10))
+	parseAll(t, RangeTriggers(50, 100000))
+	parseAll(t, SameConditionTriggers(50))
+	parseAll(t, MixedSignatureTriggers(100, 8))
+	parseAll(t, MixedSignatureTriggers(30, 12)) // extended pool
+	parseAll(t, MixedSignatureTriggers(5, 0))   // clamps to 1
+}
+
+func TestGeneratorNamesUnique(t *testing.T) {
+	stmts := MixedSignatureTriggers(200, 8)
+	seen := map[string]bool{}
+	for _, s := range stmts {
+		name := strings.Fields(s)[2]
+		if seen[name] {
+			t.Fatalf("duplicate trigger name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestMixedSignaturePoolSize(t *testing.T) {
+	// Binding + signature extraction of the pool yields exactly sigPool
+	// distinct canonical signatures.
+	for _, pool := range []int{1, 4, 8} {
+		stmts := MixedSignatureTriggers(64, pool)
+		sigs := map[string]bool{}
+		for _, s := range stmts {
+			st, err := parser.Parse(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct := st.(*parser.CreateTrigger)
+			n := expr.Clone(ct.When)
+			if err := BindEmp(n); err != nil {
+				t.Fatalf("%q: %v", s, err)
+			}
+			cnf, err := expr.ToCNF(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sig, _, err := expr.ExtractSignature(cnf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sigs[sig.Canonical()] = true
+		}
+		if len(sigs) != pool {
+			t.Errorf("pool %d produced %d distinct signatures", pool, len(sigs))
+		}
+	}
+}
+
+func TestInsertTokens(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	toks := InsertTokens(rng, 100, 50, 1000, 7)
+	if len(toks) != 100 {
+		t.Fatal("count")
+	}
+	for _, tok := range toks {
+		if tok.SourceID != 7 || tok.Op != datasource.OpInsert {
+			t.Fatalf("token = %+v", tok)
+		}
+		if tok.New.Get(1).Int() >= 1000 {
+			t.Fatal("salary out of range")
+		}
+	}
+}
+
+func TestZipfIDsSkewAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ids := ZipfIDs(rng, 20000, 100, 1.5)
+	counts := map[uint64]int{}
+	for _, id := range ids {
+		if id < 1 || id > 100 {
+			t.Fatalf("id %d out of range", id)
+		}
+		counts[id]++
+	}
+	if counts[1] <= counts[50]*2 {
+		t.Errorf("no skew: counts[1]=%d counts[50]=%d", counts[1], counts[50])
+	}
+}
+
+func TestNaiveMatcher(t *testing.T) {
+	var nm NaiveMatcher
+	for i := int64(0); i < 10; i++ {
+		pred := expr.Cmp(expr.OpGt, expr.Col("emp", "salary"), expr.Int(i*100))
+		if err := BindEmp(pred); err != nil {
+			t.Fatal(err)
+		}
+		nm.Add(uint64(i+1), pred)
+	}
+	tok := datasource.Token{SourceID: 1, Op: datasource.OpInsert, New: EmpRow("x", 450, "d")}
+	var hits []uint64
+	if err := nm.Match(tok, func(id uint64) bool {
+		hits = append(hits, id)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 5 { // thresholds 0..400
+		t.Errorf("hits = %v", hits)
+	}
+	// Early stop.
+	n := 0
+	nm.Match(tok, func(uint64) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("early stop = %d", n)
+	}
+}
+
+func TestEmpRowShape(t *testing.T) {
+	r := EmpRow("a", 5, "d")
+	if len(r) != EmpSchema.Arity() {
+		t.Fatal("arity")
+	}
+	if r.Get(0).Kind() != types.KindVarchar || r.Get(1).Kind() != types.KindInt {
+		t.Fatal("kinds")
+	}
+}

@@ -1,0 +1,160 @@
+package triggerman
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"triggerman/internal/types"
+)
+
+// TestKitchenSink runs every major feature in one asynchronous system:
+// persistent durable queue, Gator networks, condition partitions,
+// equality + range single-variable triggers, a multi-table join
+// trigger, an aggregate trigger, an execSQL cascade, and enable/disable
+// — with exact expected counts.
+func TestKitchenSink(t *testing.T) {
+	sys, err := Open(Options{
+		DiskPath:            filepath.Join(t.TempDir(), "sink.db"),
+		Drivers:             4,
+		Queue:               PersistentQueue,
+		DurableQueue:        true,
+		GatorNetworks:       true,
+		ConditionPartitions: 2,
+		Threshold:           time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	orders, err := sys.DefineTableSource("orders",
+		types.Column{Name: "customer", Kind: types.KindVarchar},
+		types.Column{Name: "amount", Kind: types.KindInt},
+		types.Column{Name: "region", Kind: types.KindVarchar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vip, err := sys.DefineTableSource("vip",
+		types.Column{Name: "name", Kind: types.KindVarchar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.DefineTableSource("audit",
+		types.Column{Name: "who", Kind: types.KindVarchar},
+		types.Column{Name: "amount", Kind: types.KindInt}); err != nil {
+		t.Fatal(err)
+	}
+
+	// 50 equality triggers (one signature class), one per customer name.
+	for i := 0; i < 50; i++ {
+		if err := sys.CreateTrigger(fmt.Sprintf(
+			`create trigger watch%02d from orders when orders.customer = 'c%02d'
+			 do raise event Watch%02d()`, i, i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A range trigger.
+	if err := sys.CreateTrigger(`create trigger big from orders
+		when orders.amount > 900 do raise event BigOrder(orders.customer, orders.amount)`); err != nil {
+		t.Fatal(err)
+	}
+	// A multi-table join trigger (runs through a Gator network) with an
+	// execSQL action that cascades into the audit source.
+	if err := sys.CreateTrigger(`create trigger vipOrder from orders o, vip v
+		when o.customer = v.name
+		do execSQL 'insert into audit values (:NEW.o.customer, :NEW.o.amount)'`); err != nil {
+		t.Fatal(err)
+	}
+	// An aggregate trigger over the cascaded audit stream.
+	if err := sys.CreateTrigger(`create trigger vipSpree from audit
+		group by who having count(who) > 2
+		do raise event Spree(audit.who, count(who))`); err != nil {
+		t.Fatal(err)
+	}
+	// A disabled trigger that must never fire.
+	if err := sys.CreateTrigger(`create trigger never from orders
+		when orders.amount > 0 do raise event Never()`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DisableTrigger("never"); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := map[string]*int64{}
+	for _, name := range []string{"Watch", "BigOrder", "Spree", "Never"} {
+		var c int64
+		counts[name] = &c
+	}
+	sub, _ := sys.Subscribe("*", 4096)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for n := range sub.C() {
+			switch {
+			case len(n.Name) >= 5 && n.Name[:5] == "Watch":
+				atomic.AddInt64(counts["Watch"], 1)
+			case n.Name == "BigOrder":
+				atomic.AddInt64(counts["BigOrder"], 1)
+			case n.Name == "Spree":
+				atomic.AddInt64(counts["Spree"], 1)
+			case n.Name == "Never":
+				atomic.AddInt64(counts["Never"], 1)
+			}
+		}
+	}()
+
+	// Two VIPs.
+	vip.Insert(types.Tuple{types.NewString("c07")})
+	vip.Insert(types.Tuple{types.NewString("c13")})
+
+	// 200 orders: customers c00..c49 cycling, amounts 0..999 cycling,
+	// so each customer gets 4 orders.
+	for i := 0; i < 200; i++ {
+		err := orders.Insert(types.Tuple{
+			types.NewString(fmt.Sprintf("c%02d", i%50)),
+			types.NewInt(int64(i * 5 % 1000)),
+			types.NewString("r1"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Drain()
+	sub.Cancel()
+	<-done
+
+	if sys.Errors() != 0 {
+		t.Fatalf("async errors: %v", sys.LastError())
+	}
+	// Watch: every order matches exactly one customer trigger -> 200.
+	if got := atomic.LoadInt64(counts["Watch"]); got != 200 {
+		t.Errorf("Watch = %d, want 200", got)
+	}
+	// BigOrder: amounts are i*5 % 1000 for i 0..199 -> 905..995 occur
+	// for i%200 in 181..199 -> 19 values > 900.
+	if got := atomic.LoadInt64(counts["BigOrder"]); got != 19 {
+		t.Errorf("BigOrder = %d, want 19", got)
+	}
+	// vipOrder cascade: c07 and c13 each placed 4 orders -> 8 audit rows.
+	res, err := sys.Exec("select * from audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Errorf("audit rows = %d, want 8", len(res.Rows))
+	}
+	// Spree: each VIP's audit count crosses 2 exactly once -> 2 events.
+	if got := atomic.LoadInt64(counts["Spree"]); got != 2 {
+		t.Errorf("Spree = %d, want 2", got)
+	}
+	if got := atomic.LoadInt64(counts["Never"]); got != 0 {
+		t.Errorf("Never fired %d times", got)
+	}
+	// Sanity: dropped events would invalidate the assertions above.
+	if sub.Dropped() != 0 {
+		t.Fatalf("subscriber dropped %d events", sub.Dropped())
+	}
+}

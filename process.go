@@ -1,0 +1,428 @@
+package triggerman
+
+import (
+	"sync/atomic"
+
+	"triggerman/internal/agg"
+	"triggerman/internal/catalog"
+	"triggerman/internal/datasource"
+	"triggerman/internal/discrim"
+	"triggerman/internal/exec"
+	"triggerman/internal/minisql"
+	"triggerman/internal/parser"
+	"triggerman/internal/predindex"
+	"triggerman/internal/taskq"
+	"triggerman/internal/types"
+)
+
+// apply accepts a captured update descriptor: it is enqueued (persistent
+// or memory queue per Figure 1) and either processed inline
+// (Synchronous) or handed to the task queue as a process-one-token task
+// (task type 1 of §6).
+func (s *System) apply(tok datasource.Token) error {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return errClosed
+	}
+	atomic.AddInt64(&s.tokensIn, 1)
+	if _, err := s.queue.Enqueue(tok); err != nil {
+		return err
+	}
+	if s.opts.Synchronous {
+		return s.consumeOne()
+	}
+	if s.partitions > 1 {
+		// Condition-level concurrency (task type 3): the token is
+		// dequeued once, then matched partition-by-partition in
+		// parallel tasks.
+		return s.submitPartitionedToken()
+	}
+	return s.pool.Submit(taskq.Task{Kind: taskq.ProcessToken, Run: func() error {
+		return s.consumeOne()
+	}})
+}
+
+// consumeOne dequeues and fully processes one token.
+func (s *System) consumeOne() error {
+	tok, ok, err := s.queue.Dequeue()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	return s.processToken(tok, -1)
+}
+
+// submitPartitionedToken dequeues one token and fans its condition
+// testing out across partitions.
+func (s *System) submitPartitionedToken() error {
+	tok, ok, err := s.queue.Dequeue()
+	if err != nil || !ok {
+		return err
+	}
+	// The maintenance and aggregate passes must happen exactly once, not
+	// per partition; run them first, then fan out fire-only partition
+	// tasks.
+	if err := s.maintainMemories(tok); err != nil {
+		return err
+	}
+	if err := s.processAggregates(tok); err != nil {
+		return err
+	}
+	for p := 0; p < s.partitions; p++ {
+		part := p
+		if err := s.pool.Submit(taskq.Task{Kind: taskq.TokenConditions, Run: func() error {
+			return s.fireMatches(tok, part)
+		}}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// processToken is the §5.4 algorithm: maintenance pass for alpha
+// memories and aggregate state, then match-and-fire.
+func (s *System) processToken(tok datasource.Token, part int) error {
+	if err := s.maintainMemories(tok); err != nil {
+		return err
+	}
+	if err := s.processAggregates(tok); err != nil {
+		return err
+	}
+	return s.fireMatches(tok, part)
+}
+
+// processAggregates feeds group-by/having triggers: tokens whose images
+// pass the trigger's selection update the group's incremental
+// aggregates, and having-condition transitions fire the action with
+// aggregate values substituted in.
+func (s *System) processAggregates(tok datasource.Token) error {
+	s.mu.RLock()
+	hasAgg := s.aggSources[tok.SourceID] > 0
+	s.mu.RUnlock()
+	if !hasAgg {
+		return nil
+	}
+	oldMatch := map[uint64]bool{}
+	newMatch := map[uint64]bool{}
+	if tok.Op != datasource.OpInsert && tok.Old != nil {
+		probe := datasource.Token{SourceID: tok.SourceID, Op: datasource.OpDelete, Old: tok.Old}
+		if err := s.pidx.MatchToken(probe, func(m predindex.Match) bool {
+			if m.Aggregate {
+				oldMatch[m.TriggerID] = true
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+	}
+	if tok.Op != datasource.OpDelete && tok.New != nil {
+		probe := datasource.Token{SourceID: tok.SourceID, Op: datasource.OpInsert, New: tok.New}
+		if err := s.pidx.MatchToken(probe, func(m predindex.Match) bool {
+			if m.Aggregate {
+				newMatch[m.TriggerID] = true
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+	}
+	touched := map[uint64]bool{}
+	for id := range oldMatch {
+		touched[id] = true
+	}
+	for id := range newMatch {
+		touched[id] = true
+	}
+	for id := range touched {
+		if !s.cat.IsFireable(id) {
+			// Disabled triggers still maintain state? No: like the
+			// paper's isEnabled semantics, disabled triggers are inert.
+			continue
+		}
+		lt, unpin, err := s.cat.Pin(id)
+		if err != nil {
+			s.noteError(err)
+			continue
+		}
+		if lt.Agg == nil {
+			unpin()
+			continue
+		}
+		var op agg.Op
+		switch tok.Op {
+		case datasource.OpInsert:
+			op = agg.OpInsert
+		case datasource.OpDelete:
+			op = agg.OpDelete
+		default:
+			op = agg.OpUpdate
+		}
+		fires, err := lt.Agg.State.Apply(op, tok.Old, tok.New, oldMatch[id], newMatch[id], lt.Agg.Having)
+		if err != nil {
+			s.noteError(err)
+			unpin()
+			continue
+		}
+		for _, f := range fires {
+			atomic.AddInt64(&s.tokensMatched, 1)
+			action, err := agg.SubstituteAction(lt.Action, lt.Agg.Schema, lt.Agg.Specs, f.Aggregates)
+			if err != nil {
+				s.noteError(err)
+				continue
+			}
+			ltCopy := *lt
+			ltCopy.Action = action
+			olds := []types.Tuple{tok.Old}
+			if err := s.runCombo(ltCopy, tok, []types.Tuple{f.Representative}, olds); err != nil {
+				s.noteError(err)
+			}
+		}
+		unpin()
+	}
+	return nil
+}
+
+// maintainMemories keeps multi-variable triggers' join state
+// consistent: tuples enter an alpha memory when they pass the
+// variable's selection predicate and leave when they stop passing it
+// (or are deleted). A-TREAT triggers only maintain here (firing happens
+// in fireMatches); Gator triggers maintain AND fire here, because their
+// incremental protocol creates/retracts root combinations at
+// maintenance time. Sources with no multi-variable triggers skip this
+// pass.
+func (s *System) maintainMemories(tok datasource.Token) error {
+	s.mu.RLock()
+	hasMulti := s.multiVarSources[tok.SourceID] > 0
+	s.mu.RUnlock()
+	if !hasMulti {
+		return nil
+	}
+	// Removals: old image matched (delete and update tokens).
+	if tok.Op != datasource.OpInsert && tok.Old != nil {
+		oldProbe := datasource.Token{SourceID: tok.SourceID, Op: datasource.OpDelete, Old: tok.Old}
+		err := s.pidx.MatchToken(oldProbe, func(m predindex.Match) bool {
+			if !m.MultiVar {
+				return true
+			}
+			s.withNetwork(m.TriggerID, func(lt catalog.LoadedTrigger) {
+				switch {
+				case lt.Gator != nil:
+					// Retraction fires only for genuine delete tokens
+					// whose fire mask accepts deletes.
+					var pnode discrim.PNode
+					if tok.Op == datasource.OpDelete && m.FireMask.Matches(tok) && s.cat.IsFireable(m.TriggerID) {
+						pnode = s.comboRunner(lt, tok)
+						atomic.AddInt64(&s.tokensMatched, 1)
+					}
+					if err := lt.Gator.NotifyToken(int(m.NextNode), oldProbe, pnode); err != nil {
+						s.noteError(err)
+					}
+				case lt.Network != nil:
+					lt.Network.RemoveTuple(int(m.NextNode), tok.Old)
+				}
+			})
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Additions: new image matches (insert and update tokens).
+	if tok.Op != datasource.OpDelete && tok.New != nil {
+		newProbe := datasource.Token{SourceID: tok.SourceID, Op: datasource.OpInsert, New: tok.New}
+		err := s.pidx.MatchToken(newProbe, func(m predindex.Match) bool {
+			if !m.MultiVar {
+				return true
+			}
+			s.withNetwork(m.TriggerID, func(lt catalog.LoadedTrigger) {
+				switch {
+				case lt.Gator != nil:
+					var pnode discrim.PNode
+					if m.FireMask.Matches(tok) && s.cat.IsFireable(m.TriggerID) {
+						pnode = s.comboRunner(lt, tok)
+						atomic.AddInt64(&s.tokensMatched, 1)
+					}
+					if err := lt.Gator.NotifyToken(int(m.NextNode), newProbe, pnode); err != nil {
+						s.noteError(err)
+					}
+				case lt.Network != nil:
+					lt.Network.AddTuple(int(m.NextNode), tok.New)
+				}
+			})
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *System) withNetwork(id uint64, fn func(catalog.LoadedTrigger)) {
+	lt, unpin, err := s.cat.Pin(id)
+	if err != nil {
+		s.noteError(err)
+		return
+	}
+	defer unpin()
+	if lt.Network != nil || lt.Gator != nil {
+		fn(*lt)
+	}
+}
+
+// comboRunner builds the P-node callback that executes a trigger's
+// action for each satisfying combination.
+func (s *System) comboRunner(lt catalog.LoadedTrigger, tok datasource.Token) discrim.PNode {
+	return func(c discrim.Combo) bool {
+		olds := make([]types.Tuple, len(c.Tuples))
+		if c.SeedVar >= 0 && c.SeedVar < len(olds) {
+			olds[c.SeedVar] = tok.Old
+		}
+		if err := s.runCombo(lt, tok, c.Tuples, olds); err != nil {
+			s.noteError(err)
+			return false
+		}
+		return true
+	}
+}
+
+// fireMatches matches the token's effective image against the predicate
+// index (optionally one partition) and fires each matching trigger whose
+// fire mask accepts the token.
+func (s *System) fireMatches(tok datasource.Token, part int) error {
+	var matched []predindex.Match
+	var err error
+	if part < 0 {
+		err = s.pidx.MatchToken(tok, func(m predindex.Match) bool {
+			if m.FireMask.Matches(tok) {
+				matched = append(matched, m)
+			}
+			return true
+		})
+	} else {
+		err = s.pidx.MatchTokenPartition(tok, part, func(m predindex.Match) bool {
+			if m.FireMask.Matches(tok) {
+				matched = append(matched, m)
+			}
+			return true
+		})
+	}
+	if err != nil {
+		return err
+	}
+	for _, m := range matched {
+		if m.Gator || m.Aggregate {
+			// Gator and aggregate triggers fired during their
+			// maintenance passes.
+			continue
+		}
+		if !s.cat.IsFireable(m.TriggerID) {
+			continue
+		}
+		atomic.AddInt64(&s.tokensMatched, 1)
+		if err := s.fireTrigger(m, tok); err != nil {
+			s.noteError(err)
+		}
+	}
+	return nil
+}
+
+// fireTrigger pins the trigger (§5.4's trigger-cache pin), runs join and
+// temporal condition testing through the A-TREAT network when present,
+// and executes the action for every satisfying combination.
+func (s *System) fireTrigger(m predindex.Match, tok datasource.Token) error {
+	lt, unpin, err := s.cat.Pin(m.TriggerID)
+	if err != nil {
+		return err
+	}
+	defer unpin()
+
+	if lt.Network == nil {
+		// Single-variable trigger: the selection match is the whole
+		// condition; fire directly with the effective tuple.
+		olds := []types.Tuple{tok.Old}
+		return s.runCombo(*lt, tok, []types.Tuple{tok.Effective()}, olds)
+	}
+	var ferr error
+	err = lt.Network.Enumerate(int(m.NextNode), tok, func(c discrim.Combo) bool {
+		olds := make([]types.Tuple, len(c.Tuples))
+		if c.SeedVar >= 0 && c.SeedVar < len(olds) {
+			olds[c.SeedVar] = tok.Old
+		}
+		if e := s.runCombo(*lt, tok, c.Tuples, olds); e != nil {
+			ferr = e
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return ferr
+}
+
+// runCombo executes a trigger's action for one satisfying combination,
+// inline or as a rule-action task per Options.ActionTasks.
+func (s *System) runCombo(lt catalog.LoadedTrigger, tok datasource.Token, tuples, olds []types.Tuple) error {
+	if s.FireHook != nil {
+		s.FireHook(lt.Info.ID, tuples)
+	}
+	binding := exec.Binding{VarIndex: lt.VarIndex, Tuples: tuples, Olds: olds}
+	schemas := lt.Schemas
+	schemaOf := func(vi int) *types.Schema {
+		if vi < 0 || vi >= len(schemas) {
+			return nil
+		}
+		return schemas[vi]
+	}
+	action := lt.Action
+	id := lt.Info.ID
+	run := func() error {
+		atomic.AddInt64(&s.actionsRun, 1)
+		return s.exe.Execute(id, action, binding, schemaOf)
+	}
+	if s.opts.Synchronous || s.pool == nil || !s.opts.ActionTasks {
+		// Task type 4: the token's actions run inside its own task.
+		return run()
+	}
+	// Rule action concurrency (task type 2 of §6).
+	return s.pool.Submit(taskq.Task{Kind: taskq.RunAction, Run: run})
+}
+
+// CapturingRunner wraps the database so execSQL actions generate update
+// descriptors for tables registered as data sources — the cascade path.
+type capturingRunner struct{ sys *System }
+
+// ExecStmt implements exec.StmtRunner.
+func (r capturingRunner) ExecStmt(st parser.Statement) (*minisql.Result, error) {
+	res, err := r.sys.db.ExecStmt(st)
+	if err != nil {
+		return nil, err
+	}
+	if res.Table != "" && len(res.Changes) > 0 {
+		if src, ok := r.sys.reg.ByName(res.Table); ok {
+			for _, ch := range res.Changes {
+				tok := datasource.Token{SourceID: src.ID}
+				switch {
+				case ch.Old == nil:
+					tok.Op = datasource.OpInsert
+					tok.New = ch.New
+				case ch.New == nil:
+					tok.Op = datasource.OpDelete
+					tok.Old = ch.Old
+				default:
+					tok.Op = datasource.OpUpdate
+					tok.Old, tok.New = ch.Old, ch.New
+				}
+				if err := r.sys.apply(tok); err != nil {
+					return res, err
+				}
+			}
+		}
+	}
+	return res, nil
+}

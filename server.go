@@ -1,0 +1,58 @@
+package triggerman
+
+import (
+	"fmt"
+	"net"
+
+	"triggerman/internal/datasource"
+	"triggerman/internal/wire"
+)
+
+// PushToken implements the data source API over the wire: a data source
+// program delivers an update descriptor for a registered source.
+func (s *System) PushToken(source string, op datasource.Op, old, new []wire.Value) error {
+	src, ok := s.reg.ByName(source)
+	if !ok {
+		return fmt.Errorf("triggerman: unknown data source %q", source)
+	}
+	oldT, err := wire.ToTuple(old)
+	if err != nil {
+		return err
+	}
+	newT, err := wire.ToTuple(new)
+	if err != nil {
+		return err
+	}
+	return s.apply(datasource.Token{SourceID: src.ID, Op: op, Old: oldT, New: newT})
+}
+
+// StatsText renders a human-readable stats summary for the console's
+// stats command.
+func (s *System) StatsText() string {
+	st := s.Stats()
+	return fmt.Sprintf(
+		"triggers=%d tokens_in=%d matched=%d actions=%d queue=%d\n"+
+			"index: probes=%d sig_probes=%d const_compares=%d rest_tests=%d matches=%d\n"+
+			"trigger_cache: hits=%d misses=%d evictions=%d\n"+
+			"buffer_pool: hits=%d misses=%d evictions=%d flushes=%d\n"+
+			"pool: enqueued=%d executed=%d errors=%d slices=%d\n"+
+			"events: raised=%d delivered=%d",
+		st.Triggers, st.TokensIn, st.TokensMatched, st.ActionsRun, st.QueueDepth,
+		st.Index.Tokens, st.Index.SigProbes, st.Index.ConstCompares, st.Index.RestTests, st.Index.Matches,
+		st.TriggerCache.Hits, st.TriggerCache.Misses, st.TriggerCache.Evictions,
+		st.BufferPool.Hits, st.BufferPool.Misses, st.BufferPool.Evictions, st.BufferPool.Flushes,
+		st.Pool.Enqueued, st.Pool.Executed, st.Pool.Errors, st.Pool.DrainSlices,
+		st.EventsRaised, st.EventsDelivered,
+	)
+}
+
+// Listen starts serving the TriggerMan wire protocol on addr
+// (host:port; ":0" picks a free port). The returned server reports its
+// bound address via Addr().
+func (s *System) Listen(addr string) (*wire.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return wire.Serve(ln, s), nil
+}

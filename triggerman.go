@@ -1,0 +1,431 @@
+// Package triggerman is a scalable trigger processor: a Go
+// reproduction of "Scalable Trigger Processing" (Hanson et al., ICDE
+// 1999, the TriggerMan system). It supports very large numbers of
+// triggers by interning selection predicates into expression-signature
+// equivalence classes, indexing each class's constants in one of four
+// organizations (main-memory list, main-memory index, database table,
+// indexed database table), caching trigger descriptions in a bounded
+// trigger cache, and processing tokens with token-, condition-,
+// action-, and data-level concurrency.
+//
+// Quick start:
+//
+//	sys, _ := triggerman.Open(triggerman.Options{})
+//	defer sys.Close()
+//	emp, _ := sys.DefineTableSource("emp",
+//		types.Column{Name: "name", Kind: types.KindVarchar},
+//		types.Column{Name: "salary", Kind: types.KindInt})
+//	sys.CreateTrigger(`create trigger bigSalary from emp
+//	    when emp.salary > 100000
+//	    do raise event BigSalary(emp.name, emp.salary)`)
+//	sub, _ := sys.Subscribe("BigSalary", 16)
+//	emp.Insert(types.Tuple{types.NewString("Ada"), types.NewInt(250000)})
+//	sys.Drain()
+//	fmt.Println(<-sub.C())
+package triggerman
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"triggerman/internal/cache"
+	"triggerman/internal/catalog"
+	"triggerman/internal/datasource"
+	"triggerman/internal/event"
+	"triggerman/internal/exec"
+	"triggerman/internal/minisql"
+	"triggerman/internal/predindex"
+	"triggerman/internal/storage"
+	"triggerman/internal/taskq"
+	"triggerman/internal/types"
+)
+
+// QueueKind selects the update-descriptor transport (Figure 1).
+type QueueKind uint8
+
+const (
+	// PersistentQueue stores tokens in a queue table so unprocessed
+	// updates survive a crash (the paper's current implementation).
+	PersistentQueue QueueKind = iota
+	// MemoryQueue keeps tokens in main memory — faster, but "the safety
+	// of persistent update queuing will be lost" (§3).
+	MemoryQueue
+)
+
+// Options configures a System. The zero value is a sensible in-memory
+// deployment.
+type Options struct {
+	// DiskPath stores the database in a file; empty means in-memory.
+	DiskPath string
+	// BufferPoolPages bounds the page cache (default 4096 pages = 16MB).
+	BufferPoolPages int
+	// TriggerCacheSize bounds the trigger cache (default 16384, the
+	// paper's 64MB example).
+	TriggerCacheSize int
+	// Drivers is the driver count N; 0 derives it from NUM_CPUS and
+	// ConcurrencyLevel as in §6.
+	Drivers int
+	// ConcurrencyLevel is TMAN_CONCURRENCY_LEVEL (default 1.0).
+	ConcurrencyLevel float64
+	// Queue selects the token transport.
+	Queue QueueKind
+	// DurableQueue forces every enqueued token's page to stable storage
+	// before the capture call returns (persistent queue only) — the
+	// paper's "safety of persistent update queuing" at its strongest.
+	// Off by default: updates are group-flushed like the host DBMS's
+	// buffered writes.
+	DurableQueue bool
+	// Synchronous processes each token inline in the caller instead of
+	// through the task queue (deterministic; used by tests and when
+	// embedding in single-threaded tools).
+	Synchronous bool
+	// ActionTasks runs every fired action as its own task (task type 2
+	// of §6, rule-action concurrency). The default runs a token's
+	// actions inline within its own task (task type 4, "process a token
+	// to run a set of rule actions"), which avoids queue contention when
+	// tokens fire many cheap actions.
+	ActionTasks bool
+	// Policy overrides the constant-set organization thresholds.
+	Policy *predindex.Policy
+	// CostModel derives the organization thresholds from the [Hans98b]
+	// cost model instead of raw cutoffs; ignored when Policy is set.
+	CostModel *predindex.CostModel
+	// ForceOrganization pins every constant set to one strategy
+	// (benchmarks).
+	ForceOrganization predindex.Organization
+	// ConditionPartitions > 1 splits every signature's triggerID sets
+	// round-robin and processes partitions as separate tasks
+	// (condition-level concurrency, Figure 5). Applies to new triggers.
+	ConditionPartitions int
+	// GatorNetworks runs multi-variable triggers through Gator networks
+	// (cached join state, the paper's planned [Hans97b] upgrade) instead
+	// of flat A-TREAT networks. Gator wins when intermediate joins are
+	// selective and reused; A-TREAT wins when they are wide — see the
+	// BenchmarkAblation_TreatVsGator two-regime comparison.
+	GatorNetworks bool
+	// T and Threshold tune the driver loop (paper defaults 250ms).
+	T, Threshold time.Duration
+}
+
+// Stats aggregates subsystem counters.
+type Stats struct {
+	Triggers        int
+	TokensIn        int64
+	TokensMatched   int64
+	ActionsRun      int64
+	Index           predindex.Stats
+	Pool            taskq.Stats
+	TriggerCache    cache.Stats
+	BufferPool      storage.PoolStats
+	EventsRaised    int64
+	EventsDelivered int64
+	QueueDepth      int
+}
+
+// System is a TriggerMan instance.
+type System struct {
+	opts Options
+
+	bp    *storage.BufferPool
+	db    *minisql.DB
+	reg   *datasource.Registry
+	pidx  *predindex.Index
+	cat   *catalog.Catalog
+	bus   *event.Bus
+	exe   *exec.Executor
+	pool  *taskq.Pool
+	queue datasource.Queue
+
+	mu              sync.RWMutex
+	multiVarSources map[int32]int // #multi-var triggers per source
+	aggSources      map[int32]int // #aggregate triggers per source
+	partitions      int
+
+	tokensIn      int64
+	tokensMatched int64
+	actionsRun    int64
+	errs          int64
+	lastErr       atomic.Value // error
+
+	// FireHook, when set, observes every firing (tests and benchmarks).
+	FireHook func(triggerID uint64, combo []types.Tuple)
+
+	closed bool
+}
+
+// Open creates (or reopens, when DiskPath names an existing file) a
+// trigger system.
+func Open(opts Options) (*System, error) {
+	if opts.BufferPoolPages <= 0 {
+		opts.BufferPoolPages = 4096
+	}
+	var disk storage.DiskManager
+	if opts.DiskPath == "" {
+		disk = storage.NewMem()
+	} else {
+		fd, err := storage.OpenFile(opts.DiskPath)
+		if err != nil {
+			return nil, err
+		}
+		disk = fd
+	}
+	bp := storage.NewBufferPool(disk, opts.BufferPoolPages)
+	var db *minisql.DB
+	var err error
+	if disk.NumPages() == 0 {
+		db, err = minisql.Create(bp)
+	} else {
+		db, err = minisql.Open(bp, 0)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	reg := datasource.NewRegistry()
+	pidxOpts := []predindex.Option{predindex.WithDB(db)}
+	switch {
+	case opts.Policy != nil:
+		pidxOpts = append(pidxOpts, predindex.WithPolicy(*opts.Policy))
+	case opts.CostModel != nil:
+		pidxOpts = append(pidxOpts, predindex.WithCostModel(*opts.CostModel))
+	}
+	if opts.ForceOrganization != predindex.OrgAuto {
+		pidxOpts = append(pidxOpts, predindex.WithForcedOrganization(opts.ForceOrganization))
+	}
+	pidx := predindex.New(pidxOpts...)
+
+	cat, err := catalog.New(catalog.Config{
+		DB: db, Reg: reg, Pidx: pidx, Cache: opts.TriggerCacheSize,
+		UseGator: opts.GatorNetworks,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sys := &System{
+		opts:            opts,
+		bp:              bp,
+		db:              db,
+		reg:             reg,
+		pidx:            pidx,
+		cat:             cat,
+		bus:             event.NewBus(),
+		multiVarSources: make(map[int32]int),
+		aggSources:      make(map[int32]int),
+		partitions:      opts.ConditionPartitions,
+	}
+	sys.exe = &exec.Executor{DB: capturingRunner{sys}, Bus: sys.bus}
+	if opts.Queue == MemoryQueue {
+		sys.queue = datasource.NewMemQueue()
+	} else {
+		q, err := datasource.NewTableQueue(bp)
+		if err != nil {
+			return nil, err
+		}
+		q.SetDurable(opts.DurableQueue)
+		sys.queue = q
+	}
+	if !opts.Synchronous {
+		sys.pool = taskq.New(taskq.Config{
+			Drivers:          opts.Drivers,
+			ConcurrencyLevel: opts.ConcurrencyLevel,
+			T:                opts.T,
+			Threshold:        opts.Threshold,
+			OnError:          sys.noteError,
+		})
+	}
+	// Rebuild the multi-var bookkeeping for recovered triggers.
+	sys.rebuildMultiVar()
+	return sys, nil
+}
+
+func (s *System) rebuildMultiVar() {
+	for _, name := range s.cat.TriggerNames() {
+		id, _ := s.cat.TriggerByName(name)
+		srcs, ok := s.cat.TriggerSources(id)
+		if !ok {
+			continue
+		}
+		if len(srcs) > 1 {
+			for _, src := range srcs {
+				s.multiVarSources[src]++
+			}
+		}
+		if s.cat.TriggerIsAggregate(id) {
+			for _, src := range srcs {
+				s.aggSources[src]++
+			}
+		}
+	}
+}
+
+func (s *System) noteError(err error) {
+	atomic.AddInt64(&s.errs, 1)
+	s.lastErr.Store(err)
+}
+
+// LastError returns the most recent asynchronous processing error, if
+// any.
+func (s *System) LastError() error {
+	if v := s.lastErr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Errors reports the asynchronous error count.
+func (s *System) Errors() int64 { return atomic.LoadInt64(&s.errs) }
+
+// DB exposes the embedded database for execSQL targets and inspection.
+func (s *System) DB() *minisql.DB { return s.db }
+
+// Bus exposes the event bus.
+func (s *System) Bus() *event.Bus { return s.bus }
+
+// Catalog exposes the trigger catalog.
+func (s *System) Catalog() *catalog.Catalog { return s.cat }
+
+// PredIndex exposes the predicate index (benchmarks read its stats).
+func (s *System) PredIndex() *predindex.Index { return s.pidx }
+
+// Stats returns a combined counter snapshot.
+func (s *System) Stats() Stats {
+	raised, delivered := s.bus.Stats()
+	st := Stats{
+		Triggers:        s.cat.TriggerCount(),
+		TokensIn:        atomic.LoadInt64(&s.tokensIn),
+		TokensMatched:   atomic.LoadInt64(&s.tokensMatched),
+		ActionsRun:      atomic.LoadInt64(&s.actionsRun),
+		Index:           s.pidx.Stats(),
+		TriggerCache:    s.cat.Cache().Stats(),
+		BufferPool:      s.bp.Stats(),
+		EventsRaised:    raised,
+		EventsDelivered: delivered,
+		QueueDepth:      s.queue.Len(),
+	}
+	if s.pool != nil {
+		st.Pool = s.pool.Stats()
+	}
+	return st
+}
+
+// Exec runs a mini-SQL statement directly against the embedded database
+// (uncaptured: no update descriptors are generated; use a TableSource
+// for captured updates).
+func (s *System) Exec(sql string) (*minisql.Result, error) { return s.db.Exec(sql) }
+
+// CreateTrigger processes a create trigger command (§5.1).
+func (s *System) CreateTrigger(text string) error {
+	info, err := s.cat.CreateTrigger(text)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if len(info.SourceIDs) > 1 {
+		for _, src := range info.SourceIDs {
+			s.multiVarSources[src]++
+		}
+	}
+	if info.IsAggregate {
+		for _, src := range info.SourceIDs {
+			s.aggSources[src]++
+		}
+	}
+	s.mu.Unlock()
+	if s.partitions > 1 {
+		for _, src := range info.SourceIDs {
+			for _, e := range s.pidx.Signatures(src) {
+				if err := e.SetPartitions(s.partitions); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DropTrigger removes a trigger.
+func (s *System) DropTrigger(name string) error {
+	if id, ok := s.cat.TriggerByName(name); ok {
+		srcs, haveSrcs := s.cat.TriggerSources(id)
+		isAgg := s.cat.TriggerIsAggregate(id)
+		if haveSrcs {
+			s.mu.Lock()
+			if len(srcs) > 1 {
+				for _, src := range srcs {
+					s.multiVarSources[src]--
+				}
+			}
+			if isAgg {
+				for _, src := range srcs {
+					s.aggSources[src]--
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+	return s.cat.DropTrigger(name)
+}
+
+// EnableTrigger / DisableTrigger toggle a trigger's isEnabled flag.
+func (s *System) EnableTrigger(name string) error  { return s.cat.SetTriggerEnabled(name, true) }
+func (s *System) DisableTrigger(name string) error { return s.cat.SetTriggerEnabled(name, false) }
+
+// CreateTriggerSet / DropTriggerSet manage named trigger sets.
+func (s *System) CreateTriggerSet(name, comments string) error {
+	_, err := s.cat.CreateTriggerSet(name, comments)
+	return err
+}
+func (s *System) DropTriggerSet(name string) error { return s.cat.DropTriggerSet(name) }
+
+// EnableTriggerSet / DisableTriggerSet toggle a set's isEnabled flag.
+func (s *System) EnableTriggerSet(name string) error {
+	return s.cat.SetTriggerSetEnabled(name, true)
+}
+func (s *System) DisableTriggerSet(name string) error {
+	return s.cat.SetTriggerSetEnabled(name, false)
+}
+
+// Command parses and executes one TriggerMan command-language statement
+// (create/drop trigger, define data source, enable/disable, mini-SQL).
+// It returns a human-readable result summary.
+func (s *System) Command(text string) (string, error) {
+	return s.command(text)
+}
+
+// Subscribe registers for raise event notifications; name "" or "*"
+// subscribes to all events.
+func (s *System) Subscribe(name string, buffer int) (*event.Subscription, error) {
+	return s.bus.Subscribe(name, buffer)
+}
+
+// Drain blocks until all queued tokens and spawned actions finish.
+func (s *System) Drain() {
+	if s.pool != nil {
+		s.pool.Drain()
+	}
+}
+
+// Flush persists dirty pages to the disk manager.
+func (s *System) Flush() error { return s.bp.FlushAll() }
+
+// Close drains outstanding work, flushes, and shuts the system down.
+func (s *System) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.pool != nil {
+		s.pool.Close()
+	}
+	s.bus.Close()
+	return s.bp.FlushAll()
+}
+
+// errClosed is returned by operations on a closed system.
+var errClosed = fmt.Errorf("triggerman: system is closed")
