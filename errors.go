@@ -1,0 +1,85 @@
+package triggerman
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrorRecord is one entry of the bounded recent-error ring: enough
+// context to see *what* failed asynchronously, not just how many
+// failures there were.
+type ErrorRecord struct {
+	// Time is when the error was recorded.
+	Time time.Time
+	// Kind names the pipeline stage that failed ("action", "dequeue",
+	// "match", "aggregate", "gator", "deadletter", "task", ...).
+	Kind string
+	// TriggerID identifies the failing trigger when known (0 otherwise).
+	TriggerID uint64
+	// Err is the error itself.
+	Err error
+}
+
+// String renders the record for StatsText.
+func (r ErrorRecord) String() string {
+	ts := r.Time.UTC().Format("15:04:05.000")
+	if r.TriggerID != 0 {
+		return fmt.Sprintf("%s %s trigger=%d: %v", ts, r.Kind, r.TriggerID, r.Err)
+	}
+	return fmt.Sprintf("%s %s: %v", ts, r.Kind, r.Err)
+}
+
+// errorRingCap bounds the ring; old entries are overwritten.
+const errorRingCap = 64
+
+// errorRing is a fixed-capacity ring of recent asynchronous errors plus
+// a total counter. It replaces the old single errs counter + lastErr
+// slot.
+type errorRing struct {
+	mu    sync.Mutex
+	buf   [errorRingCap]ErrorRecord
+	next  int   // next write position
+	count int   // live entries (<= errorRingCap)
+	total int64 // errors ever recorded
+}
+
+func (r *errorRing) add(kind string, triggerID uint64, err error) {
+	r.mu.Lock()
+	r.buf[r.next] = ErrorRecord{Time: time.Now(), Kind: kind, TriggerID: triggerID, Err: err}
+	r.next = (r.next + 1) % errorRingCap
+	if r.count < errorRingCap {
+		r.count++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// totalCount reports errors ever recorded.
+func (r *errorRing) totalCount() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// last returns the most recent record, if any.
+func (r *errorRing) last() (ErrorRecord, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == 0 {
+		return ErrorRecord{}, false
+	}
+	return r.buf[(r.next-1+errorRingCap)%errorRingCap], true
+}
+
+// snapshot returns the retained records, oldest first.
+func (r *errorRing) snapshot() []ErrorRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ErrorRecord, 0, r.count)
+	start := (r.next - r.count + errorRingCap) % errorRingCap
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(start+i)%errorRingCap])
+	}
+	return out
+}

@@ -114,8 +114,9 @@ type Catalog struct {
 	nextTriggerID uint64
 	nextExprID    uint64
 	nextSetID     uint64
+	nextDLID      uint64
 
-	trigTab, setTab, srcTab, sigTab *minisql.Table
+	trigTab, setTab, srcTab, sigTab, dlTab *minisql.Table
 
 	now func() string
 }
@@ -229,7 +230,10 @@ func (c *Catalog) ensureTables() error {
 		types.Column{Name: "constantsetsize", Kind: types.KindInt},
 		types.Column{Name: "constantsetorganization", Kind: types.KindVarchar},
 	))
-	return err
+	if err != nil {
+		return err
+	}
+	return c.ensureDeadLetterTable()
 }
 
 // recover rebuilds in-memory state from the catalog tables: data

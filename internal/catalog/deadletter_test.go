@@ -1,0 +1,96 @@
+package catalog
+
+import (
+	"testing"
+
+	"triggerman/internal/datasource"
+	"triggerman/internal/storage"
+	"triggerman/internal/types"
+)
+
+func dlToken(seq uint64) datasource.Token {
+	return datasource.Token{
+		SourceID: 3,
+		Op:       datasource.OpInsert,
+		New:      types.Tuple{types.NewString("ada"), types.NewInt(250000)},
+		Seq:      seq,
+	}
+}
+
+func TestDeadLetterAddListTake(t *testing.T) {
+	c := newCatalog(t, storage.NewMem(), 16)
+	if c.DeadLetterCount() != 0 {
+		t.Fatal("fresh catalog should have no dead letters")
+	}
+	id1, err := c.AddDeadLetter(DeadAction, 7, dlToken(1), "injected action fault", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := c.AddDeadLetter(DeadToken, 0, dlToken(2), "dequeue exhausted", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 || c.DeadLetterCount() != 2 {
+		t.Fatalf("ids %d/%d count %d", id1, id2, c.DeadLetterCount())
+	}
+	all, err := c.DeadLetters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("len = %d", len(all))
+	}
+	first := all[0]
+	if first.Kind != DeadAction || first.TriggerID != 7 || first.Attempts != 4 ||
+		first.Error != "injected action fault" || first.Created == "" {
+		t.Errorf("entry = %+v", first)
+	}
+	// The token round-trips intact, old/new images included.
+	if first.Token.SourceID != 3 || first.Token.Op != datasource.OpInsert ||
+		!first.Token.New.Equal(dlToken(1).New) {
+		t.Errorf("token = %v", first.Token)
+	}
+	if first.String() == "" {
+		t.Error("String()")
+	}
+
+	got, err := c.TakeDeadLetter(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != id1 || c.DeadLetterCount() != 1 {
+		t.Errorf("take: %+v count=%d", got, c.DeadLetterCount())
+	}
+	if _, err := c.TakeDeadLetter(id1); err == nil {
+		t.Error("double take should fail")
+	}
+	if n, err := c.PurgeDeadLetters(); err != nil || n != 1 {
+		t.Errorf("purge = %d, %v", n, err)
+	}
+}
+
+func TestDeadLettersSurviveReopen(t *testing.T) {
+	disk := storage.NewMem()
+	c, flush := newCatalogFlush(t, disk, 16)
+	if _, err := c.AddDeadLetter(DeadToken, 0, dlToken(9), "boom", 3); err != nil {
+		t.Fatal(err)
+	}
+	flush()
+
+	c2 := newCatalog(t, disk, 16)
+	all, err := c2.DeadLetters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || all[0].Error != "boom" || all[0].Token.Seq != 9 {
+		t.Fatalf("recovered = %+v", all)
+	}
+	// The ID sequence continues past recovered entries.
+	id, err := c2.AddDeadLetter(DeadToken, 0, dlToken(10), "later", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= all[0].ID {
+		t.Errorf("new id %d should exceed recovered id %d", id, all[0].ID)
+	}
+}

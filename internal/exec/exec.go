@@ -82,10 +82,20 @@ type Executor struct {
 	DB StmtRunner
 	// Bus receives raise event publications; may be nil likewise.
 	Bus *event.Bus
+	// Inject, when set, runs before every action execution; a non-nil
+	// error aborts the action. The fault-injection harness
+	// (internal/faults.ActionInjector) installs its hook here to make
+	// actions fail or panic on demand.
+	Inject func(triggerID uint64) error
 }
 
 // Execute runs one action for one firing.
 func (e *Executor) Execute(triggerID uint64, act parser.Action, b Binding, schemaOf func(int) *types.Schema) error {
+	if e.Inject != nil {
+		if err := e.Inject(triggerID); err != nil {
+			return err
+		}
+	}
 	switch a := act.(type) {
 	case *parser.ExecSQL:
 		if e.DB == nil {

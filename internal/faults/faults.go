@@ -1,0 +1,236 @@
+// Package faults is the fault-injection harness: reusable wrappers that
+// make the storage and action layers fail on demand so chaos tests can
+// assert the system's failure-handling contract — no token lost, no
+// driver killed, Drain/Close still terminate — under sustained fault
+// rates.
+//
+// Two injectors are provided. Disk wraps a storage.DiskManager with
+// probabilistic (or switched-on) I/O errors and added latency; it
+// generalizes the ad-hoc faultDisk previously private to the storage
+// tests. ActionInjector plugs into exec.Executor.Inject and makes rule
+// actions fail or panic at a configured rate. Injected errors are
+// marked retry.Transient, so they exercise the retry/backoff path the
+// way a real flaky disk would; panics exercise the panic-isolation
+// path.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"triggerman/internal/retry"
+	"triggerman/internal/storage"
+)
+
+// Disk wraps a DiskManager and injects faults. The zero rate injects
+// nothing; the always-fail switches override the rates for
+// deterministic tests.
+type Disk struct {
+	inner storage.DiskManager
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	readRate  float64
+	writeRate float64
+	allocRate float64
+	latency   time.Duration
+
+	failReads, failWrites, failAllocs bool
+
+	injected int64
+}
+
+var _ storage.DiskManager = (*Disk)(nil)
+
+// NewDisk wraps inner with a deterministic injector seeded by seed.
+func NewDisk(inner storage.DiskManager, seed int64) *Disk {
+	return &Disk{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Inner returns the wrapped manager.
+func (d *Disk) Inner() storage.DiskManager { return d.inner }
+
+// SetErrorRate makes every read, write and allocation fail with
+// probability p (0 disables).
+func (d *Disk) SetErrorRate(p float64) {
+	d.mu.Lock()
+	d.readRate, d.writeRate, d.allocRate = p, p, p
+	d.mu.Unlock()
+}
+
+// SetRates sets per-operation failure probabilities.
+func (d *Disk) SetRates(read, write, alloc float64) {
+	d.mu.Lock()
+	d.readRate, d.writeRate, d.allocRate = read, write, alloc
+	d.mu.Unlock()
+}
+
+// SetLatency adds a fixed delay to every read and write.
+func (d *Disk) SetLatency(l time.Duration) {
+	d.mu.Lock()
+	d.latency = l
+	d.mu.Unlock()
+}
+
+// SetFailReads / SetFailWrites / SetFailAllocs force every operation of
+// that kind to fail until switched off (deterministic error-path
+// tests).
+func (d *Disk) SetFailReads(on bool) {
+	d.mu.Lock()
+	d.failReads = on
+	d.mu.Unlock()
+}
+
+// SetFailWrites forces write failures on or off.
+func (d *Disk) SetFailWrites(on bool) {
+	d.mu.Lock()
+	d.failWrites = on
+	d.mu.Unlock()
+}
+
+// SetFailAllocs forces allocation failures on or off.
+func (d *Disk) SetFailAllocs(on bool) {
+	d.mu.Lock()
+	d.failAllocs = on
+	d.mu.Unlock()
+}
+
+// Injected reports how many faults have been injected so far.
+func (d *Disk) Injected() int64 { return atomic.LoadInt64(&d.injected) }
+
+// decide rolls the dice for one operation and applies latency.
+func (d *Disk) decide(forced bool, rate float64) bool {
+	d.mu.Lock()
+	lat := d.latency
+	hit := forced || (rate > 0 && d.rng.Float64() < rate)
+	d.mu.Unlock()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if hit {
+		atomic.AddInt64(&d.injected, 1)
+	}
+	return hit
+}
+
+// ReadPage implements storage.DiskManager.
+func (d *Disk) ReadPage(id storage.PageID, buf []byte) error {
+	d.mu.Lock()
+	forced, rate := d.failReads, d.readRate
+	d.mu.Unlock()
+	if d.decide(forced, rate) {
+		return retry.Transient(fmt.Errorf("faults: injected read fault on page %d", id))
+	}
+	return d.inner.ReadPage(id, buf)
+}
+
+// WritePage implements storage.DiskManager.
+func (d *Disk) WritePage(id storage.PageID, buf []byte) error {
+	d.mu.Lock()
+	forced, rate := d.failWrites, d.writeRate
+	d.mu.Unlock()
+	if d.decide(forced, rate) {
+		return retry.Transient(fmt.Errorf("faults: injected write fault on page %d", id))
+	}
+	return d.inner.WritePage(id, buf)
+}
+
+// AllocatePage implements storage.DiskManager.
+func (d *Disk) AllocatePage() (storage.PageID, error) {
+	d.mu.Lock()
+	forced, rate := d.failAllocs, d.allocRate
+	d.mu.Unlock()
+	if d.decide(forced, rate) {
+		return storage.InvalidPageID, retry.Transient(fmt.Errorf("faults: injected allocation fault"))
+	}
+	return d.inner.AllocatePage()
+}
+
+// NumPages implements storage.DiskManager.
+func (d *Disk) NumPages() int { return d.inner.NumPages() }
+
+// Sync implements storage.DiskManager.
+func (d *Disk) Sync() error { return d.inner.Sync() }
+
+// Close implements storage.DiskManager.
+func (d *Disk) Close() error { return d.inner.Close() }
+
+// ActionInjector makes rule actions fail. Wire its Hook into
+// exec.Executor.Inject. Error injections return transient errors (the
+// retry path); panic injections panic (the isolation path); a trigger
+// listed in Poison panics on every firing (the quarantine path).
+type ActionInjector struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	errRate   float64
+	panicRate float64
+	poison    map[uint64]bool
+
+	injectedErrs   int64
+	injectedPanics int64
+}
+
+// NewActionInjector returns a deterministic injector seeded by seed.
+func NewActionInjector(seed int64) *ActionInjector {
+	return &ActionInjector{rng: rand.New(rand.NewSource(seed)), poison: make(map[uint64]bool)}
+}
+
+// SetErrorRate makes actions fail with a transient error at rate p.
+func (a *ActionInjector) SetErrorRate(p float64) {
+	a.mu.Lock()
+	a.errRate = p
+	a.mu.Unlock()
+}
+
+// SetPanicRate makes actions panic at rate p.
+func (a *ActionInjector) SetPanicRate(p float64) {
+	a.mu.Lock()
+	a.panicRate = p
+	a.mu.Unlock()
+}
+
+// Poison makes every firing of the given trigger panic.
+func (a *ActionInjector) Poison(triggerID uint64) {
+	a.mu.Lock()
+	a.poison[triggerID] = true
+	a.mu.Unlock()
+}
+
+// Heal removes a trigger from the poison set.
+func (a *ActionInjector) Heal(triggerID uint64) {
+	a.mu.Lock()
+	delete(a.poison, triggerID)
+	a.mu.Unlock()
+}
+
+// InjectedErrors reports how many action errors were injected.
+func (a *ActionInjector) InjectedErrors() int64 { return atomic.LoadInt64(&a.injectedErrs) }
+
+// InjectedPanics reports how many action panics were injected.
+func (a *ActionInjector) InjectedPanics() int64 { return atomic.LoadInt64(&a.injectedPanics) }
+
+// Hook returns the function to install as exec.Executor.Inject.
+func (a *ActionInjector) Hook() func(triggerID uint64) error {
+	return func(triggerID uint64) error {
+		a.mu.Lock()
+		poisoned := a.poison[triggerID]
+		doPanic := !poisoned && a.panicRate > 0 && a.rng.Float64() < a.panicRate
+		doErr := !poisoned && !doPanic && a.errRate > 0 && a.rng.Float64() < a.errRate
+		a.mu.Unlock()
+		switch {
+		case poisoned:
+			atomic.AddInt64(&a.injectedPanics, 1)
+			panic(fmt.Sprintf("faults: poison trigger %d", triggerID))
+		case doPanic:
+			atomic.AddInt64(&a.injectedPanics, 1)
+			panic(fmt.Sprintf("faults: injected action panic (trigger %d)", triggerID))
+		case doErr:
+			atomic.AddInt64(&a.injectedErrs, 1)
+			return retry.Transient(fmt.Errorf("faults: injected action fault (trigger %d)", triggerID))
+		}
+		return nil
+	}
+}

@@ -1,0 +1,130 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"triggerman/internal/retry"
+	"triggerman/internal/storage"
+)
+
+func TestDiskRateInjection(t *testing.T) {
+	d := NewDisk(storage.NewMem(), 1)
+	id, err := d.AllocatePage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, storage.PageSize)
+	d.SetErrorRate(0.5)
+	fails := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := d.ReadPage(id, buf); err != nil {
+			if !retry.IsTransient(err) {
+				t.Fatalf("injected fault not transient: %v", err)
+			}
+			fails++
+		}
+	}
+	if fails < n/3 || fails > 2*n/3 {
+		t.Errorf("0.5 rate produced %d/%d failures", fails, n)
+	}
+	if d.Injected() != int64(fails) {
+		t.Errorf("Injected() = %d, want %d", d.Injected(), fails)
+	}
+	d.SetErrorRate(0)
+	if err := d.ReadPage(id, buf); err != nil {
+		t.Errorf("rate 0 should not fail: %v", err)
+	}
+}
+
+func TestDiskForcedSwitches(t *testing.T) {
+	d := NewDisk(storage.NewMem(), 7)
+	id, _ := d.AllocatePage()
+	buf := make([]byte, storage.PageSize)
+
+	d.SetFailWrites(true)
+	if err := d.WritePage(id, buf); err == nil {
+		t.Error("forced write fault missing")
+	}
+	d.SetFailWrites(false)
+	if err := d.WritePage(id, buf); err != nil {
+		t.Errorf("write after heal: %v", err)
+	}
+	d.SetFailAllocs(true)
+	if _, err := d.AllocatePage(); err == nil {
+		t.Error("forced alloc fault missing")
+	}
+	d.SetFailAllocs(false)
+	d.SetFailReads(true)
+	if err := d.ReadPage(id, buf); err == nil {
+		t.Error("forced read fault missing")
+	}
+}
+
+func TestDiskLatency(t *testing.T) {
+	d := NewDisk(storage.NewMem(), 3)
+	id, _ := d.AllocatePage()
+	buf := make([]byte, storage.PageSize)
+	d.SetLatency(2 * time.Millisecond)
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if err := d.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if el := time.Since(start); el < 10*time.Millisecond {
+		t.Errorf("5 reads at 2ms latency took %v", el)
+	}
+}
+
+func TestActionInjectorModes(t *testing.T) {
+	a := NewActionInjector(11)
+	hook := a.Hook()
+
+	// Error mode.
+	a.SetErrorRate(1)
+	if err := hook(1); err == nil || !retry.IsTransient(err) {
+		t.Fatalf("error injection: %v", err)
+	}
+	a.SetErrorRate(0)
+	if err := hook(1); err != nil {
+		t.Fatalf("rate 0: %v", err)
+	}
+	if a.InjectedErrors() != 1 {
+		t.Errorf("InjectedErrors = %d", a.InjectedErrors())
+	}
+
+	// Panic mode.
+	a.SetPanicRate(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic injection did not panic")
+			}
+		}()
+		hook(2)
+	}()
+	a.SetPanicRate(0)
+
+	// Poison quarantines one trigger only.
+	a.Poison(42)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("poisoned trigger did not panic")
+			}
+		}()
+		hook(42)
+	}()
+	if err := hook(7); err != nil {
+		t.Errorf("non-poisoned trigger: %v", err)
+	}
+	a.Heal(42)
+	if err := hook(42); err != nil {
+		t.Errorf("healed trigger: %v", err)
+	}
+	if a.InjectedPanics() != 2 {
+		t.Errorf("InjectedPanics = %d", a.InjectedPanics())
+	}
+}

@@ -1,0 +1,277 @@
+// Package retry implements the failure-handling policy of the trigger
+// processor: bounded retries with exponential backoff and jitter,
+// per-attempt timeouts, and a transient/permanent error classification.
+//
+// TriggerMan's host DBMS commits and moves on (§2, §6), so the trigger
+// processor alone decides what happens to a failing token or action.
+// The contract this package supports: *transient* faults (a flaky disk,
+// a timed-out action) are retried under an exponential-backoff policy;
+// *permanent* faults (unknown column, type mismatch, a panicking
+// action) fail fast so the caller can quarantine the work item in the
+// dead-letter queue instead of burning driver time on it.
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"time"
+)
+
+// Class is the retryability classification of an error.
+type Class int
+
+const (
+	// ClassUnknown means the error carries no explicit marker; policies
+	// treat unknown errors as permanent (fail fast) so semantic errors
+	// are never retried by accident.
+	ClassUnknown Class = iota
+	// ClassTransient errors are worth retrying.
+	ClassTransient
+	// ClassPermanent errors must not be retried.
+	ClassPermanent
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassTransient:
+		return "transient"
+	case ClassPermanent:
+		return "permanent"
+	default:
+		return "unknown"
+	}
+}
+
+// classified wraps an error with an explicit class; it unwraps so
+// errors.Is/As keep seeing the cause.
+type classified struct {
+	err   error
+	class Class
+}
+
+func (c *classified) Error() string { return c.err.Error() }
+func (c *classified) Unwrap() error { return c.err }
+
+// Transient marks err as retryable. Marking nil returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: ClassTransient}
+}
+
+// Permanent marks err as not retryable. Marking nil returns nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: ClassPermanent}
+}
+
+// ClassOf reports the innermost explicit classification of err (the
+// mark closest to the fault wins), or ClassUnknown when err carries no
+// marker. A *PanicError anywhere in the chain is permanent, and so is
+// an *Exhausted wrapper: once one policy has burned its attempts, an
+// enclosing policy must not retry the whole batch again.
+func ClassOf(err error) Class {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return ClassPermanent
+	}
+	var ex *Exhausted
+	if errors.As(err, &ex) {
+		return ClassPermanent
+	}
+	class := ClassUnknown
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if c, ok := e.(*classified); ok {
+			class = c.class
+		}
+	}
+	return class
+}
+
+// IsTransient reports whether err is explicitly marked transient.
+func IsTransient(err error) bool { return ClassOf(err) == ClassTransient }
+
+// PanicError is a recovered panic converted into an error, with the
+// goroutine stack captured at recovery time. It classifies as
+// permanent: a panicking action is deterministic until someone fixes
+// it, so retrying would only re-crash.
+type PanicError struct {
+	Value interface{}
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Recovered converts a recover() value into a *PanicError with the
+// current stack. It returns nil for a nil recover value.
+func Recovered(v interface{}) error {
+	if v == nil {
+		return nil
+	}
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// TimeoutError reports an attempt that exceeded the policy's
+// AttemptTimeout. It classifies as transient.
+type TimeoutError struct {
+	Timeout time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("retry: attempt exceeded %v timeout", e.Timeout)
+}
+
+// Exhausted wraps the final error after every allowed attempt of a
+// transient fault failed.
+type Exhausted struct {
+	Attempts int
+	Err      error
+}
+
+// Error implements error.
+func (e *Exhausted) Error() string {
+	return fmt.Sprintf("retry: %d attempts exhausted: %v", e.Attempts, e.Err)
+}
+
+// Unwrap exposes the final attempt's error.
+func (e *Exhausted) Unwrap() error { return e.Err }
+
+// Policy bounds a retry loop. The zero value is usable: it takes the
+// package defaults (4 attempts, 1ms base delay doubling to a 100ms
+// cap, 50% jitter, no attempt timeout).
+type Policy struct {
+	// MaxAttempts is the total number of tries (first attempt
+	// included); values below 1 take the default of 4.
+	MaxAttempts int
+	// BaseDelay is the sleep before the second attempt; it doubles per
+	// attempt. Default 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default 100ms.
+	MaxDelay time.Duration
+	// Jitter in [0,1] randomizes each delay by ±Jitter/2 of its value so
+	// concurrent retries decorrelate. Default 0.5.
+	Jitter float64
+	// AttemptTimeout bounds one attempt; 0 means no timeout. A timed-out
+	// attempt counts as a transient failure. The attempt's goroutine is
+	// abandoned, not killed — work must tolerate that.
+	AttemptTimeout time.Duration
+	// Classify overrides the default classification (ClassOf). Unknown
+	// results fall back to ClassOf's verdict.
+	Classify func(error) Class
+	// Sleep replaces time.Sleep (tests). Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// WithDefaults fills unset fields with the package defaults.
+func (p Policy) WithDefaults() Policy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.5
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// Backoff returns the jittered delay before attempt (1-based: the
+// delay after the attempt-th failure).
+func (p Policy) Backoff(attempt int) time.Duration {
+	p = p.WithDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		// Spread over [d*(1-j/2), d*(1+j/2)].
+		span := float64(d) * p.Jitter
+		d = time.Duration(float64(d) - span/2 + rand.Float64()*span)
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
+// classify applies the policy's classifier with ClassOf as fallback.
+func (p Policy) classify(err error) Class {
+	if p.Classify != nil {
+		if c := p.Classify(err); c != ClassUnknown {
+			return c
+		}
+	}
+	return ClassOf(err)
+}
+
+// Do runs fn under the policy: transient failures are retried with
+// backoff up to MaxAttempts; permanent and unknown failures return
+// immediately. Panics inside fn are recovered into a *PanicError
+// (permanent). It returns the number of attempts made and the final
+// error — a *Exhausted wrapper when transient retries ran out, the
+// bare error otherwise.
+func (p Policy) Do(fn func() error) (int, error) {
+	p = p.WithDefaults()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = p.runOnce(fn)
+		if err == nil {
+			return attempt, nil
+		}
+		if p.classify(err) != ClassTransient {
+			return attempt, err
+		}
+		if attempt >= p.MaxAttempts {
+			return attempt, &Exhausted{Attempts: attempt, Err: err}
+		}
+		p.Sleep(p.Backoff(attempt))
+	}
+}
+
+// runOnce executes fn with panic capture and the optional attempt
+// timeout.
+func (p Policy) runOnce(fn func() error) error {
+	if p.AttemptTimeout <= 0 {
+		return capture(fn)
+	}
+	done := make(chan error, 1)
+	go func() { done <- capture(fn) }()
+	timer := time.NewTimer(p.AttemptTimeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		return Transient(&TimeoutError{Timeout: p.AttemptTimeout})
+	}
+}
+
+func capture(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = Recovered(r)
+		}
+	}()
+	return fn()
+}

@@ -1,0 +1,173 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func noSleep(p Policy) Policy {
+	p.Sleep = func(time.Duration) {}
+	return p
+}
+
+func TestClassification(t *testing.T) {
+	base := fmt.Errorf("disk glitch")
+	if ClassOf(base) != ClassUnknown {
+		t.Error("bare error should be unknown")
+	}
+	if ClassOf(Transient(base)) != ClassTransient || !IsTransient(Transient(base)) {
+		t.Error("transient mark lost")
+	}
+	if ClassOf(Permanent(base)) != ClassPermanent {
+		t.Error("permanent mark lost")
+	}
+	// Marks survive %w wrapping.
+	wrapped := fmt.Errorf("queue: %w", Transient(base))
+	if !IsTransient(wrapped) {
+		t.Error("transient mark should survive fmt %w wrapping")
+	}
+	// The innermost mark wins: a permanent fault stays permanent even if
+	// an outer layer re-marks the whole operation transient.
+	remarked := Transient(fmt.Errorf("op: %w", Permanent(base)))
+	if ClassOf(remarked) != ClassPermanent {
+		t.Error("innermost classification should win")
+	}
+	if !errors.Is(Transient(base), base) {
+		t.Error("marking should preserve errors.Is")
+	}
+	if Transient(nil) != nil || Permanent(nil) != nil {
+		t.Error("marking nil should stay nil")
+	}
+}
+
+func TestDoRetriesTransient(t *testing.T) {
+	calls := 0
+	n, err := noSleep(Policy{MaxAttempts: 5}).Do(func() error {
+		calls++
+		if calls < 3 {
+			return Transient(fmt.Errorf("flaky"))
+		}
+		return nil
+	})
+	if err != nil || n != 3 || calls != 3 {
+		t.Fatalf("n=%d calls=%d err=%v", n, calls, err)
+	}
+}
+
+func TestDoFailsFastOnPermanentAndUnknown(t *testing.T) {
+	for _, mk := range []func(error) error{Permanent, func(e error) error { return e }} {
+		calls := 0
+		bad := fmt.Errorf("unknown column")
+		n, err := noSleep(Policy{MaxAttempts: 5}).Do(func() error {
+			calls++
+			return mk(bad)
+		})
+		if calls != 1 || n != 1 {
+			t.Errorf("fail-fast made %d calls", calls)
+		}
+		if !errors.Is(err, bad) {
+			t.Errorf("err = %v", err)
+		}
+	}
+}
+
+func TestDoExhausts(t *testing.T) {
+	calls := 0
+	n, err := noSleep(Policy{MaxAttempts: 3}).Do(func() error {
+		calls++
+		return Transient(fmt.Errorf("always down"))
+	})
+	if calls != 3 || n != 3 {
+		t.Fatalf("calls = %d", calls)
+	}
+	var ex *Exhausted
+	if !errors.As(err, &ex) || ex.Attempts != 3 {
+		t.Fatalf("want Exhausted(3), got %v", err)
+	}
+	// Exhaustion is permanent: nested policies must not re-retry it.
+	if ClassOf(err) == ClassTransient {
+		t.Error("exhausted error should not classify transient")
+	}
+}
+
+func TestDoRecoversPanic(t *testing.T) {
+	calls := 0
+	_, err := noSleep(Policy{MaxAttempts: 4}).Do(func() error {
+		calls++
+		panic("poison action")
+	})
+	if calls != 1 {
+		t.Errorf("panic should not be retried (calls=%d)", calls)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || len(pe.Stack) == 0 {
+		t.Fatalf("want PanicError with stack, got %v", err)
+	}
+	if ClassOf(err) != ClassPermanent {
+		t.Error("panic should classify permanent")
+	}
+}
+
+func TestAttemptTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	var calls int64
+	p := noSleep(Policy{MaxAttempts: 2, AttemptTimeout: 5 * time.Millisecond})
+	_, err := p.Do(func() error {
+		if atomic.AddInt64(&calls, 1) == 1 {
+			<-block // hang the first attempt
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("timeout then success: %v", err)
+	}
+	if got := atomic.LoadInt64(&calls); got != 2 {
+		t.Errorf("calls = %d", got)
+	}
+}
+
+func TestBackoffShape(t *testing.T) {
+	p := Policy{BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Jitter: 0}
+	want := []time.Duration{1, 2, 4, 8, 8} // ms, capped
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w*time.Millisecond {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	// Jitter stays within ±25% of the nominal value at Jitter=0.5.
+	j := Policy{BaseDelay: 4 * time.Millisecond, MaxDelay: 4 * time.Millisecond, Jitter: 0.5}
+	for i := 0; i < 100; i++ {
+		d := j.Backoff(1)
+		if d < 3*time.Millisecond || d > 5*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside [3ms,5ms]", d)
+		}
+	}
+}
+
+func TestClassifyOverride(t *testing.T) {
+	calls := 0
+	p := noSleep(Policy{
+		MaxAttempts: 3,
+		Classify: func(err error) Class {
+			if err.Error() == "deadlock" {
+				return ClassTransient
+			}
+			return ClassUnknown
+		},
+	})
+	n, err := p.Do(func() error {
+		calls++
+		return fmt.Errorf("deadlock") // unmarked, classified by hook
+	})
+	if n != 3 || calls != 3 {
+		t.Errorf("override should retry: n=%d", n)
+	}
+	var ex *Exhausted
+	if !errors.As(err, &ex) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,42 +1,19 @@
-package storage
+package storage_test
+
+// Error-propagation tests through the buffer pool and heap layers,
+// driven by the shared fault-injection harness (internal/faults), which
+// replaced the ad-hoc faultDisk these tests originally carried.
 
 import (
-	"fmt"
 	"testing"
+
+	"triggerman/internal/faults"
+	"triggerman/internal/storage"
 )
 
-// faultDisk wraps a DiskManager and fails operations on command,
-// exercising error propagation through the buffer pool and heap layers.
-type faultDisk struct {
-	inner                             DiskManager
-	failReads, failWrites, failAllocs bool
-}
-
-func (d *faultDisk) ReadPage(id PageID, buf []byte) error {
-	if d.failReads {
-		return fmt.Errorf("injected read fault on page %d", id)
-	}
-	return d.inner.ReadPage(id, buf)
-}
-func (d *faultDisk) WritePage(id PageID, buf []byte) error {
-	if d.failWrites {
-		return fmt.Errorf("injected write fault on page %d", id)
-	}
-	return d.inner.WritePage(id, buf)
-}
-func (d *faultDisk) AllocatePage() (PageID, error) {
-	if d.failAllocs {
-		return InvalidPageID, fmt.Errorf("injected allocation fault")
-	}
-	return d.inner.AllocatePage()
-}
-func (d *faultDisk) NumPages() int { return d.inner.NumPages() }
-func (d *faultDisk) Sync() error   { return d.inner.Sync() }
-func (d *faultDisk) Close() error  { return d.inner.Close() }
-
 func TestBufferPoolReadFaultPropagates(t *testing.T) {
-	fd := &faultDisk{inner: NewMem()}
-	bp := NewBufferPool(fd, 2)
+	fd := faults.NewDisk(storage.NewMem(), 1)
+	bp := storage.NewBufferPool(fd, 2)
 	p, err := bp.NewPage()
 	if err != nil {
 		t.Fatal(err)
@@ -49,11 +26,11 @@ func TestBufferPoolReadFaultPropagates(t *testing.T) {
 	p3, _ := bp.NewPage()
 	bp.Unpin(p3.ID, true)
 
-	fd.failReads = true
+	fd.SetFailReads(true)
 	if _, err := bp.FetchPage(id); err == nil {
 		t.Error("read fault should propagate through FetchPage")
 	}
-	fd.failReads = false
+	fd.SetFailReads(false)
 	if _, err := bp.FetchPage(id); err != nil {
 		t.Errorf("recovery after fault: %v", err)
 	}
@@ -61,14 +38,14 @@ func TestBufferPoolReadFaultPropagates(t *testing.T) {
 }
 
 func TestBufferPoolWriteFaultOnEviction(t *testing.T) {
-	fd := &faultDisk{inner: NewMem()}
-	bp := NewBufferPool(fd, 1)
+	fd := faults.NewDisk(storage.NewMem(), 1)
+	bp := storage.NewBufferPool(fd, 1)
 	p, _ := bp.NewPage()
 	p.InitSlotted()
 	p.InsertRecord([]byte("dirty"))
 	bp.Unpin(p.ID, true)
 
-	fd.failWrites = true
+	fd.SetFailWrites(true)
 	// Evicting the dirty page must fail, not lose the data silently.
 	if _, err := bp.NewPage(); err == nil {
 		t.Error("dirty eviction with write fault should fail")
@@ -76,16 +53,16 @@ func TestBufferPoolWriteFaultOnEviction(t *testing.T) {
 	if err := bp.FlushAll(); err == nil {
 		t.Error("FlushAll with write fault should fail")
 	}
-	fd.failWrites = false
+	fd.SetFailWrites(false)
 	if err := bp.FlushAll(); err != nil {
 		t.Errorf("flush after recovery: %v", err)
 	}
 }
 
 func TestHeapAllocFaultPropagates(t *testing.T) {
-	fd := &faultDisk{inner: NewMem()}
-	bp := NewBufferPool(fd, 8)
-	h, err := CreateHeap(bp)
+	fd := faults.NewDisk(storage.NewMem(), 1)
+	bp := storage.NewBufferPool(fd, 8)
+	h, err := storage.CreateHeap(bp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,40 +73,41 @@ func TestHeapAllocFaultPropagates(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	fd.failAllocs = true
+	fd.SetFailAllocs(true)
 	if _, err := h.Insert(big); err == nil {
 		t.Error("chain growth with alloc fault should fail")
 	}
-	fd.failAllocs = false
+	fd.SetFailAllocs(false)
 	if _, err := h.Insert(big); err != nil {
 		t.Errorf("insert after recovery: %v", err)
 	}
 	// Count stayed consistent through the failure.
 	n := 0
-	h.Scan(func(RID, []byte) bool { n++; return true })
+	h.Scan(func(storage.RID, []byte) bool { n++; return true })
 	if n != h.Count() {
 		t.Errorf("scan %d != count %d after fault", n, h.Count())
 	}
 }
 
 func TestCreateHeapAllocFault(t *testing.T) {
-	fd := &faultDisk{inner: NewMem(), failAllocs: true}
-	bp := NewBufferPool(fd, 4)
-	if _, err := CreateHeap(bp); err == nil {
+	fd := faults.NewDisk(storage.NewMem(), 1)
+	fd.SetFailAllocs(true)
+	bp := storage.NewBufferPool(fd, 4)
+	if _, err := storage.CreateHeap(bp); err == nil {
 		t.Error("CreateHeap with alloc fault should fail")
 	}
 }
 
 func TestOpenHeapReadFault(t *testing.T) {
-	fd := &faultDisk{inner: NewMem()}
-	bp := NewBufferPool(fd, 4)
-	h, _ := CreateHeap(bp)
+	fd := faults.NewDisk(storage.NewMem(), 1)
+	bp := storage.NewBufferPool(fd, 4)
+	h, _ := storage.CreateHeap(bp)
 	h.Insert([]byte("x"))
 	bp.FlushAll()
 
-	fd.failReads = true
-	bp2 := NewBufferPool(fd, 4)
-	if _, err := OpenHeap(bp2, h.FirstPage()); err == nil {
+	fd.SetFailReads(true)
+	bp2 := storage.NewBufferPool(fd, 4)
+	if _, err := storage.OpenHeap(bp2, h.FirstPage()); err == nil {
 		t.Error("OpenHeap with read fault should fail")
 	}
 }

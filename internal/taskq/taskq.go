@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"triggerman/internal/retry"
 )
 
 // Kind enumerates the §6 task types.
@@ -52,9 +54,22 @@ func (k Kind) String() string {
 
 // Task is one unit of work. Run executes it; tasks may enqueue follow-up
 // tasks (e.g. a ProcessToken task spawning RunAction tasks).
+//
+// Every task runs under panic isolation: a panic in Run is recovered
+// into a *retry.PanicError and reported through OnError, so one poison
+// token can neither kill its driver goroutine nor wedge Drain.
 type Task struct {
 	Kind Kind
 	Run  func() error
+	// Retry, when non-nil, re-enqueues the task with the policy's
+	// backoff after Run returns a transient error, up to the policy's
+	// MaxAttempts total runs. Permanent errors, unknown errors and
+	// panics are never retried. Drain and Close account for scheduled
+	// retries: they wait for the task's final outcome.
+	Retry *retry.Policy
+
+	// attempt counts completed runs of this task (retry bookkeeping).
+	attempt int
 }
 
 // Config tunes the driver pool.
@@ -97,6 +112,10 @@ type Stats struct {
 	Enqueued, Executed, Errors int64
 	// DrainSlices counts TmanTest invocations that found work.
 	DrainSlices int64
+	// Panics counts task panics recovered by the drivers.
+	Panics int64
+	// Retries counts backoff re-enqueues of transiently failed tasks.
+	Retries int64
 }
 
 // Pool is the shared task queue plus its driver goroutines.
@@ -137,6 +156,8 @@ func (p *Pool) Stats() Stats {
 		Executed:    atomic.LoadInt64(&p.stats.Executed),
 		Errors:      atomic.LoadInt64(&p.stats.Errors),
 		DrainSlices: atomic.LoadInt64(&p.stats.DrainSlices),
+		Panics:      atomic.LoadInt64(&p.stats.Panics),
+		Retries:     atomic.LoadInt64(&p.stats.Retries),
 	}
 }
 
@@ -237,17 +258,56 @@ func (p *Pool) tmanTest(first Task) {
 }
 
 func (p *Pool) runTask(t Task) {
-	defer p.pending.Done()
-	if t.Run == nil {
+	err := p.invoke(t)
+	atomic.AddInt64(&p.stats.Executed, 1)
+	if err == nil {
+		p.pending.Done()
 		return
 	}
-	if err := t.Run(); err != nil {
-		atomic.AddInt64(&p.stats.Errors, 1)
-		if p.cfg.OnError != nil {
-			p.cfg.OnError(err)
-		}
+	atomic.AddInt64(&p.stats.Errors, 1)
+	if t.Retry != nil && t.attempt+1 < t.Retry.WithDefaults().MaxAttempts && retry.IsTransient(err) {
+		// Re-enqueue after the policy's backoff. The new incarnation is
+		// registered with pending before this one is released, so Drain
+		// and Close keep waiting for the task's final outcome.
+		nt := t
+		nt.attempt++
+		p.pending.Add(1)
+		atomic.AddInt64(&p.stats.Retries, 1)
+		time.AfterFunc(t.Retry.Backoff(nt.attempt), func() { p.requeue(nt) })
+		p.pending.Done()
+		return
 	}
-	atomic.AddInt64(&p.stats.Executed, 1)
+	if p.cfg.OnError != nil {
+		p.cfg.OnError(err)
+	}
+	p.pending.Done()
+}
+
+// invoke runs the task body under panic isolation: a panicking task is
+// converted into a *retry.PanicError (with stack) instead of killing
+// the driver goroutine or deadlocking Drain.
+func (p *Pool) invoke(t Task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			atomic.AddInt64(&p.stats.Panics, 1)
+			err = retry.Recovered(r)
+		}
+	}()
+	if t.Run == nil {
+		return nil
+	}
+	return t.Run()
+}
+
+// requeue re-admits a retried task. Unlike Submit it ignores the closed
+// flag: the task was accepted before Close, and Close's pending.Wait
+// cannot return until this incarnation runs, so the drivers are still
+// alive to pick it up.
+func (p *Pool) requeue(t Task) {
+	p.mu.Lock()
+	p.queue = append(p.queue, t)
+	p.cond.Signal()
+	p.mu.Unlock()
 }
 
 // Drain blocks until every task enqueued so far (and every follow-up

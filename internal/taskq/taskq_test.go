@@ -1,11 +1,14 @@
 package taskq
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"triggerman/internal/retry"
 )
 
 func TestSubmitAndDrain(t *testing.T) {
@@ -154,5 +157,157 @@ func TestDrainSliceAccounting(t *testing.T) {
 	st := p.Stats()
 	if st.DrainSlices < 1 || st.DrainSlices > 100 {
 		t.Errorf("drain slices = %d", st.DrainSlices)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	// A panicking task must be converted into an error, not kill its
+	// driver: with a single driver, later tasks still run.
+	var panics, after int64
+	var got error
+	var mu sync.Mutex
+	p := New(Config{Drivers: 1, OnError: func(err error) {
+		mu.Lock()
+		got = err
+		mu.Unlock()
+	}})
+	defer p.Close()
+	p.Submit(Task{Kind: RunAction, Run: func() error {
+		atomic.AddInt64(&panics, 1)
+		panic("poison token")
+	}})
+	for i := 0; i < 10; i++ {
+		p.Submit(Task{Run: func() error { atomic.AddInt64(&after, 1); return nil }})
+	}
+	p.Drain()
+	if after != 10 {
+		t.Fatalf("driver died: only %d tasks ran after the panic", after)
+	}
+	st := p.Stats()
+	if st.Panics != 1 || st.Errors != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var pe *retry.PanicError
+	if !errors.As(got, &pe) || len(pe.Stack) == 0 {
+		t.Errorf("OnError got %v, want PanicError with stack", got)
+	}
+}
+
+func TestDrainReturnsWhenEveryTaskErrors(t *testing.T) {
+	// Drain must terminate even when 100% of the queued tasks fail —
+	// the errors-only path must still release pending accounting.
+	var seen int64
+	p := New(Config{Drivers: 2, OnError: func(error) { atomic.AddInt64(&seen, 1) }})
+	defer p.Close()
+	for i := 0; i < 200; i++ {
+		p.Submit(Task{Run: func() error { return fmt.Errorf("always fails") }})
+	}
+	done := make(chan struct{})
+	go func() { p.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return with an all-error queue")
+	}
+	if seen != 200 || p.Stats().Errors != 200 {
+		t.Errorf("OnError saw %d, stats errors %d", seen, p.Stats().Errors)
+	}
+}
+
+func TestOnErrorReceivesTaskError(t *testing.T) {
+	want := fmt.Errorf("specific failure")
+	var got error
+	var mu sync.Mutex
+	p := New(Config{Drivers: 1, OnError: func(err error) {
+		mu.Lock()
+		got = err
+		mu.Unlock()
+	}})
+	defer p.Close()
+	p.Submit(Task{Run: func() error { return want }})
+	p.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	if !errors.Is(got, want) {
+		t.Errorf("OnError got %v, want %v", got, want)
+	}
+}
+
+func TestTaskRetryTransient(t *testing.T) {
+	// A transiently failing task is re-enqueued with backoff and Drain
+	// waits for its final success.
+	pol := &retry.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	var runs int64
+	var failed int64
+	p := New(Config{Drivers: 2, OnError: func(error) { atomic.AddInt64(&failed, 1) }})
+	defer p.Close()
+	p.Submit(Task{Kind: ProcessToken, Retry: pol, Run: func() error {
+		if atomic.AddInt64(&runs, 1) < 3 {
+			return retry.Transient(fmt.Errorf("flaky dequeue"))
+		}
+		return nil
+	}})
+	p.Drain()
+	if runs != 3 {
+		t.Fatalf("runs = %d, want 3", runs)
+	}
+	if failed != 0 {
+		t.Errorf("OnError fired %d times for a task that eventually succeeded", failed)
+	}
+	if st := p.Stats(); st.Retries != 2 {
+		t.Errorf("retries = %d", st.Retries)
+	}
+}
+
+func TestTaskRetryExhaustionReportsError(t *testing.T) {
+	pol := &retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	var runs, failed int64
+	p := New(Config{Drivers: 1, OnError: func(error) { atomic.AddInt64(&failed, 1) }})
+	defer p.Close()
+	p.Submit(Task{Retry: pol, Run: func() error {
+		atomic.AddInt64(&runs, 1)
+		return retry.Transient(fmt.Errorf("still down"))
+	}})
+	p.Drain()
+	if runs != 3 {
+		t.Fatalf("runs = %d, want 3 (MaxAttempts)", runs)
+	}
+	if failed != 1 {
+		t.Errorf("OnError fired %d times, want once at exhaustion", failed)
+	}
+}
+
+func TestTaskRetrySkipsPermanentErrors(t *testing.T) {
+	pol := &retry.Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	var runs int64
+	p := New(Config{Drivers: 1})
+	defer p.Close()
+	p.Submit(Task{Retry: pol, Run: func() error {
+		atomic.AddInt64(&runs, 1)
+		return fmt.Errorf("semantic error") // unmarked => not retried
+	}})
+	p.Drain()
+	if runs != 1 {
+		t.Errorf("permanent error retried %d times", runs)
+	}
+}
+
+func TestCloseWaitsForScheduledRetries(t *testing.T) {
+	// Close must not strand a retry scheduled via AfterFunc: the final
+	// incarnation still runs before Close returns.
+	pol := &retry.Policy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	var runs int64
+	p := New(Config{Drivers: 1})
+	p.Submit(Task{Retry: pol, Run: func() error {
+		if atomic.AddInt64(&runs, 1) < 2 {
+			return retry.Transient(fmt.Errorf("flaky"))
+		}
+		return nil
+	}})
+	p.Close()
+	if got := atomic.LoadInt64(&runs); got != 2 {
+		t.Errorf("runs at Close return = %d, want 2", got)
 	}
 }

@@ -1,6 +1,7 @@
 package triggerman
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"triggerman/internal/agg"
@@ -20,18 +21,23 @@ import (
 // (Synchronous) or handed to the task queue as a process-one-token task
 // (task type 1 of §6).
 func (s *System) apply(tok datasource.Token) error {
-	s.mu.RLock()
-	closed := s.closed
-	s.mu.RUnlock()
-	if closed {
+	if s.isClosed() {
 		return errClosed
 	}
-	atomic.AddInt64(&s.tokensIn, 1)
-	if _, err := s.queue.Enqueue(tok); err != nil {
+	// Enqueue under the queue retry policy: a transient page fault must
+	// not lose a captured update. A retried enqueue whose first attempt
+	// partially succeeded can duplicate the token — delivery is
+	// at-least-once, never at-most-zero.
+	if _, err := s.queueRetry.Do(func() error {
+		_, e := s.queue.Enqueue(tok)
+		return e
+	}); err != nil {
 		return err
 	}
+	atomic.AddInt64(&s.tokensIn, 1)
 	if s.opts.Synchronous {
-		return s.consumeOne()
+		_, err := s.queueRetry.Do(s.consumeOne)
+		return err
 	}
 	if s.partitions > 1 {
 		// Condition-level concurrency (task type 3): the token is
@@ -39,21 +45,44 @@ func (s *System) apply(tok datasource.Token) error {
 		// parallel tasks.
 		return s.submitPartitionedToken()
 	}
-	return s.pool.Submit(taskq.Task{Kind: taskq.ProcessToken, Run: func() error {
+	// Task-level retry covers transient *dequeue* failures (the token is
+	// still queued, so re-running the task finds it again). Once a token
+	// is dequeued, consumeOne handles its failures itself and returns
+	// nil, so a re-run can never strand a dequeued token.
+	return s.pool.Submit(taskq.Task{Kind: taskq.ProcessToken, Retry: &s.queueRetry, Run: func() error {
 		return s.consumeOne()
 	}})
 }
 
-// consumeOne dequeues and fully processes one token.
+// consumeOne dequeues and fully processes one token. An error return
+// means the dequeue itself failed and the token is still in the queue;
+// processing failures past that point are retried and then
+// dead-lettered here, never returned.
 func (s *System) consumeOne() error {
 	tok, ok, err := s.queue.Dequeue()
 	if err != nil {
-		return err
+		return fmt.Errorf("dequeue: %w", err)
 	}
 	if !ok {
 		return nil
 	}
-	return s.processToken(tok, -1)
+	s.handleToken(tok, -1)
+	return nil
+}
+
+// handleToken runs the §5.4 token algorithm under the queue retry
+// policy. The token has already left the queue, so on exhaustion or a
+// permanent fault it is quarantined in the dead-letter table — the
+// invariant is fire-or-dead-letter, never silently dropped. Retries
+// re-run the whole pass; alpha-memory maintenance is not idempotent
+// under partial failure, so delivery is at-least-once.
+func (s *System) handleToken(tok datasource.Token, part int) {
+	attempts, err := s.queueRetry.Do(func() error {
+		return s.processToken(tok, part)
+	})
+	if err != nil {
+		s.quarantine(catalog.DeadToken, 0, tok, err, attempts)
+	}
 }
 
 // submitPartitionedToken dequeues one token and fans its condition
@@ -65,16 +94,21 @@ func (s *System) submitPartitionedToken() error {
 	}
 	// The maintenance and aggregate passes must happen exactly once, not
 	// per partition; run them first, then fan out fire-only partition
-	// tasks.
-	if err := s.maintainMemories(tok); err != nil {
-		return err
-	}
-	if err := s.processAggregates(tok); err != nil {
-		return err
+	// tasks. The token has left the queue, so failure here dead-letters
+	// it rather than dropping it.
+	attempts, err := s.queueRetry.Do(func() error {
+		if err := s.maintainMemories(tok); err != nil {
+			return err
+		}
+		return s.processAggregates(tok)
+	})
+	if err != nil {
+		s.quarantine(catalog.DeadToken, 0, tok, err, attempts)
+		return nil
 	}
 	for p := 0; p < s.partitions; p++ {
 		part := p
-		if err := s.pool.Submit(taskq.Task{Kind: taskq.TokenConditions, Run: func() error {
+		if err := s.pool.Submit(taskq.Task{Kind: taskq.TokenConditions, Retry: &s.queueRetry, Run: func() error {
 			return s.fireMatches(tok, part)
 		}}); err != nil {
 			return err
@@ -145,7 +179,7 @@ func (s *System) processAggregates(tok datasource.Token) error {
 		}
 		lt, unpin, err := s.cat.Pin(id)
 		if err != nil {
-			s.noteError(err)
+			s.noteErrorAt("aggregate", id, err)
 			continue
 		}
 		if lt.Agg == nil {
@@ -163,7 +197,7 @@ func (s *System) processAggregates(tok datasource.Token) error {
 		}
 		fires, err := lt.Agg.State.Apply(op, tok.Old, tok.New, oldMatch[id], newMatch[id], lt.Agg.Having)
 		if err != nil {
-			s.noteError(err)
+			s.noteErrorAt("aggregate", id, err)
 			unpin()
 			continue
 		}
@@ -171,14 +205,14 @@ func (s *System) processAggregates(tok datasource.Token) error {
 			atomic.AddInt64(&s.tokensMatched, 1)
 			action, err := agg.SubstituteAction(lt.Action, lt.Agg.Schema, lt.Agg.Specs, f.Aggregates)
 			if err != nil {
-				s.noteError(err)
+				s.noteErrorAt("aggregate", id, err)
 				continue
 			}
 			ltCopy := *lt
 			ltCopy.Action = action
 			olds := []types.Tuple{tok.Old}
 			if err := s.runCombo(ltCopy, tok, []types.Tuple{f.Representative}, olds); err != nil {
-				s.noteError(err)
+				s.noteErrorAt("action", id, err)
 			}
 		}
 		unpin()
@@ -219,7 +253,7 @@ func (s *System) maintainMemories(tok datasource.Token) error {
 						atomic.AddInt64(&s.tokensMatched, 1)
 					}
 					if err := lt.Gator.NotifyToken(int(m.NextNode), oldProbe, pnode); err != nil {
-						s.noteError(err)
+						s.noteErrorAt("gator", m.TriggerID, err)
 					}
 				case lt.Network != nil:
 					lt.Network.RemoveTuple(int(m.NextNode), tok.Old)
@@ -247,7 +281,7 @@ func (s *System) maintainMemories(tok datasource.Token) error {
 						atomic.AddInt64(&s.tokensMatched, 1)
 					}
 					if err := lt.Gator.NotifyToken(int(m.NextNode), newProbe, pnode); err != nil {
-						s.noteError(err)
+						s.noteErrorAt("gator", m.TriggerID, err)
 					}
 				case lt.Network != nil:
 					lt.Network.AddTuple(int(m.NextNode), tok.New)
@@ -265,7 +299,7 @@ func (s *System) maintainMemories(tok datasource.Token) error {
 func (s *System) withNetwork(id uint64, fn func(catalog.LoadedTrigger)) {
 	lt, unpin, err := s.cat.Pin(id)
 	if err != nil {
-		s.noteError(err)
+		s.noteErrorAt("match", id, err)
 		return
 	}
 	defer unpin()
@@ -283,7 +317,7 @@ func (s *System) comboRunner(lt catalog.LoadedTrigger, tok datasource.Token) dis
 			olds[c.SeedVar] = tok.Old
 		}
 		if err := s.runCombo(lt, tok, c.Tuples, olds); err != nil {
-			s.noteError(err)
+			s.noteErrorAt("action", lt.Info.ID, err)
 			return false
 		}
 		return true
@@ -324,8 +358,15 @@ func (s *System) fireMatches(tok datasource.Token, part int) error {
 			continue
 		}
 		atomic.AddInt64(&s.tokensMatched, 1)
-		if err := s.fireTrigger(m, tok); err != nil {
-			s.noteError(err)
+		// A transient Pin/Enumerate fault is retried per firing; an
+		// exhausted or permanent one quarantines only this trigger's
+		// firing — the remaining matches still run.
+		m := m
+		attempts, err := s.actionRetry.Do(func() error {
+			return s.fireTrigger(m, tok)
+		})
+		if err != nil {
+			s.quarantine(catalog.DeadAction, m.TriggerID, tok, err, attempts)
 		}
 	}
 	return nil
@@ -383,7 +424,18 @@ func (s *System) runCombo(lt catalog.LoadedTrigger, tok datasource.Token, tuples
 	id := lt.Info.ID
 	run := func() error {
 		atomic.AddInt64(&s.actionsRun, 1)
-		return s.exe.Execute(id, action, binding, schemaOf)
+		// The action runs under the action retry policy: transient
+		// faults back off and retry, panics and semantic errors fail
+		// fast, and either way an undeliverable firing is quarantined in
+		// the dead-letter table so the remaining combinations (and
+		// triggers) keep firing.
+		attempts, err := s.actionRetry.Do(func() error {
+			return s.exe.Execute(id, action, binding, schemaOf)
+		})
+		if err != nil {
+			s.quarantine(catalog.DeadAction, id, tok, err, attempts)
+		}
+		return nil
 	}
 	if s.opts.Synchronous || s.pool == nil || !s.opts.ActionTasks {
 		// Task type 4: the token's actions run inside its own task.

@@ -11,6 +11,9 @@ import (
 // PushToken implements the data source API over the wire: a data source
 // program delivers an update descriptor for a registered source.
 func (s *System) PushToken(source string, op datasource.Op, old, new []wire.Value) error {
+	if s.isClosed() {
+		return errClosed
+	}
 	src, ok := s.reg.ByName(source)
 	if !ok {
 		return fmt.Errorf("triggerman: unknown data source %q", source)
@@ -30,20 +33,33 @@ func (s *System) PushToken(source string, op datasource.Op, old, new []wire.Valu
 // stats command.
 func (s *System) StatsText() string {
 	st := s.Stats()
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"triggers=%d tokens_in=%d matched=%d actions=%d queue=%d\n"+
 			"index: probes=%d sig_probes=%d const_compares=%d rest_tests=%d matches=%d\n"+
 			"trigger_cache: hits=%d misses=%d evictions=%d\n"+
 			"buffer_pool: hits=%d misses=%d evictions=%d flushes=%d\n"+
-			"pool: enqueued=%d executed=%d errors=%d slices=%d\n"+
-			"events: raised=%d delivered=%d",
+			"pool: enqueued=%d executed=%d errors=%d panics=%d retries=%d slices=%d\n"+
+			"events: raised=%d delivered=%d\n"+
+			"faults: errors=%d dead_letters=%d dead_lettered=%d",
 		st.Triggers, st.TokensIn, st.TokensMatched, st.ActionsRun, st.QueueDepth,
 		st.Index.Tokens, st.Index.SigProbes, st.Index.ConstCompares, st.Index.RestTests, st.Index.Matches,
 		st.TriggerCache.Hits, st.TriggerCache.Misses, st.TriggerCache.Evictions,
 		st.BufferPool.Hits, st.BufferPool.Misses, st.BufferPool.Evictions, st.BufferPool.Flushes,
-		st.Pool.Enqueued, st.Pool.Executed, st.Pool.Errors, st.Pool.DrainSlices,
+		st.Pool.Enqueued, st.Pool.Executed, st.Pool.Errors, st.Pool.Panics, st.Pool.Retries, st.Pool.DrainSlices,
 		st.EventsRaised, st.EventsDelivered,
+		st.Errors, st.DeadLetters, st.DeadLettered,
 	)
+	// Show the tail of the recent-error ring: the last few failures with
+	// their pipeline stage and trigger, newest last.
+	recent := st.RecentErrors
+	const show = 5
+	if len(recent) > show {
+		recent = recent[len(recent)-show:]
+	}
+	for _, rec := range recent {
+		out += "\n  " + rec.String()
+	}
+	return out
 }
 
 // Listen starts serving the TriggerMan wire protocol on addr

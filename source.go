@@ -2,6 +2,7 @@ package triggerman
 
 import (
 	"fmt"
+	"strings"
 
 	"triggerman/internal/datasource"
 	"triggerman/internal/minisql"
@@ -154,6 +155,11 @@ func (st *StreamSource) Push(tok datasource.Token) error {
 
 // command implements System.Command.
 func (s *System) command(text string) (string, error) {
+	// Dead-letter operations are console verbs, not parser statements:
+	// intercept them before the command-language parser.
+	if fields := strings.Fields(text); len(fields) > 0 && strings.EqualFold(fields[0], "deadletter") {
+		return s.deadLetterCommand(strings.Join(fields[1:], " "))
+	}
 	st, err := parser.Parse(text)
 	if err != nil {
 		return "", err

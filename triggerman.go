@@ -37,6 +37,7 @@ import (
 	"triggerman/internal/exec"
 	"triggerman/internal/minisql"
 	"triggerman/internal/predindex"
+	"triggerman/internal/retry"
 	"triggerman/internal/storage"
 	"triggerman/internal/taskq"
 	"triggerman/internal/types"
@@ -59,6 +60,22 @@ const (
 type Options struct {
 	// DiskPath stores the database in a file; empty means in-memory.
 	DiskPath string
+	// Disk overrides the disk manager entirely (DiskPath is then
+	// ignored). The fault-injection harness uses this to wrap storage
+	// in an internal/faults.Disk; custom page stores plug in the same
+	// way.
+	Disk storage.DiskManager
+	// ActionRetry overrides the retry policy for rule actions (execSQL,
+	// raise event): transient failures are retried with exponential
+	// backoff and jitter, then the firing is dead-lettered. Nil takes
+	// the default (4 attempts, 1ms base doubling to a 50ms cap).
+	// Permanent and unmarked errors — semantic faults like an unknown
+	// column — fail fast to the dead-letter queue without retries.
+	ActionRetry *retry.Policy
+	// QueueRetry overrides the retry policy for queue and token
+	// processing work (enqueue, dequeue, match passes). Nil takes the
+	// default (6 attempts, 1ms base doubling to a 50ms cap).
+	QueueRetry *retry.Policy
 	// BufferPoolPages bounds the page cache (default 4096 pages = 16MB).
 	BufferPoolPages int
 	// TriggerCacheSize bounds the trigger cache (default 16384, the
@@ -122,6 +139,15 @@ type Stats struct {
 	EventsRaised    int64
 	EventsDelivered int64
 	QueueDepth      int
+	// Errors counts asynchronous processing errors ever recorded.
+	Errors int64
+	// RecentErrors is the bounded ring of recent errors, oldest first,
+	// each with its pipeline stage and trigger ID.
+	RecentErrors []ErrorRecord
+	// DeadLetters is the current dead-letter table depth.
+	DeadLetters int
+	// DeadLettered counts quarantines performed since Open.
+	DeadLettered int64
 }
 
 // System is a TriggerMan instance.
@@ -146,8 +172,15 @@ type System struct {
 	tokensIn      int64
 	tokensMatched int64
 	actionsRun    int64
-	errs          int64
-	lastErr       atomic.Value // error
+	deadLettered  int64
+	ring          errorRing
+
+	// Resolved retry policies (defaults applied).
+	actionRetry retry.Policy
+	queueRetry  retry.Policy
+	// dlRetry guards dead-letter writes: more attempts than the work
+	// that failed, because losing the quarantine record loses the token.
+	dlRetry retry.Policy
 
 	// FireHook, when set, observes every firing (tests and benchmarks).
 	FireHook func(triggerID uint64, combo []types.Tuple)
@@ -162,9 +195,12 @@ func Open(opts Options) (*System, error) {
 		opts.BufferPoolPages = 4096
 	}
 	var disk storage.DiskManager
-	if opts.DiskPath == "" {
+	switch {
+	case opts.Disk != nil:
+		disk = opts.Disk
+	case opts.DiskPath == "":
 		disk = storage.NewMem()
-	} else {
+	default:
 		fd, err := storage.OpenFile(opts.DiskPath)
 		if err != nil {
 			return nil, err
@@ -216,6 +252,22 @@ func Open(opts Options) (*System, error) {
 		aggSources:      make(map[int32]int),
 		partitions:      opts.ConditionPartitions,
 	}
+	if opts.ActionRetry != nil {
+		sys.actionRetry = *opts.ActionRetry
+	} else {
+		sys.actionRetry = retry.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	}
+	sys.actionRetry = sys.actionRetry.WithDefaults()
+	if opts.QueueRetry != nil {
+		sys.queueRetry = *opts.QueueRetry
+	} else {
+		sys.queueRetry = retry.Policy{MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	}
+	sys.queueRetry = sys.queueRetry.WithDefaults()
+	sys.dlRetry = sys.queueRetry
+	if sys.dlRetry.MaxAttempts < 10 {
+		sys.dlRetry.MaxAttempts = 10
+	}
 	sys.exe = &exec.Executor{DB: capturingRunner{sys}, Bus: sys.bus}
 	if opts.Queue == MemoryQueue {
 		sys.queue = datasource.NewMemQueue()
@@ -261,22 +313,38 @@ func (s *System) rebuildMultiVar() {
 	}
 }
 
-func (s *System) noteError(err error) {
-	atomic.AddInt64(&s.errs, 1)
-	s.lastErr.Store(err)
+// noteError records an asynchronous error with no further context
+// (taskq's OnError hook and legacy call sites).
+func (s *System) noteError(err error) { s.ring.add("task", 0, err) }
+
+// noteErrorAt records an asynchronous error with its pipeline stage and
+// (when known) the failing trigger.
+func (s *System) noteErrorAt(kind string, triggerID uint64, err error) {
+	s.ring.add(kind, triggerID, err)
 }
 
 // LastError returns the most recent asynchronous processing error, if
 // any.
 func (s *System) LastError() error {
-	if v := s.lastErr.Load(); v != nil {
-		return v.(error)
+	if rec, ok := s.ring.last(); ok {
+		return rec.Err
 	}
 	return nil
 }
 
 // Errors reports the asynchronous error count.
-func (s *System) Errors() int64 { return atomic.LoadInt64(&s.errs) }
+func (s *System) Errors() int64 { return s.ring.totalCount() }
+
+// RecentErrors returns the bounded ring of recent asynchronous errors,
+// oldest first.
+func (s *System) RecentErrors() []ErrorRecord { return s.ring.snapshot() }
+
+// isClosed reports whether Close has run.
+func (s *System) isClosed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
 
 // DB exposes the embedded database for execSQL targets and inspection.
 func (s *System) DB() *minisql.DB { return s.db }
@@ -304,6 +372,10 @@ func (s *System) Stats() Stats {
 		EventsRaised:    raised,
 		EventsDelivered: delivered,
 		QueueDepth:      s.queue.Len(),
+		Errors:          s.ring.totalCount(),
+		RecentErrors:    s.ring.snapshot(),
+		DeadLetters:     s.cat.DeadLetterCount(),
+		DeadLettered:    atomic.LoadInt64(&s.deadLettered),
 	}
 	if s.pool != nil {
 		st.Pool = s.pool.Stats()
@@ -318,6 +390,9 @@ func (s *System) Exec(sql string) (*minisql.Result, error) { return s.db.Exec(sq
 
 // CreateTrigger processes a create trigger command (§5.1).
 func (s *System) CreateTrigger(text string) error {
+	if s.isClosed() {
+		return errClosed
+	}
 	info, err := s.cat.CreateTrigger(text)
 	if err != nil {
 		return err
@@ -398,6 +473,9 @@ func (s *System) Command(text string) (string, error) {
 // Subscribe registers for raise event notifications; name "" or "*"
 // subscribes to all events.
 func (s *System) Subscribe(name string, buffer int) (*event.Subscription, error) {
+	if s.isClosed() {
+		return nil, errClosed
+	}
 	return s.bus.Subscribe(name, buffer)
 }
 
