@@ -170,6 +170,16 @@ func (c *Client) Stats() (string, error) {
 	return resp.Output, nil
 }
 
+// Metrics fetches the server's instrument registry in Prometheus text
+// exposition format.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: "metrics"})
+	if err != nil {
+		return "", err
+	}
+	return resp.Output, nil
+}
+
 // Subscribe registers for an event by name ("" or "*" = all). Matching
 // notifications arrive on Events().
 func (c *Client) Subscribe(name string) error {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	tmand [-listen :7654] [-db path.db] [-drivers N] [-level 0.5]
-//	      [-memqueue] [-partitions N]
+//	      [-memqueue] [-partitions N] [-metrics :9090]
 package main
 
 import (
@@ -29,6 +29,8 @@ func main() {
 		memQueue   = flag.Bool("memqueue", false, "use the main-memory token queue (faster, not crash-safe)")
 		partitions = flag.Int("partitions", 0, "condition-level partitions (Figure 5); 0 = off")
 		cacheSize  = flag.Int("cache", 0, "trigger cache capacity (0 = 16384)")
+		metrics    = flag.String("metrics", "", "ops HTTP address (/metrics, /statusz, /debug/pprof); empty = off")
+		traceEvery = flag.Int("trace-every", 0, "trace every Nth token (0 = 64, 1 = all, negative = off)")
 	)
 	flag.Parse()
 
@@ -38,6 +40,8 @@ func main() {
 		ConcurrencyLevel:    *level,
 		TriggerCacheSize:    *cacheSize,
 		ConditionPartitions: *partitions,
+		MetricsAddr:         *metrics,
+		TraceSampleEvery:    *traceEvery,
 	}
 	if *memQueue {
 		opts.Queue = triggerman.MemoryQueue
@@ -52,6 +56,9 @@ func main() {
 	}
 	fmt.Printf("tmand: listening on %s (db=%q, triggers=%d)\n",
 		srv.Addr(), *dbPath, sys.Stats().Triggers)
+	if addr := sys.OpsAddr(); addr != "" {
+		fmt.Printf("tmand: ops endpoint on http://%s (/metrics /statusz /debug/pprof)\n", addr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -9,14 +9,18 @@
 //
 //	tmbench -exp all            run every experiment at default scale
 //	tmbench -exp e1 -scale 3    run E1 with 10^3 x base population
+//	tmbench -exp e1 -json       also write BENCH_e1.json (CI artifact)
+//	tmbench -maxpop 10000       cap populations (CI smoke runs)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -33,12 +37,80 @@ import (
 	"triggerman/internal/workload"
 )
 
+// benchRow is one machine-readable benchmark observation. CI smoke runs
+// collect these as artifacts (no thresholds — trend data only).
+type benchRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Population  int     `json:"population"`
+}
+
+var (
+	jsonMode  bool
+	maxPop    int
+	benchRows = map[string][]benchRow{}
+)
+
+// popCap applies the -maxpop ceiling (0 = unlimited).
+func popCap(n int) int {
+	if maxPop > 0 && n > maxPop {
+		return maxPop
+	}
+	return n
+}
+
+// measure times fn (which performs ops operations over a structure of
+// the given population) and returns the elapsed wall time. With -json it
+// also records ns/op and allocs/op for the experiment's artifact file.
+// Allocation figures come from runtime.MemStats deltas, so they include
+// everything the run allocated — coarser than testing.B, but dependency
+// free and good enough for trend lines.
+func measure(exp, name string, population, ops int, fn func()) time.Duration {
+	var before, after runtime.MemStats
+	if jsonMode {
+		runtime.ReadMemStats(&before)
+	}
+	start := time.Now()
+	fn()
+	el := time.Since(start)
+	if jsonMode {
+		runtime.ReadMemStats(&after)
+		benchRows[exp] = append(benchRows[exp], benchRow{
+			Name:        name,
+			NsPerOp:     float64(el.Nanoseconds()) / float64(ops),
+			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+			Population:  population,
+		})
+	}
+	return el
+}
+
+// flushBench writes BENCH_<exp>.json for every experiment that recorded
+// rows this run.
+func flushBench() {
+	for exp, rows := range benchRows {
+		body, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			log.Fatalf("tmbench: marshal %s: %v", exp, err)
+		}
+		name := fmt.Sprintf("BENCH_%s.json", exp)
+		if err := os.WriteFile(name, append(body, '\n'), 0o644); err != nil {
+			log.Fatalf("tmbench: %v", err)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", name, len(rows))
+	}
+}
+
 func main() {
 	var (
 		exp   = flag.String("exp", "all", "experiment id (e1..e12) or 'all'")
 		scale = flag.Int("scale", 1, "population multiplier")
 	)
+	flag.BoolVar(&jsonMode, "json", false, "write BENCH_<exp>.json result files")
+	flag.IntVar(&maxPop, "maxpop", 0, "cap per-experiment populations (0 = unlimited)")
 	flag.Parse()
+	defer flushBench()
 	experiments := map[string]func(int){
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
 		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
@@ -147,13 +219,25 @@ func probeLatency(ix *predindex.Index, n int, probes int, rng *rand.Rand) time.D
 func e1(scale int) {
 	header("e1", "predicate index vs naive scan (Figures 3-4)")
 	fmt.Printf("%-10s %14s %14s %10s\n", "triggers", "index/token", "naive/token", "speedup")
+	prev := 0
 	for _, n := range []int{1_000, 10_000, 100_000, 1_000_000 * scale / 1} {
 		if n > 1_000_000 {
 			n = 1_000_000
 		}
+		if n = popCap(n); n == prev {
+			continue // -maxpop collapsed this class into the previous one
+		}
+		prev = n
 		ix := mkIndex(n, n, predindex.OrgMemoryIndex)
 		rng := rand.New(rand.NewSource(1))
-		idxLat := probeLatency(ix, n, 2000, rng)
+		const idxProbes = 2000
+		idxEl := measure("e1", fmt.Sprintf("index_probe/n=%d", n), n, idxProbes, func() {
+			for i := 0; i < idxProbes; i++ {
+				t := tok(fmt.Sprintf("user%07d", rng.Intn(n)), 1)
+				ix.MatchToken(t, func(predindex.Match) bool { return true })
+			}
+		})
+		idxLat := idxEl / idxProbes
 
 		var nm workload.NaiveMatcher
 		for i := 0; i < n; i++ {
@@ -167,12 +251,13 @@ func e1(scale int) {
 		if probes < 3 {
 			probes = 3
 		}
-		start := time.Now()
-		for i := 0; i < probes; i++ {
-			t := tok(fmt.Sprintf("user%07d", rng.Intn(n)), 1)
-			nm.Match(t, func(uint64) bool { return true })
-		}
-		naiveLat := time.Since(start) / time.Duration(probes)
+		el := measure("e1", fmt.Sprintf("naive_scan/n=%d", n), n, probes, func() {
+			for i := 0; i < probes; i++ {
+				t := tok(fmt.Sprintf("user%07d", rng.Intn(n)), 1)
+				nm.Match(t, func(uint64) bool { return true })
+			}
+		})
+		naiveLat := el / time.Duration(probes)
 		fmt.Printf("%-10d %14s %14s %9.0fx\n", n, idxLat, naiveLat,
 			float64(naiveLat)/float64(idxLat))
 	}
@@ -275,7 +360,7 @@ func mustSource(sys *triggerman.System, name string) *triggerman.StreamSource {
 
 func e4(scale int) {
 	header("e4", "token-level concurrency (§6)")
-	triggers := 5000 * scale
+	triggers := popCap(5000 * scale)
 	const batch = 3000
 	fmt.Printf("mixed triggers: %d, tokens per run: %d\n", triggers, batch)
 	fmt.Printf("%-10s %14s %12s %10s\n", "drivers", "batch time", "tokens/s", "speedup")
@@ -289,14 +374,14 @@ func e4(scale int) {
 		src := mustSource(sys, "emp")
 		rng := rand.New(rand.NewSource(4))
 		toks := workload.InsertTokens(rng, batch, triggers, 1_000_000, 0)
-		start := time.Now()
-		for _, t := range toks {
-			if err := src.Push(t); err != nil {
-				log.Fatal(err)
+		el := measure("e4", fmt.Sprintf("drivers=%d", drivers), triggers, batch, func() {
+			for _, t := range toks {
+				if err := src.Push(t); err != nil {
+					log.Fatal(err)
+				}
 			}
-		}
-		sys.Drain()
-		el := time.Since(start)
+			sys.Drain()
+		})
 		if drivers == 1 {
 			base = el
 		}
@@ -512,7 +597,7 @@ func e10(scale int) {
 
 func e11(scale int) {
 	header("e11", "end-to-end path, queue transports (Figure 1)")
-	n := 1000 * scale
+	n := popCap(1000 * scale)
 	fmt.Printf("triggers: %d\n", n)
 	fmt.Printf("%-18s %14s\n", "queue", "time/token")
 	for _, q := range []struct {
@@ -527,12 +612,13 @@ func e11(scale int) {
 		src := mustSource(sys, "emp")
 		rng := rand.New(rand.NewSource(11))
 		const toks = 20000
-		start := time.Now()
-		for i := 0; i < toks; i++ {
-			src.Push(datasource.Token{Op: datasource.OpInsert,
-				New: workload.EmpRow(fmt.Sprintf("user%07d", rng.Intn(n)), 1, "d")})
-		}
-		fmt.Printf("%-18s %14s\n", q.name, time.Since(start)/toks)
+		el := measure("e11", "queue="+q.name, n, toks, func() {
+			for i := 0; i < toks; i++ {
+				src.Push(datasource.Token{Op: datasource.OpInsert,
+					New: workload.EmpRow(fmt.Sprintf("user%07d", rng.Intn(n)), 1, "d")})
+			}
+		})
+		fmt.Printf("%-18s %14s\n", q.name, el/toks)
 		sys.Close()
 	}
 }

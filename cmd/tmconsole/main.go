@@ -14,6 +14,7 @@
 //	select|insert|update|delete ...
 //	watch EVENT      -- subscribe and print notifications ("*" = all)
 //	stats            -- system counters
+//	metrics          -- Prometheus-format instrument dump
 //	deadletter ...   -- list, requeue, or purge quarantined work
 //	help / quit
 package main
@@ -38,6 +39,7 @@ const helpText = `commands:
   select|insert|update|delete ...      mini-SQL against the database
   watch <event>                        print notifications ("*" = all)
   stats                                system counters
+  metrics                              Prometheus-format instrument dump
   deadletter [list|requeue <id>|purge] inspect or replay quarantined work
   help | quit`
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-	"sync/atomic"
 
 	"triggerman/internal/catalog"
 	"triggerman/internal/datasource"
@@ -64,7 +63,7 @@ func (s *System) quarantine(kind string, triggerID uint64, tok datasource.Token,
 		s.ring.add("deadletter", triggerID, fmt.Errorf("quarantine of %s failed, work lost: %w", tok, err))
 		return
 	}
-	atomic.AddInt64(&s.deadLettered, 1)
+	s.cDeadLettered.Inc()
 }
 
 // deadLetterCommand implements the console's deadletter command:

@@ -12,9 +12,11 @@ package exec
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"triggerman/internal/event"
 	"triggerman/internal/expr"
+	"triggerman/internal/metrics"
 	"triggerman/internal/minisql"
 	"triggerman/internal/parser"
 	"triggerman/internal/types"
@@ -87,10 +89,22 @@ type Executor struct {
 	// (internal/faults.ActionInjector) installs its hook here to make
 	// actions fail or panic on demand.
 	Inject func(triggerID uint64) error
+	// Hist, when non-nil, records the latency of every Execute call
+	// (one observation per attempt, including failed ones).
+	Hist *metrics.Histogram
+	// Observe, when set, receives the duration of each delivery-side
+	// phase inside an action: "execsql" (statement execution against the
+	// database) and "deliver" (event-bus publication). The token tracer
+	// installs a per-firing hook here to stamp the deliver stage.
+	Observe func(phase string, d time.Duration)
 }
 
 // Execute runs one action for one firing.
 func (e *Executor) Execute(triggerID uint64, act parser.Action, b Binding, schemaOf func(int) *types.Schema) error {
+	if e.Hist != nil {
+		begin := time.Now()
+		defer func() { e.Hist.Observe(time.Since(begin)) }()
+	}
 	if e.Inject != nil {
 		if err := e.Inject(triggerID); err != nil {
 			return err
@@ -105,7 +119,11 @@ func (e *Executor) Execute(triggerID uint64, act parser.Action, b Binding, schem
 		if err != nil {
 			return err
 		}
+		begin := time.Now()
 		_, err = e.DB.ExecStmt(st)
+		if e.Observe != nil {
+			e.Observe("execsql", time.Since(begin))
+		}
 		return err
 	case *parser.RaiseEvent:
 		if e.Bus == nil {
@@ -123,7 +141,11 @@ func (e *Executor) Execute(triggerID uint64, act parser.Action, b Binding, schem
 			}
 			args[i] = v
 		}
+		begin := time.Now()
 		e.Bus.Raise(a.Name, args, triggerID)
+		if e.Observe != nil {
+			e.Observe("deliver", time.Since(begin))
+		}
 		return nil
 	default:
 		return fmt.Errorf("exec: unsupported action %T", act)

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBounds are the fixed bucket upper bounds, in
+// nanoseconds, used by every latency histogram unless overridden:
+// roughly log-spaced from 1µs to 10s. Fixed buckets keep Observe
+// allocation-free and make quantile extraction a single cumulative
+// scan.
+var DefaultLatencyBounds = []int64{
+	int64(1 * time.Microsecond),
+	int64(2500 * time.Nanosecond),
+	int64(5 * time.Microsecond),
+	int64(10 * time.Microsecond),
+	int64(25 * time.Microsecond),
+	int64(50 * time.Microsecond),
+	int64(100 * time.Microsecond),
+	int64(250 * time.Microsecond),
+	int64(500 * time.Microsecond),
+	int64(1 * time.Millisecond),
+	int64(2500 * time.Microsecond),
+	int64(5 * time.Millisecond),
+	int64(10 * time.Millisecond),
+	int64(25 * time.Millisecond),
+	int64(50 * time.Millisecond),
+	int64(100 * time.Millisecond),
+	int64(250 * time.Millisecond),
+	int64(500 * time.Millisecond),
+	int64(1 * time.Second),
+	int64(2500 * time.Millisecond),
+	int64(5 * time.Second),
+	int64(10 * time.Second),
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// durations in nanoseconds; buckets hold counts of observations at or
+// below each upper bound, with one implicit overflow bucket (+Inf).
+// Observe is lock-free: one atomic add for the bucket, one for the
+// running sum, one for the count.
+type Histogram struct {
+	bounds  []int64 // sorted upper bounds, ns
+	buckets []atomic.Int64
+	sum     atomic.Int64
+	count   atomic.Int64
+}
+
+// NewHistogram builds a histogram with the given sorted upper bounds in
+// nanoseconds (nil or empty takes DefaultLatencyBounds).
+func NewHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBounds
+	}
+	return &Histogram{
+		bounds:  bounds,
+		buckets: make([]atomic.Int64, len(bounds)+1), // +1 = +Inf overflow
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[h.bucketOf(ns)].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+}
+
+// bucketOf binary-searches the bucket index whose upper bound is the
+// first >= ns; len(bounds) is the overflow bucket.
+func (h *Histogram) bucketOf(ns int64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// snapshot copies the bucket counts (cumulative form) and the total.
+func (h *Histogram) snapshot() (cum []int64, total int64) {
+	cum = make([]int64, len(h.buckets))
+	var running int64
+	for i := range h.buckets {
+		running += h.buckets[i].Load()
+		cum[i] = running
+	}
+	return cum, running
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]) of the
+// observed samples: the upper edge of the first bucket whose cumulative
+// count reaches q·total. Observations in the overflow bucket report the
+// largest finite bound. ok is false when the histogram is empty.
+func (h *Histogram) Quantile(q float64) (d time.Duration, ok bool) {
+	_, hi, ok := h.QuantileBounds(q)
+	return hi, ok
+}
+
+// QuantileBounds brackets the true q-quantile of the observed samples:
+// the quantile lies within [lo, hi], where hi is the selected bucket's
+// upper edge and lo is the previous bucket's. For the overflow bucket,
+// hi is the largest finite bound (an under-estimate; the histogram
+// cannot do better, which is why the top bound is 10s).
+func (h *Histogram) QuantileBounds(q float64) (lo, hi time.Duration, ok bool) {
+	cum, total := h.snapshot()
+	if total == 0 {
+		return 0, 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the order statistic at quantile q.
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	for i, c := range cum {
+		if c >= rank {
+			if i > 0 {
+				lo = time.Duration(h.bounds[i-1])
+			}
+			if i < len(h.bounds) {
+				hi = time.Duration(h.bounds[i])
+			} else {
+				hi = time.Duration(h.bounds[len(h.bounds)-1])
+			}
+			return lo, hi, true
+		}
+	}
+	// Unreachable: the overflow bucket's cumulative count equals total.
+	last := time.Duration(h.bounds[len(h.bounds)-1])
+	return last, last, true
+}

@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent hammers one sharded counter from 8 goroutines
+// while a reader polls Value; the final sum must be exact. Run under
+// -race this doubles as the data-race stress test.
+func TestCounterConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		perG    = 20000
+	)
+	var c Counter
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		prev := int64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := c.Value()
+			if v < prev {
+				t.Errorf("counter went backwards: %d -> %d", prev, v)
+				return
+			}
+			prev = v
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := c.Value(); got != workers*perG {
+		t.Fatalf("counter = %d, want %d", got, workers*perG)
+	}
+}
+
+// TestHistogramConcurrent has 8 goroutines observing while readers pull
+// quantiles and counts; the final count and sum must be exact.
+func TestHistogramConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		perG    = 10000
+	)
+	h := NewHistogram(nil)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h.Count()
+			h.Quantile(0.99)
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(g*1000+i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := h.Count(); got != workers*perG {
+		t.Fatalf("count = %d, want %d", got, workers*perG)
+	}
+}
+
+// TestRegistryConcurrent interns instruments and scrapes concurrently.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("tman_test_total", "help", L("worker", "w")).Inc()
+				r.Histogram("tman_test_seconds", "help", nil).Observe(time.Microsecond)
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v, ok := r.Value("tman_test_total", L("worker", "w")); !ok || v != 8*500 {
+		t.Fatalf("counter = %d ok=%v, want %d", v, ok, 8*500)
+	}
+}
+
+// trueQuantile is the reference order statistic matching the
+// histogram's rank convention (ceil(q*n), 1-based).
+func trueQuantile(sorted []time.Duration, q float64) time.Duration {
+	rank := int(q * float64(len(sorted)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestHistogramQuantileBounds is the property test: for random sample
+// sets drawn from several distributions, the histogram's quantile
+// bracket must contain the true sample quantile.
+func TestHistogramQuantileBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	distributions := map[string]func() time.Duration{
+		"uniform": func() time.Duration {
+			return time.Duration(rng.Int63n(int64(2 * time.Second)))
+		},
+		"exponentialish": func() time.Duration {
+			// Heavy-tailed: mostly microseconds, occasional near-second.
+			return time.Duration(float64(time.Microsecond) * (1 / (rng.Float64() + 1e-6)))
+		},
+		"bimodal": func() time.Duration {
+			if rng.Intn(2) == 0 {
+				return 3*time.Microsecond + time.Duration(rng.Int63n(int64(time.Microsecond)))
+			}
+			return 80*time.Millisecond + time.Duration(rng.Int63n(int64(10*time.Millisecond)))
+		},
+	}
+	for name, draw := range distributions {
+		for trial := 0; trial < 5; trial++ {
+			h := NewHistogram(nil)
+			n := 100 + rng.Intn(5000)
+			samples := make([]time.Duration, n)
+			for i := range samples {
+				d := draw()
+				if d > 5*time.Second {
+					d = 5 * time.Second // keep within finite buckets
+				}
+				samples[i] = d
+				h.Observe(d)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+				lo, hi, ok := h.QuantileBounds(q)
+				if !ok {
+					t.Fatalf("%s trial %d: empty histogram", name, trial)
+				}
+				want := trueQuantile(samples, q)
+				if want < lo || want > hi {
+					t.Fatalf("%s trial %d q=%v: true quantile %v outside bracket [%v, %v]",
+						name, trial, q, want, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestHistogramQuantileEdges pins the empty and single-sample cases.
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram(nil)
+	if _, ok := h.Quantile(0.5); ok {
+		t.Fatal("quantile of empty histogram reported ok")
+	}
+	h.Observe(3 * time.Millisecond)
+	d, ok := h.Quantile(0.99)
+	if !ok || d < 3*time.Millisecond {
+		t.Fatalf("quantile = %v ok=%v, want >= 3ms", d, ok)
+	}
+}
+
+// TestWritePrometheusFormat checks the exposition format shape.
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tman_tokens_total", "tokens accepted").Add(5)
+	r.Gauge("tman_queue_depth", "queued tokens").Set(2)
+	r.CounterFunc("tman_view_total", "callback view", func() int64 { return 9 }, L("kind", "x"))
+	r.Histogram("tman_lat_seconds", "latency", []int64{int64(time.Millisecond), int64(time.Second)}).
+		Observe(2 * time.Millisecond)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE tman_tokens_total counter",
+		"tman_tokens_total 5",
+		"# TYPE tman_queue_depth gauge",
+		"tman_queue_depth 2",
+		`tman_view_total{kind="x"} 9`,
+		`tman_lat_seconds_bucket{le="0.001"} 0`,
+		`tman_lat_seconds_bucket{le="1"} 1`,
+		`tman_lat_seconds_bucket{le="+Inf"} 1`,
+		"tman_lat_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

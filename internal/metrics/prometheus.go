@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4): one # HELP / # TYPE pair per
+// family, then one sample line per instrument. Histograms emit
+// cumulative _bucket series with `le` upper bounds in seconds, plus
+// _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := append([]string(nil), r.names...)
+	r.mu.RUnlock()
+	for _, name := range names {
+		r.mu.RLock()
+		fam := r.families[name]
+		order := append([]string(nil), fam.order...)
+		insts := make([]*instrument, 0, len(order))
+		for _, l := range order {
+			insts = append(insts, fam.insts[l])
+		}
+		help, kind := fam.help, fam.kind
+		r.mu.RUnlock()
+
+		if help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind); err != nil {
+			return err
+		}
+		for _, inst := range insts {
+			if inst.hist != nil {
+				if err := writeHistogram(w, name, inst.labels, inst.hist); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", name, inst.labels, inst.value()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram's _bucket/_sum/_count series.
+// Bucket bounds are stored in nanoseconds but exposed in seconds, the
+// Prometheus convention for *_seconds histograms.
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	cum, total := h.snapshot()
+	for i, c := range cum {
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatSeconds(h.bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, "le", le), c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatSeconds(int64(h.Sum()))); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, total)
+	return err
+}
+
+// formatSeconds renders nanoseconds as a decimal seconds literal
+// without float artifacts (2500000 → "0.0025").
+func formatSeconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// mergeLabels splices an extra label into an already-rendered label
+// set.
+func mergeLabels(rendered, key, value string) string {
+	extra := key + `="` + escapeLabelValue(value) + `"`
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(rendered, "}") + "," + extra + "}"
+}

@@ -19,9 +19,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"triggerman/internal/datasource"
 	"triggerman/internal/expr"
+	"triggerman/internal/metrics"
 	"triggerman/internal/minisql"
 	"triggerman/internal/types"
 )
@@ -244,6 +246,12 @@ type Index struct {
 	nextSig uint64
 
 	stats Stats
+
+	// Registry-backed instruments (nil without WithMetrics): per-
+	// organization probe counters indexed by Organization, and a probe
+	// latency histogram.
+	orgProbes [5]*metrics.Counter
+	matchHist *metrics.Histogram
 }
 
 type sourceIndex struct {
@@ -281,6 +289,20 @@ func WithDB(db *minisql.DB) Option { return func(ix *Index) { ix.db = db } }
 // WithForcedOrganization pins all constant sets to one strategy.
 func WithForcedOrganization(o Organization) Option {
 	return func(ix *Index) { ix.forceOrg = o }
+}
+
+// WithMetrics registers the index's instruments with reg: a probe
+// counter per constant-set organization (which strategy actually served
+// each signature lookup) and a token match-latency histogram.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(ix *Index) {
+		for o := OrgAuto; o <= OrgIndexedTable; o++ {
+			ix.orgProbes[o] = reg.Counter("tman_index_org_probes_total",
+				"signature probes by constant-set organization", metrics.L("org", o.String()))
+		}
+		ix.matchHist = reg.Histogram("tman_index_match_duration_seconds",
+			"predicate index probe time per token", nil)
+	}
 }
 
 // New builds an empty predicate index.
@@ -521,6 +543,10 @@ func (ix *Index) MatchTokenPartition(tok datasource.Token, part int, fn func(Mat
 }
 
 func (ix *Index) matchToken(tok datasource.Token, part int, fn func(Match) bool) error {
+	if ix.matchHist != nil {
+		begin := time.Now()
+		defer func() { ix.matchHist.Observe(time.Since(begin)) }()
+	}
 	ix.mu.RLock()
 	si, ok := ix.sources[tok.SourceID]
 	if !ok {
@@ -546,7 +572,13 @@ func (ix *Index) matchToken(tok datasource.Token, part int, fn func(Match) bool)
 		e.mu.RLock()
 		set := e.set
 		parts := e.partitions
+		org := e.org
 		e.mu.RUnlock()
+		if org <= OrgIndexedTable {
+			if c := ix.orgProbes[org]; c != nil {
+				c.Inc()
+			}
+		}
 		probePart := part
 		if probePart >= parts {
 			probePart = probePart % parts

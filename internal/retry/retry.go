@@ -168,6 +168,11 @@ type Policy struct {
 	Classify func(error) Class
 	// Sleep replaces time.Sleep (tests). Nil means time.Sleep.
 	Sleep func(time.Duration)
+	// Observe, when set, receives the outcome of every Do call: the
+	// number of attempts made and the final error (nil on success).
+	// Observability hooks count attempts-1 as retries and watch for
+	// *Exhausted.
+	Observe func(attempts int, err error)
 }
 
 // WithDefaults fills unset fields with the package defaults.
@@ -237,16 +242,24 @@ func (p Policy) Do(fn func() error) (int, error) {
 	for attempt := 1; ; attempt++ {
 		err = p.runOnce(fn)
 		if err == nil {
-			return attempt, nil
+			return p.report(attempt, nil)
 		}
 		if p.classify(err) != ClassTransient {
-			return attempt, err
+			return p.report(attempt, err)
 		}
 		if attempt >= p.MaxAttempts {
-			return attempt, &Exhausted{Attempts: attempt, Err: err}
+			return p.report(attempt, &Exhausted{Attempts: attempt, Err: err})
 		}
 		p.Sleep(p.Backoff(attempt))
 	}
+}
+
+// report funnels every Do outcome through the Observe hook.
+func (p Policy) report(attempts int, err error) (int, error) {
+	if p.Observe != nil {
+		p.Observe(attempts, err)
+	}
+	return attempts, err
 }
 
 // runOnce executes fn with panic capture and the optional attempt

@@ -4,6 +4,9 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"time"
+
+	"triggerman/internal/metrics"
 )
 
 // BufferPool caches pages in a bounded set of frames with LRU
@@ -18,6 +21,9 @@ type BufferPool struct {
 	lru    *list.List // front = most recent; holds unpinned page IDs
 
 	stats PoolStats
+
+	// I/O latency histograms (nil until SetMetrics).
+	readHist, writeHist *metrics.Histogram
 }
 
 // PoolStats counts buffer pool activity for experiments.
@@ -49,6 +55,37 @@ func NewBufferPool(disk DiskManager, capacity int) *BufferPool {
 // Disk exposes the underlying disk manager (benchmarks read I/O counts).
 func (bp *BufferPool) Disk() DiskManager { return bp.disk }
 
+// SetMetrics registers the pool's I/O latency histograms with reg.
+// Call before concurrent use (Open does, right after construction).
+func (bp *BufferPool) SetMetrics(reg *metrics.Registry) {
+	bp.readHist = reg.Histogram("tman_io_duration_seconds",
+		"disk manager page I/O latency", nil, metrics.L("op", "read"))
+	bp.writeHist = reg.Histogram("tman_io_duration_seconds",
+		"disk manager page I/O latency", nil, metrics.L("op", "write"))
+}
+
+// readPage is disk.ReadPage with latency recording.
+func (bp *BufferPool) readPage(id PageID, buf []byte) error {
+	if bp.readHist == nil {
+		return bp.disk.ReadPage(id, buf)
+	}
+	begin := time.Now()
+	err := bp.disk.ReadPage(id, buf)
+	bp.readHist.Observe(time.Since(begin))
+	return err
+}
+
+// writePage is disk.WritePage with latency recording.
+func (bp *BufferPool) writePage(id PageID, buf []byte) error {
+	if bp.writeHist == nil {
+		return bp.disk.WritePage(id, buf)
+	}
+	begin := time.Now()
+	err := bp.disk.WritePage(id, buf)
+	bp.writeHist.Observe(time.Since(begin))
+	return err
+}
+
 // Stats returns a snapshot of pool counters.
 func (bp *BufferPool) Stats() PoolStats {
 	bp.mu.Lock()
@@ -71,7 +108,7 @@ func (bp *BufferPool) FetchPage(id PageID) (*Page, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := bp.disk.ReadPage(id, fr.page.Data[:]); err != nil {
+	if err := bp.readPage(id, fr.page.Data[:]); err != nil {
 		delete(bp.frames, id)
 		return nil, err
 	}
@@ -124,7 +161,7 @@ func (bp *BufferPool) evictLocked() error {
 	victim := el.Value.(PageID)
 	fr := bp.frames[victim]
 	if fr.dirty {
-		if err := bp.disk.WritePage(victim, fr.page.Data[:]); err != nil {
+		if err := bp.writePage(victim, fr.page.Data[:]); err != nil {
 			return err
 		}
 		bp.stats.Flushes++
@@ -164,7 +201,7 @@ func (bp *BufferPool) FlushPage(id PageID) error {
 	bp.mu.Lock()
 	fr, ok := bp.frames[id]
 	if ok && fr.dirty {
-		if err := bp.disk.WritePage(id, fr.page.Data[:]); err != nil {
+		if err := bp.writePage(id, fr.page.Data[:]); err != nil {
 			bp.mu.Unlock()
 			return err
 		}
@@ -181,7 +218,7 @@ func (bp *BufferPool) FlushAll() error {
 	defer bp.mu.Unlock()
 	for id, fr := range bp.frames {
 		if fr.dirty {
-			if err := bp.disk.WritePage(id, fr.page.Data[:]); err != nil {
+			if err := bp.writePage(id, fr.page.Data[:]); err != nil {
 				return err
 			}
 			fr.dirty = false

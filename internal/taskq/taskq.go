@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"triggerman/internal/metrics"
 	"triggerman/internal/retry"
 )
 
@@ -67,6 +68,12 @@ type Task struct {
 	// panics are never retried. Drain and Close account for scheduled
 	// retries: they wait for the task's final outcome.
 	Retry *retry.Policy
+	// OnDone, when set, runs exactly once when the task reaches its
+	// terminal outcome — success, a non-retryable error, or retry
+	// exhaustion. Attempts that will be retried do not call it. The
+	// token tracer uses this to release span references held by
+	// in-flight tasks.
+	OnDone func(error)
 
 	// attempt counts completed runs of this task (retry bookkeeping).
 	attempt int
@@ -85,6 +92,10 @@ type Config struct {
 	Threshold time.Duration
 	// OnError receives task errors (default: counted and dropped).
 	OnError func(error)
+	// Metrics, when non-nil, registers the pool's instruments:
+	// per-kind dispatch counters, a task-duration histogram, and a
+	// queue-depth gauge.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +143,10 @@ type Pool struct {
 	drivers sync.WaitGroup
 
 	stats Stats
+
+	// Registry-backed instruments (nil without Config.Metrics).
+	kindCounters [4]*metrics.Counter
+	taskHist     *metrics.Histogram
 }
 
 // New creates a pool and starts its drivers.
@@ -139,6 +154,16 @@ func New(cfg Config) *Pool {
 	cfg = cfg.withDefaults()
 	p := &Pool{cfg: cfg}
 	p.cond = sync.NewCond(&p.mu)
+	if reg := cfg.Metrics; reg != nil {
+		for k := ProcessToken; k <= TokenActions; k++ {
+			p.kindCounters[k] = reg.Counter("tman_tasks_total",
+				"tasks dispatched by the driver pool", metrics.L("kind", k.String()))
+		}
+		p.taskHist = reg.Histogram("tman_task_duration_seconds",
+			"task execution time (one attempt)", nil)
+		reg.GaugeFunc("tman_task_queue_depth", "tasks queued, not yet running",
+			func() int64 { return int64(p.QueueLen()) })
+	}
 	p.drivers.Add(cfg.Drivers)
 	for i := 0; i < cfg.Drivers; i++ {
 		go p.driver()
@@ -258,9 +283,24 @@ func (p *Pool) tmanTest(first Task) {
 }
 
 func (p *Pool) runTask(t Task) {
+	if t.Kind <= TokenActions {
+		if c := p.kindCounters[t.Kind]; c != nil {
+			c.Inc()
+		}
+	}
+	var begin time.Time
+	if p.taskHist != nil {
+		begin = time.Now()
+	}
 	err := p.invoke(t)
+	if p.taskHist != nil {
+		p.taskHist.Observe(time.Since(begin))
+	}
 	atomic.AddInt64(&p.stats.Executed, 1)
 	if err == nil {
+		if t.OnDone != nil {
+			t.OnDone(nil)
+		}
 		p.pending.Done()
 		return
 	}
@@ -279,6 +319,9 @@ func (p *Pool) runTask(t Task) {
 	}
 	if p.cfg.OnError != nil {
 		p.cfg.OnError(err)
+	}
+	if t.OnDone != nil {
+		t.OnDone(err)
 	}
 	p.pending.Done()
 }

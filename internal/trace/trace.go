@@ -1,0 +1,397 @@
+// Package trace stamps update descriptors as they move through the
+// token lifecycle — capture into the (persistent) queue, dequeue by a
+// driver, predicate-index match, join/A-TREAT propagation, rule-action
+// execution, event delivery — recording per-stage durations into the
+// metrics registry and keeping a bounded ring of recent complete traces
+// so slow tokens can be debugged from a running system.
+//
+// A Span is live from Begin until its last reference is Finished; stage
+// recording is lock-free (atomic adds into a fixed per-stage array) so
+// partitioned condition testing and concurrent rule-action tasks can
+// stamp the same span safely. Spans cross the queue boundary keyed by
+// the token's sequence number: the capture side registers the span
+// under the seq the queue assigned, and the driver side looks it up
+// after dequeue.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"triggerman/internal/metrics"
+)
+
+// Stage enumerates the token lifecycle stages.
+type Stage uint8
+
+const (
+	// StageCapture is apply-entry → token durably enqueued (includes
+	// the persistent queue write).
+	StageCapture Stage = iota
+	// StageDequeue is enqueued → dequeued by a driver: queue residence
+	// plus the dequeue operation itself.
+	StageDequeue
+	// StageMatch is the predicate-index probe (§5.4's match pass).
+	StageMatch
+	// StagePropagate is alpha-memory maintenance plus incremental
+	// aggregate upkeep — the join/A-TREAT propagation pass. For Gator
+	// triggers it includes in-network firing, which happens at
+	// propagation time.
+	StagePropagate
+	// StageAction is rule-action execution (one observation per
+	// firing, retries included).
+	StageAction
+	// StageDeliver is event-bus publication within a raise event
+	// action.
+	StageDeliver
+	numStages
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageCapture:
+		return "capture"
+	case StageDequeue:
+		return "dequeue"
+	case StageMatch:
+		return "match"
+	case StagePropagate:
+		return "propagate"
+	case StageAction:
+		return "action"
+	case StageDeliver:
+		return "deliver"
+	default:
+		return "unknown"
+	}
+}
+
+// Stages lists every lifecycle stage in pipeline order.
+func Stages() []Stage {
+	out := make([]Stage, numStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// stageCell is one span's per-stage accumulator.
+type stageCell struct {
+	count atomic.Int64
+	total atomic.Int64 // ns
+}
+
+// Span is one traced token's in-flight state.
+type Span struct {
+	tracer *Tracer
+	seq    uint64
+	source int32
+	op     string
+	start  time.Time
+	// lastEvent is the previous sequential stamp (ns offset from
+	// start), used by Mark to compute capture/dequeue durations.
+	lastEvent atomic.Int64
+	refs      atomic.Int32
+	stages    [numStages]stageCell
+}
+
+// Mark records the sequential stage ending now: its duration is the
+// time since the previous Mark (or Begin). Used for capture and
+// dequeue, which bracket the queue boundary. Nil-safe.
+func (sp *Span) Mark(st Stage) {
+	if sp == nil {
+		return
+	}
+	now := int64(time.Since(sp.start))
+	prev := sp.lastEvent.Swap(now)
+	sp.observe(st, time.Duration(now-prev))
+}
+
+// Observe records an explicitly timed stage duration. Nil-safe.
+func (sp *Span) Observe(st Stage, d time.Duration) {
+	if sp == nil {
+		return
+	}
+	sp.observe(st, d)
+}
+
+func (sp *Span) observe(st Stage, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	sp.stages[st].count.Add(1)
+	sp.stages[st].total.Add(int64(d))
+	if h := sp.tracer.stageHists[st]; h != nil {
+		h.Observe(d)
+	}
+}
+
+// Retain adds a reference for a concurrent consumer (a partition task
+// holding the span). Nil-safe.
+func (sp *Span) Retain() {
+	if sp == nil {
+		return
+	}
+	sp.refs.Add(1)
+}
+
+// Finish releases one reference; when the last drops, the span is
+// completed into the tracer's ring. Nil-safe.
+func (sp *Span) Finish() {
+	if sp == nil {
+		return
+	}
+	if sp.refs.Add(-1) == 0 {
+		sp.tracer.complete(sp)
+	}
+}
+
+// StageStat summarizes one stage of a completed trace.
+type StageStat struct {
+	Stage string        `json:"stage"`
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+}
+
+// Record is one completed token trace, JSON-friendly for /statusz.
+type Record struct {
+	Seq    uint64        `json:"seq"`
+	Source int32         `json:"source"`
+	Op     string        `json:"op"`
+	Start  time.Time     `json:"start"`
+	Total  time.Duration `json:"total_ns"`
+	Stages []StageStat   `json:"stages"`
+}
+
+// HasStage reports whether the trace recorded the named stage.
+func (r Record) HasStage(name string) bool {
+	for _, st := range r.Stages {
+		if st.Stage == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Config tunes a Tracer.
+type Config struct {
+	// Registry receives per-stage and end-to-end duration histograms;
+	// nil disables registry recording (traces still complete).
+	Registry *metrics.Registry
+	// SampleEvery traces every Nth token; 0 or 1 traces all, negative
+	// disables tracing entirely.
+	SampleEvery int
+	// RingSize bounds the completed-trace ring (default 64).
+	RingSize int
+	// MaxActive bounds in-flight spans: tokens captured while the
+	// table is full are simply not traced (counted in Dropped). This
+	// keeps a stuck queue from pinning unbounded trace state.
+	// Default 1024.
+	MaxActive int
+	// StaleAfter bounds how long an unfinished span may sit in the
+	// active table once it is full: when Begin finds the table at
+	// MaxActive, spans older than this are swept out to make room. A
+	// span can be orphaned when its token is dequeued by a concurrent
+	// driver in the instant between enqueue and Attach — rare, but
+	// without the sweep each occurrence would pin a slot forever.
+	// Default 1 minute.
+	StaleAfter time.Duration
+}
+
+// Tracer samples tokens and tracks their spans across the queue
+// boundary.
+type Tracer struct {
+	cfg        Config
+	stageHists [numStages]*metrics.Histogram
+	totalHist  *metrics.Histogram
+	started    *metrics.Counter
+	dropped    *metrics.Counter
+
+	tick atomic.Uint64 // sampling clock
+
+	mu      sync.Mutex
+	active  map[uint64]*Span
+	nActive atomic.Int32 // fast-path skip when nothing is traced
+
+	ring  []Record
+	next  int
+	count int
+}
+
+// New builds a tracer.
+func New(cfg Config) *Tracer {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 64
+	}
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = 1024
+	}
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = time.Minute
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 1
+	}
+	t := &Tracer{
+		cfg:    cfg,
+		active: make(map[uint64]*Span),
+		ring:   make([]Record, cfg.RingSize),
+	}
+	if reg := cfg.Registry; reg != nil {
+		for _, st := range Stages() {
+			t.stageHists[st] = reg.Histogram("tman_stage_duration_seconds",
+				"token lifecycle stage durations", nil, metrics.L("stage", st.String()))
+		}
+		t.totalHist = reg.Histogram("tman_token_duration_seconds",
+			"end-to-end token processing time, capture to completion", nil)
+		t.started = reg.Counter("tman_traces_started_total", "tokens sampled for tracing")
+		t.dropped = reg.Counter("tman_traces_dropped_total",
+			"tokens not traced because the active-span table was full")
+	}
+	return t
+}
+
+// Enabled reports whether the tracer samples at all.
+func (t *Tracer) Enabled() bool { return t != nil && t.cfg.SampleEvery > 0 }
+
+// Begin starts a span for a token about to be captured, or returns nil
+// when the token is not sampled. The caller must Attach the span once
+// the queue has assigned the token's sequence number.
+func (t *Tracer) Begin(source int32, op string) *Span {
+	if t == nil || t.cfg.SampleEvery <= 0 {
+		return nil
+	}
+	if n := t.tick.Add(1); int(n%uint64(t.cfg.SampleEvery)) != 0 {
+		return nil
+	}
+	if int(t.nActive.Load()) >= t.cfg.MaxActive {
+		if t.sweepStale() == 0 {
+			if t.dropped != nil {
+				t.dropped.Inc()
+			}
+			return nil
+		}
+	}
+	sp := &Span{tracer: t, source: source, op: op, start: time.Now()}
+	sp.refs.Store(1)
+	if t.started != nil {
+		t.started.Inc()
+	}
+	return sp
+}
+
+// Attach registers the span under the sequence number the queue
+// assigned, making it discoverable by the dequeue side. Nil-safe.
+func (t *Tracer) Attach(seq uint64, sp *Span) {
+	if t == nil || sp == nil {
+		return
+	}
+	sp.seq = seq
+	t.mu.Lock()
+	if _, dup := t.active[seq]; !dup {
+		t.active[seq] = sp
+		t.nActive.Add(1)
+	}
+	t.mu.Unlock()
+}
+
+// sweepStale evicts spans older than StaleAfter from the full active
+// table, reporting how many slots it freed. Swept spans are only
+// deregistered — holders that later Finish still complete them into
+// the ring; orphans (never dequeued) become garbage.
+func (t *Tracer) sweepStale() int {
+	cutoff := time.Now().Add(-t.cfg.StaleAfter)
+	freed := 0
+	t.mu.Lock()
+	for seq, sp := range t.active {
+		if sp.start.Before(cutoff) {
+			delete(t.active, seq)
+			t.nActive.Add(-1)
+			freed++
+		}
+	}
+	t.mu.Unlock()
+	return freed
+}
+
+// Dequeued looks up the active span for a dequeued token and stamps its
+// dequeue stage. Returns nil for untraced tokens. The fast path (no
+// active spans) is one atomic load.
+func (t *Tracer) Dequeued(seq uint64) *Span {
+	if t == nil || t.nActive.Load() == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	sp := t.active[seq]
+	t.mu.Unlock()
+	sp.Mark(StageDequeue)
+	return sp
+}
+
+// complete moves a finished span into the ring.
+func (t *Tracer) complete(sp *Span) {
+	total := time.Since(sp.start)
+	if t.totalHist != nil {
+		t.totalHist.Observe(total)
+	}
+	rec := Record{
+		Seq:    sp.seq,
+		Source: sp.source,
+		Op:     sp.op,
+		Start:  sp.start,
+		Total:  total,
+	}
+	for _, st := range Stages() {
+		c := sp.stages[st].count.Load()
+		if c == 0 {
+			continue
+		}
+		rec.Stages = append(rec.Stages, StageStat{
+			Stage: st.String(),
+			Count: c,
+			Total: time.Duration(sp.stages[st].total.Load()),
+		})
+	}
+	t.mu.Lock()
+	if cur, ok := t.active[sp.seq]; ok && cur == sp {
+		delete(t.active, sp.seq)
+		t.nActive.Add(-1)
+	}
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % len(t.ring)
+	if t.count < len(t.ring) {
+		t.count++
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns the completed traces retained in the ring, oldest
+// first.
+func (t *Tracer) Recent() []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Record, 0, t.count)
+	start := (t.next - t.count + len(t.ring)) % len(t.ring)
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// ActiveCount reports in-flight spans (tests).
+func (t *Tracer) ActiveCount() int { return int(t.nActive.Load()) }
+
+// StageQuantile reports an upper bound on the q-quantile of a stage's
+// recorded durations, from the registry histogram. ok is false when
+// the tracer has no registry or the stage has no observations.
+func (t *Tracer) StageQuantile(st Stage, q float64) (time.Duration, bool) {
+	if t == nil || st >= numStages || t.stageHists[st] == nil {
+		return 0, false
+	}
+	return t.stageHists[st].Quantile(q)
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"triggerman/internal/metrics"
+)
+
+// TestSpanLifecycle walks one token through every stage and checks the
+// completed record.
+func TestSpanLifecycle(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(Config{Registry: reg})
+	sp := tr.Begin(3, "insert")
+	if sp == nil {
+		t.Fatal("span not sampled at SampleEvery=1")
+	}
+	sp.Mark(StageCapture)
+	tr.Attach(42, sp)
+	got := tr.Dequeued(42)
+	if got != sp {
+		t.Fatalf("Dequeued returned %p, want %p", got, sp)
+	}
+	sp.Observe(StageMatch, 5*time.Microsecond)
+	sp.Observe(StagePropagate, time.Microsecond)
+	sp.Observe(StageAction, 10*time.Microsecond)
+	sp.Observe(StageDeliver, 2*time.Microsecond)
+	sp.Finish()
+
+	recs := tr.Recent()
+	if len(recs) != 1 {
+		t.Fatalf("ring has %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Seq != 42 || rec.Source != 3 || rec.Op != "insert" {
+		t.Fatalf("record identity = %+v", rec)
+	}
+	for _, st := range Stages() {
+		if !rec.HasStage(st.String()) {
+			t.Fatalf("record missing stage %s: %+v", st, rec.Stages)
+		}
+	}
+	if tr.ActiveCount() != 0 {
+		t.Fatalf("active = %d after finish", tr.ActiveCount())
+	}
+	if d, ok := tr.StageQuantile(StageMatch, 0.99); !ok || d <= 0 {
+		t.Fatalf("stage quantile = %v ok=%v", d, ok)
+	}
+	if v, ok := reg.Value("tman_traces_started_total"); !ok || v != 1 {
+		t.Fatalf("traces started = %d ok=%v", v, ok)
+	}
+}
+
+// TestSampling checks 1-in-N sampling and the disabled mode.
+func TestSampling(t *testing.T) {
+	tr := New(Config{SampleEvery: 4})
+	sampled := 0
+	for i := 0; i < 40; i++ {
+		if sp := tr.Begin(1, "insert"); sp != nil {
+			sampled++
+			sp.Finish()
+		}
+	}
+	if sampled != 10 {
+		t.Fatalf("sampled %d of 40, want 10", sampled)
+	}
+	off := New(Config{SampleEvery: -1})
+	if off.Begin(1, "insert") != nil {
+		t.Fatal("disabled tracer produced a span")
+	}
+	if off.Enabled() {
+		t.Fatal("disabled tracer reports enabled")
+	}
+}
+
+// TestRingBound checks the completed ring stays bounded, oldest
+// evicted first.
+func TestRingBound(t *testing.T) {
+	tr := New(Config{RingSize: 4})
+	for i := uint64(1); i <= 10; i++ {
+		sp := tr.Begin(1, "insert")
+		tr.Attach(i, sp)
+		sp.Finish()
+	}
+	recs := tr.Recent()
+	if len(recs) != 4 {
+		t.Fatalf("ring has %d records, want 4", len(recs))
+	}
+	if recs[0].Seq != 7 || recs[3].Seq != 10 {
+		t.Fatalf("ring order wrong: first=%d last=%d", recs[0].Seq, recs[3].Seq)
+	}
+}
+
+// TestMaxActive checks the in-flight bound drops, not blocks.
+func TestMaxActive(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(Config{Registry: reg, MaxActive: 2})
+	a := tr.Begin(1, "insert")
+	tr.Attach(1, a)
+	b := tr.Begin(1, "insert")
+	tr.Attach(2, b)
+	if c := tr.Begin(1, "insert"); c != nil {
+		t.Fatal("span allocated beyond MaxActive")
+	}
+	if v, _ := reg.Value("tman_traces_dropped_total"); v != 1 {
+		t.Fatalf("dropped = %d, want 1", v)
+	}
+	a.Finish()
+	if d := tr.Begin(1, "insert"); d == nil {
+		t.Fatal("span denied after slot freed")
+	}
+	b.Finish()
+}
+
+// TestConcurrentStamping has partition-style concurrent stage
+// recording on one span, plus refcounted completion.
+func TestConcurrentStamping(t *testing.T) {
+	tr := New(Config{})
+	sp := tr.Begin(1, "insert")
+	tr.Attach(9, sp)
+	const parts = 8
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		sp.Retain()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp.Observe(StageMatch, time.Microsecond)
+			sp.Finish()
+		}()
+	}
+	wg.Wait()
+	sp.Finish()
+	recs := tr.Recent()
+	if len(recs) != 1 {
+		t.Fatalf("ring has %d records, want 1", len(recs))
+	}
+	for _, st := range recs[0].Stages {
+		if st.Stage == "match" && st.Count != parts {
+			t.Fatalf("match count = %d, want %d", st.Count, parts)
+		}
+	}
+}

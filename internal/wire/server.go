@@ -124,6 +124,15 @@ func (s *Server) dispatch(sess *session, req *Request) *Response {
 	case "stats":
 		resp.OK = true
 		resp.Output = s.backend.StatsText()
+	case "metrics":
+		// Dispatched through Command so Backend needs no new method;
+		// the system intercepts the metrics verb before its parser.
+		out, err := s.backend.Command("metrics")
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Output = out
 	case "command":
 		out, err := s.backend.Command(req.Text)
 		if err != nil {

@@ -23,7 +23,7 @@ type Request struct {
 	// ID correlates the response; client-chosen, nonzero.
 	ID uint64 `json:"id"`
 	// Op is one of "command", "subscribe", "unsubscribe", "push",
-	// "stats", "ping".
+	// "stats", "metrics", "ping".
 	Op string `json:"op"`
 	// Text is the command text for "command".
 	Text string `json:"text,omitempty"`

@@ -1,0 +1,138 @@
+package triggerman
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"triggerman/internal/trace"
+)
+
+// opsServer is the optional operations HTTP listener: Prometheus
+// /metrics, JSON /statusz (counters, recent errors, recent token
+// traces), and /debug/pprof.
+type opsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+func (o *opsServer) shutdown() {
+	// Close (not Shutdown): scrapes are short, and a hung handler must
+	// not stall System.Close.
+	o.srv.Close()
+}
+
+// ListenOps starts the ops HTTP listener on addr (e.g. ":9090" or
+// "127.0.0.1:0") and returns the bound address. Starting twice returns
+// the existing listener's address; a closed system refuses.
+func (s *System) ListenOps(addr string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", errClosed
+	}
+	if s.ops != nil {
+		return s.ops.ln.Addr().String(), nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.ops = &opsServer{ln: ln, srv: srv}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// OpsAddr reports the ops listener's bound address, or "" when it is
+// not running.
+func (s *System) OpsAddr() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.ops == nil {
+		return ""
+	}
+	return s.ops.ln.Addr().String()
+}
+
+// MetricsText renders the registry in Prometheus text exposition
+// format (the console's metrics verb and the /metrics endpoint).
+func (s *System) MetricsText() (string, error) {
+	if s.isClosed() {
+		return "", errClosed
+	}
+	var sb strings.Builder
+	if err := s.met.WritePrometheus(&sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func (s *System) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	text, err := s.MetricsText()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, text)
+}
+
+// statuszPayload is the /statusz JSON shape.
+type statuszPayload struct {
+	Triggers        int            `json:"triggers"`
+	TokensIn        int64          `json:"tokens_in"`
+	TokensMatched   int64          `json:"tokens_matched"`
+	ActionsRun      int64          `json:"actions_run"`
+	QueueDepth      int            `json:"queue_depth"`
+	DeadLetters     int            `json:"dead_letters"`
+	DeadLettered    int64          `json:"dead_lettered"`
+	EventsRaised    int64          `json:"events_raised"`
+	EventsDelivered int64          `json:"events_delivered"`
+	Errors          int64          `json:"errors"`
+	RecentErrors    []string       `json:"recent_errors"`
+	ActiveTraces    int            `json:"active_traces"`
+	RecentTraces    []trace.Record `json:"recent_traces"`
+}
+
+func (s *System) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if s.isClosed() {
+		http.Error(w, errClosed.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	st := s.Stats()
+	p := statuszPayload{
+		Triggers:        st.Triggers,
+		TokensIn:        st.TokensIn,
+		TokensMatched:   st.TokensMatched,
+		ActionsRun:      st.ActionsRun,
+		QueueDepth:      st.QueueDepth,
+		DeadLetters:     st.DeadLetters,
+		DeadLettered:    st.DeadLettered,
+		EventsRaised:    st.EventsRaised,
+		EventsDelivered: st.EventsDelivered,
+		Errors:          st.Errors,
+		RecentErrors:    make([]string, 0, len(st.RecentErrors)),
+		ActiveTraces:    s.tracer.ActiveCount(),
+		RecentTraces:    s.tracer.Recent(),
+	}
+	for _, rec := range st.RecentErrors {
+		p.RecentErrors = append(p.RecentErrors, rec.String())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p)
+}

@@ -2,7 +2,7 @@ package triggerman
 
 import (
 	"fmt"
-	"sync/atomic"
+	"time"
 
 	"triggerman/internal/agg"
 	"triggerman/internal/catalog"
@@ -13,6 +13,7 @@ import (
 	"triggerman/internal/parser"
 	"triggerman/internal/predindex"
 	"triggerman/internal/taskq"
+	"triggerman/internal/trace"
 	"triggerman/internal/types"
 )
 
@@ -24,17 +25,23 @@ func (s *System) apply(tok datasource.Token) error {
 	if s.isClosed() {
 		return errClosed
 	}
+	sp := s.tracer.Begin(tok.SourceID, tok.Op.String())
 	// Enqueue under the queue retry policy: a transient page fault must
 	// not lose a captured update. A retried enqueue whose first attempt
 	// partially succeeded can duplicate the token — delivery is
 	// at-least-once, never at-most-zero.
+	var queued datasource.Token
 	if _, err := s.queueRetry.Do(func() error {
-		_, e := s.queue.Enqueue(tok)
+		var e error
+		queued, e = s.queue.Enqueue(tok)
 		return e
 	}); err != nil {
+		sp.Finish()
 		return err
 	}
-	atomic.AddInt64(&s.tokensIn, 1)
+	sp.Mark(trace.StageCapture)
+	s.tracer.Attach(queued.Seq, sp)
+	s.cTokensIn.Inc()
 	if s.opts.Synchronous {
 		_, err := s.queueRetry.Do(s.consumeOne)
 		return err
@@ -66,7 +73,7 @@ func (s *System) consumeOne() error {
 	if !ok {
 		return nil
 	}
-	s.handleToken(tok, -1)
+	s.handleToken(tok, -1, s.tracer.Dequeued(tok.Seq))
 	return nil
 }
 
@@ -76,9 +83,10 @@ func (s *System) consumeOne() error {
 // invariant is fire-or-dead-letter, never silently dropped. Retries
 // re-run the whole pass; alpha-memory maintenance is not idempotent
 // under partial failure, so delivery is at-least-once.
-func (s *System) handleToken(tok datasource.Token, part int) {
+func (s *System) handleToken(tok datasource.Token, part int, sp *trace.Span) {
+	defer sp.Finish()
 	attempts, err := s.queueRetry.Do(func() error {
-		return s.processToken(tok, part)
+		return s.processToken(tok, part, sp)
 	})
 	if err != nil {
 		s.quarantine(catalog.DeadToken, 0, tok, err, attempts)
@@ -92,48 +100,69 @@ func (s *System) submitPartitionedToken() error {
 	if err != nil || !ok {
 		return err
 	}
+	sp := s.tracer.Dequeued(tok.Seq)
 	// The maintenance and aggregate passes must happen exactly once, not
 	// per partition; run them first, then fan out fire-only partition
 	// tasks. The token has left the queue, so failure here dead-letters
 	// it rather than dropping it.
 	attempts, err := s.queueRetry.Do(func() error {
-		if err := s.maintainMemories(tok); err != nil {
-			return err
-		}
-		return s.processAggregates(tok)
+		return s.propagateToken(tok, sp)
 	})
 	if err != nil {
 		s.quarantine(catalog.DeadToken, 0, tok, err, attempts)
+		sp.Finish()
 		return nil
 	}
 	for p := 0; p < s.partitions; p++ {
 		part := p
-		if err := s.pool.Submit(taskq.Task{Kind: taskq.TokenConditions, Retry: &s.queueRetry, Run: func() error {
-			return s.fireMatches(tok, part)
-		}}); err != nil {
+		sp.Retain()
+		if err := s.pool.Submit(taskq.Task{
+			Kind: taskq.TokenConditions, Retry: &s.queueRetry,
+			Run:    func() error { return s.fireMatches(tok, part, sp) },
+			OnDone: func(error) { sp.Finish() },
+		}); err != nil {
+			sp.Finish() // the retain for the failed submission
+			sp.Finish() // the dequeue reference
 			return err
 		}
 	}
+	sp.Finish()
 	return nil
 }
 
 // processToken is the §5.4 algorithm: maintenance pass for alpha
 // memories and aggregate state, then match-and-fire.
-func (s *System) processToken(tok datasource.Token, part int) error {
-	if err := s.maintainMemories(tok); err != nil {
+func (s *System) processToken(tok datasource.Token, part int, sp *trace.Span) error {
+	if err := s.propagateToken(tok, sp); err != nil {
 		return err
 	}
-	if err := s.processAggregates(tok); err != nil {
-		return err
+	return s.fireMatches(tok, part, sp)
+}
+
+// propagateToken is the propagation pass — alpha-memory maintenance
+// plus incremental aggregate upkeep — timed as the trace's propagate
+// stage. Gator triggers also fire in here (their incremental protocol
+// fires at propagation time).
+func (s *System) propagateToken(tok datasource.Token, sp *trace.Span) error {
+	var begin time.Time
+	if sp != nil {
+		begin = time.Now()
 	}
-	return s.fireMatches(tok, part)
+	err := s.maintainMemories(tok, sp)
+	if err == nil {
+		err = s.processAggregates(tok, sp)
+	}
+	if sp != nil {
+		sp.Observe(trace.StagePropagate, time.Since(begin))
+	}
+	return err
 }
 
 // processAggregates feeds group-by/having triggers: tokens whose images
 // pass the trigger's selection update the group's incremental
 // aggregates, and having-condition transitions fire the action with
 // aggregate values substituted in.
-func (s *System) processAggregates(tok datasource.Token) error {
+func (s *System) processAggregates(tok datasource.Token, sp *trace.Span) error {
 	s.mu.RLock()
 	hasAgg := s.aggSources[tok.SourceID] > 0
 	s.mu.RUnlock()
@@ -202,7 +231,7 @@ func (s *System) processAggregates(tok datasource.Token) error {
 			continue
 		}
 		for _, f := range fires {
-			atomic.AddInt64(&s.tokensMatched, 1)
+			s.cTokensMatch.Inc()
 			action, err := agg.SubstituteAction(lt.Action, lt.Agg.Schema, lt.Agg.Specs, f.Aggregates)
 			if err != nil {
 				s.noteErrorAt("aggregate", id, err)
@@ -211,7 +240,7 @@ func (s *System) processAggregates(tok datasource.Token) error {
 			ltCopy := *lt
 			ltCopy.Action = action
 			olds := []types.Tuple{tok.Old}
-			if err := s.runCombo(ltCopy, tok, []types.Tuple{f.Representative}, olds); err != nil {
+			if err := s.runCombo(ltCopy, tok, []types.Tuple{f.Representative}, olds, sp); err != nil {
 				s.noteErrorAt("action", id, err)
 			}
 		}
@@ -228,7 +257,7 @@ func (s *System) processAggregates(tok datasource.Token) error {
 // incremental protocol creates/retracts root combinations at
 // maintenance time. Sources with no multi-variable triggers skip this
 // pass.
-func (s *System) maintainMemories(tok datasource.Token) error {
+func (s *System) maintainMemories(tok datasource.Token, sp *trace.Span) error {
 	s.mu.RLock()
 	hasMulti := s.multiVarSources[tok.SourceID] > 0
 	s.mu.RUnlock()
@@ -249,8 +278,8 @@ func (s *System) maintainMemories(tok datasource.Token) error {
 					// whose fire mask accepts deletes.
 					var pnode discrim.PNode
 					if tok.Op == datasource.OpDelete && m.FireMask.Matches(tok) && s.cat.IsFireable(m.TriggerID) {
-						pnode = s.comboRunner(lt, tok)
-						atomic.AddInt64(&s.tokensMatched, 1)
+						pnode = s.comboRunner(lt, tok, sp)
+						s.cTokensMatch.Inc()
 					}
 					if err := lt.Gator.NotifyToken(int(m.NextNode), oldProbe, pnode); err != nil {
 						s.noteErrorAt("gator", m.TriggerID, err)
@@ -277,8 +306,8 @@ func (s *System) maintainMemories(tok datasource.Token) error {
 				case lt.Gator != nil:
 					var pnode discrim.PNode
 					if m.FireMask.Matches(tok) && s.cat.IsFireable(m.TriggerID) {
-						pnode = s.comboRunner(lt, tok)
-						atomic.AddInt64(&s.tokensMatched, 1)
+						pnode = s.comboRunner(lt, tok, sp)
+						s.cTokensMatch.Inc()
 					}
 					if err := lt.Gator.NotifyToken(int(m.NextNode), newProbe, pnode); err != nil {
 						s.noteErrorAt("gator", m.TriggerID, err)
@@ -310,13 +339,13 @@ func (s *System) withNetwork(id uint64, fn func(catalog.LoadedTrigger)) {
 
 // comboRunner builds the P-node callback that executes a trigger's
 // action for each satisfying combination.
-func (s *System) comboRunner(lt catalog.LoadedTrigger, tok datasource.Token) discrim.PNode {
+func (s *System) comboRunner(lt catalog.LoadedTrigger, tok datasource.Token, sp *trace.Span) discrim.PNode {
 	return func(c discrim.Combo) bool {
 		olds := make([]types.Tuple, len(c.Tuples))
 		if c.SeedVar >= 0 && c.SeedVar < len(olds) {
 			olds[c.SeedVar] = tok.Old
 		}
-		if err := s.runCombo(lt, tok, c.Tuples, olds); err != nil {
+		if err := s.runCombo(lt, tok, c.Tuples, olds, sp); err != nil {
 			s.noteErrorAt("action", lt.Info.ID, err)
 			return false
 		}
@@ -327,7 +356,11 @@ func (s *System) comboRunner(lt catalog.LoadedTrigger, tok datasource.Token) dis
 // fireMatches matches the token's effective image against the predicate
 // index (optionally one partition) and fires each matching trigger whose
 // fire mask accepts the token.
-func (s *System) fireMatches(tok datasource.Token, part int) error {
+func (s *System) fireMatches(tok datasource.Token, part int, sp *trace.Span) error {
+	var begin time.Time
+	if sp != nil {
+		begin = time.Now()
+	}
 	var matched []predindex.Match
 	var err error
 	if part < 0 {
@@ -345,6 +378,9 @@ func (s *System) fireMatches(tok datasource.Token, part int) error {
 			return true
 		})
 	}
+	if sp != nil {
+		sp.Observe(trace.StageMatch, time.Since(begin))
+	}
 	if err != nil {
 		return err
 	}
@@ -357,13 +393,13 @@ func (s *System) fireMatches(tok datasource.Token, part int) error {
 		if !s.cat.IsFireable(m.TriggerID) {
 			continue
 		}
-		atomic.AddInt64(&s.tokensMatched, 1)
+		s.cTokensMatch.Inc()
 		// A transient Pin/Enumerate fault is retried per firing; an
 		// exhausted or permanent one quarantines only this trigger's
 		// firing — the remaining matches still run.
 		m := m
 		attempts, err := s.actionRetry.Do(func() error {
-			return s.fireTrigger(m, tok)
+			return s.fireTrigger(m, tok, sp)
 		})
 		if err != nil {
 			s.quarantine(catalog.DeadAction, m.TriggerID, tok, err, attempts)
@@ -375,7 +411,7 @@ func (s *System) fireMatches(tok datasource.Token, part int) error {
 // fireTrigger pins the trigger (§5.4's trigger-cache pin), runs join and
 // temporal condition testing through the A-TREAT network when present,
 // and executes the action for every satisfying combination.
-func (s *System) fireTrigger(m predindex.Match, tok datasource.Token) error {
+func (s *System) fireTrigger(m predindex.Match, tok datasource.Token, sp *trace.Span) error {
 	lt, unpin, err := s.cat.Pin(m.TriggerID)
 	if err != nil {
 		return err
@@ -386,7 +422,7 @@ func (s *System) fireTrigger(m predindex.Match, tok datasource.Token) error {
 		// Single-variable trigger: the selection match is the whole
 		// condition; fire directly with the effective tuple.
 		olds := []types.Tuple{tok.Old}
-		return s.runCombo(*lt, tok, []types.Tuple{tok.Effective()}, olds)
+		return s.runCombo(*lt, tok, []types.Tuple{tok.Effective()}, olds, sp)
 	}
 	var ferr error
 	err = lt.Network.Enumerate(int(m.NextNode), tok, func(c discrim.Combo) bool {
@@ -394,7 +430,7 @@ func (s *System) fireTrigger(m predindex.Match, tok datasource.Token) error {
 		if c.SeedVar >= 0 && c.SeedVar < len(olds) {
 			olds[c.SeedVar] = tok.Old
 		}
-		if e := s.runCombo(*lt, tok, c.Tuples, olds); e != nil {
+		if e := s.runCombo(*lt, tok, c.Tuples, olds, sp); e != nil {
 			ferr = e
 			return false
 		}
@@ -408,7 +444,7 @@ func (s *System) fireTrigger(m predindex.Match, tok datasource.Token) error {
 
 // runCombo executes a trigger's action for one satisfying combination,
 // inline or as a rule-action task per Options.ActionTasks.
-func (s *System) runCombo(lt catalog.LoadedTrigger, tok datasource.Token, tuples, olds []types.Tuple) error {
+func (s *System) runCombo(lt catalog.LoadedTrigger, tok datasource.Token, tuples, olds []types.Tuple, sp *trace.Span) error {
 	if s.FireHook != nil {
 		s.FireHook(lt.Info.ID, tuples)
 	}
@@ -422,16 +458,36 @@ func (s *System) runCombo(lt catalog.LoadedTrigger, tok datasource.Token, tuples
 	}
 	action := lt.Action
 	id := lt.Info.ID
+	// Traced firings run through a per-firing Executor copy whose
+	// Observe hook stamps event delivery, so the deliver stage lands on
+	// this token's span without changing Execute's signature.
+	exe := s.exe
+	if sp != nil {
+		e := *s.exe
+		e.Observe = func(phase string, d time.Duration) {
+			if phase == "deliver" {
+				sp.Observe(trace.StageDeliver, d)
+			}
+		}
+		exe = &e
+	}
 	run := func() error {
-		atomic.AddInt64(&s.actionsRun, 1)
+		s.cActionsRun.Inc()
+		var begin time.Time
+		if sp != nil {
+			begin = time.Now()
+		}
 		// The action runs under the action retry policy: transient
 		// faults back off and retry, panics and semantic errors fail
 		// fast, and either way an undeliverable firing is quarantined in
 		// the dead-letter table so the remaining combinations (and
 		// triggers) keep firing.
 		attempts, err := s.actionRetry.Do(func() error {
-			return s.exe.Execute(id, action, binding, schemaOf)
+			return exe.Execute(id, action, binding, schemaOf)
 		})
+		if sp != nil {
+			sp.Observe(trace.StageAction, time.Since(begin))
+		}
 		if err != nil {
 			s.quarantine(catalog.DeadAction, id, tok, err, attempts)
 		}
@@ -441,8 +497,18 @@ func (s *System) runCombo(lt catalog.LoadedTrigger, tok datasource.Token, tuples
 		// Task type 4: the token's actions run inside its own task.
 		return run()
 	}
-	// Rule action concurrency (task type 2 of §6).
-	return s.pool.Submit(taskq.Task{Kind: taskq.RunAction, Run: run})
+	// Rule action concurrency (task type 2 of §6): the task holds a
+	// span reference, because it may outlive the token task that
+	// spawned it.
+	sp.Retain()
+	err := s.pool.Submit(taskq.Task{
+		Kind: taskq.RunAction, Run: run,
+		OnDone: func(error) { sp.Finish() },
+	})
+	if err != nil {
+		sp.Finish()
+	}
+	return err
 }
 
 // CapturingRunner wraps the database so execSQL actions generate update

@@ -155,10 +155,15 @@ func (st *StreamSource) Push(tok datasource.Token) error {
 
 // command implements System.Command.
 func (s *System) command(text string) (string, error) {
-	// Dead-letter operations are console verbs, not parser statements:
-	// intercept them before the command-language parser.
-	if fields := strings.Fields(text); len(fields) > 0 && strings.EqualFold(fields[0], "deadletter") {
-		return s.deadLetterCommand(strings.Join(fields[1:], " "))
+	// Dead-letter and metrics operations are console verbs, not parser
+	// statements: intercept them before the command-language parser.
+	if fields := strings.Fields(text); len(fields) > 0 {
+		switch {
+		case strings.EqualFold(fields[0], "deadletter"):
+			return s.deadLetterCommand(strings.Join(fields[1:], " "))
+		case strings.EqualFold(fields[0], "metrics"):
+			return s.MetricsText()
+		}
 	}
 	st, err := parser.Parse(text)
 	if err != nil {

@@ -25,9 +25,9 @@
 package triggerman
 
 import (
+	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"triggerman/internal/cache"
@@ -35,11 +35,13 @@ import (
 	"triggerman/internal/datasource"
 	"triggerman/internal/event"
 	"triggerman/internal/exec"
+	"triggerman/internal/metrics"
 	"triggerman/internal/minisql"
 	"triggerman/internal/predindex"
 	"triggerman/internal/retry"
 	"triggerman/internal/storage"
 	"triggerman/internal/taskq"
+	"triggerman/internal/trace"
 	"triggerman/internal/types"
 )
 
@@ -124,6 +126,16 @@ type Options struct {
 	GatorNetworks bool
 	// T and Threshold tune the driver loop (paper defaults 250ms).
 	T, Threshold time.Duration
+	// MetricsAddr, when non-empty, starts the ops HTTP listener on the
+	// address at Open: Prometheus /metrics, JSON /statusz, and
+	// /debug/pprof. The listener can also be started later with
+	// ListenOps.
+	MetricsAddr string
+	// TraceSampleEvery controls token-lifecycle tracing: every Nth
+	// token is stamped through capture → dequeue → match → propagate →
+	// action → deliver. 0 takes the default of 64, 1 traces every
+	// token, negative disables tracing.
+	TraceSampleEvery int
 }
 
 // Stats aggregates subsystem counters.
@@ -169,10 +181,16 @@ type System struct {
 	aggSources      map[int32]int // #aggregate triggers per source
 	partitions      int
 
-	tokensIn      int64
-	tokensMatched int64
-	actionsRun    int64
-	deadLettered  int64
+	// met is the process-wide instrument registry; the headline
+	// counters below are registry-backed so Stats() and /metrics read
+	// the same cells.
+	met           *metrics.Registry
+	tracer        *trace.Tracer
+	cTokensIn     *metrics.Counter
+	cTokensMatch  *metrics.Counter
+	cActionsRun   *metrics.Counter
+	cDeadLettered *metrics.Counter
+	ops           *opsServer
 	ring          errorRing
 
 	// Resolved retry policies (defaults applied).
@@ -207,7 +225,9 @@ func Open(opts Options) (*System, error) {
 		}
 		disk = fd
 	}
+	met := metrics.NewRegistry()
 	bp := storage.NewBufferPool(disk, opts.BufferPoolPages)
+	bp.SetMetrics(met)
 	var db *minisql.DB
 	var err error
 	if disk.NumPages() == 0 {
@@ -220,7 +240,7 @@ func Open(opts Options) (*System, error) {
 	}
 
 	reg := datasource.NewRegistry()
-	pidxOpts := []predindex.Option{predindex.WithDB(db)}
+	pidxOpts := []predindex.Option{predindex.WithDB(db), predindex.WithMetrics(met)}
 	switch {
 	case opts.Policy != nil:
 		pidxOpts = append(pidxOpts, predindex.WithPolicy(*opts.Policy))
@@ -240,6 +260,10 @@ func Open(opts Options) (*System, error) {
 		return nil, err
 	}
 
+	sampleEvery := opts.TraceSampleEvery
+	if sampleEvery == 0 {
+		sampleEvery = 64
+	}
 	sys := &System{
 		opts:            opts,
 		bp:              bp,
@@ -248,27 +272,39 @@ func Open(opts Options) (*System, error) {
 		pidx:            pidx,
 		cat:             cat,
 		bus:             event.NewBus(),
+		met:             met,
+		tracer:          trace.New(trace.Config{Registry: met, SampleEvery: sampleEvery}),
 		multiVarSources: make(map[int32]int),
 		aggSources:      make(map[int32]int),
 		partitions:      opts.ConditionPartitions,
 	}
+	sys.cTokensIn = met.Counter("tman_tokens_total", "update descriptors captured into the queue")
+	sys.cTokensMatch = met.Counter("tman_matches_total", "token-trigger matches that fired or fed a network")
+	sys.cActionsRun = met.Counter("tman_actions_total", "rule-action executions started")
+	sys.cDeadLettered = met.Counter("tman_dead_letters_total", "tokens and firings quarantined in the dead-letter table")
 	if opts.ActionRetry != nil {
 		sys.actionRetry = *opts.ActionRetry
 	} else {
 		sys.actionRetry = retry.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
 	}
 	sys.actionRetry = sys.actionRetry.WithDefaults()
+	sys.actionRetry.Observe = sys.retryObserver("action")
 	if opts.QueueRetry != nil {
 		sys.queueRetry = *opts.QueueRetry
 	} else {
 		sys.queueRetry = retry.Policy{MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
 	}
 	sys.queueRetry = sys.queueRetry.WithDefaults()
+	sys.queueRetry.Observe = sys.retryObserver("queue")
 	sys.dlRetry = sys.queueRetry
 	if sys.dlRetry.MaxAttempts < 10 {
 		sys.dlRetry.MaxAttempts = 10
 	}
-	sys.exe = &exec.Executor{DB: capturingRunner{sys}, Bus: sys.bus}
+	sys.dlRetry.Observe = sys.retryObserver("deadletter")
+	sys.exe = &exec.Executor{
+		DB: capturingRunner{sys}, Bus: sys.bus,
+		Hist: met.Histogram("tman_action_duration_seconds", "rule-action execution time, one observation per attempt", nil),
+	}
 	if opts.Queue == MemoryQueue {
 		sys.queue = datasource.NewMemQueue()
 	} else {
@@ -286,11 +322,103 @@ func Open(opts Options) (*System, error) {
 			T:                opts.T,
 			Threshold:        opts.Threshold,
 			OnError:          sys.noteError,
+			Metrics:          met,
 		})
 	}
+	sys.registerViews()
 	// Rebuild the multi-var bookkeeping for recovered triggers.
 	sys.rebuildMultiVar()
+	if opts.MetricsAddr != "" {
+		if _, err := sys.ListenOps(opts.MetricsAddr); err != nil {
+			sys.Close()
+			return nil, err
+		}
+	}
 	return sys, nil
+}
+
+// retryObserver builds a Policy.Observe hook recording retry attempts
+// (beyond the first) and exhaustions under the policy's label.
+func (s *System) retryObserver(policy string) func(int, error) {
+	attempts := s.met.Counter("tman_retry_attempts_total",
+		"retry attempts beyond the first, by policy", metrics.L("policy", policy))
+	exhausted := s.met.Counter("tman_retry_exhausted_total",
+		"operations that ran out of retry attempts, by policy", metrics.L("policy", policy))
+	return func(n int, err error) {
+		if n > 1 {
+			attempts.Add(int64(n - 1))
+		}
+		var ex *retry.Exhausted
+		if errors.As(err, &ex) {
+			exhausted.Inc()
+		}
+	}
+}
+
+// registerViews exports the existing subsystem counters as callback
+// instruments, so the registry and Stats() read the same sources and
+// cannot drift.
+func (s *System) registerViews() {
+	m := s.met
+	m.GaugeFunc("tman_queue_depth", "tokens waiting in the update queue",
+		func() int64 { return int64(s.queue.Len()) })
+	m.GaugeFunc("tman_dead_letter_depth", "entries currently quarantined",
+		func() int64 { return int64(s.cat.DeadLetterCount()) })
+	m.GaugeFunc("tman_triggers", "triggers defined",
+		func() int64 { return int64(s.cat.TriggerCount()) })
+	m.CounterFunc("tman_errors_total", "asynchronous processing errors recorded",
+		func() int64 { return s.ring.totalCount() })
+	m.CounterFunc("tman_events_total", "event-bus activity",
+		func() int64 { raised, _ := s.bus.Stats(); return raised }, metrics.L("kind", "raised"))
+	m.CounterFunc("tman_events_total", "event-bus activity",
+		func() int64 { _, delivered := s.bus.Stats(); return delivered }, metrics.L("kind", "delivered"))
+	for _, v := range []struct {
+		event string
+		fn    func() int64
+	}{
+		{"hit", func() int64 { return int64(s.cat.Cache().Stats().Hits) }},
+		{"miss", func() int64 { return int64(s.cat.Cache().Stats().Misses) }},
+		{"eviction", func() int64 { return int64(s.cat.Cache().Stats().Evictions) }},
+	} {
+		m.CounterFunc("tman_trigger_cache_total", "trigger cache activity", v.fn, metrics.L("event", v.event))
+	}
+	for _, v := range []struct {
+		event string
+		fn    func() int64
+	}{
+		{"hit", func() int64 { return int64(s.bp.Stats().Hits) }},
+		{"miss", func() int64 { return int64(s.bp.Stats().Misses) }},
+		{"eviction", func() int64 { return int64(s.bp.Stats().Evictions) }},
+		{"flush", func() int64 { return int64(s.bp.Stats().Flushes) }},
+	} {
+		m.CounterFunc("tman_buffer_pool_total", "buffer pool activity", v.fn, metrics.L("event", v.event))
+	}
+	for _, v := range []struct {
+		counter string
+		fn      func() int64
+	}{
+		{"tokens", func() int64 { return s.pidx.Stats().Tokens }},
+		{"sig_probes", func() int64 { return s.pidx.Stats().SigProbes }},
+		{"const_compares", func() int64 { return s.pidx.Stats().ConstCompares }},
+		{"rest_tests", func() int64 { return s.pidx.Stats().RestTests }},
+		{"matches", func() int64 { return s.pidx.Stats().Matches }},
+	} {
+		m.CounterFunc("tman_index_total", "predicate index activity", v.fn, metrics.L("counter", v.counter))
+	}
+	if s.pool != nil {
+		for _, v := range []struct {
+			counter string
+			fn      func() int64
+		}{
+			{"enqueued", func() int64 { return s.pool.Stats().Enqueued }},
+			{"executed", func() int64 { return s.pool.Stats().Executed }},
+			{"errors", func() int64 { return s.pool.Stats().Errors }},
+			{"panics", func() int64 { return s.pool.Stats().Panics }},
+			{"retries", func() int64 { return s.pool.Stats().Retries }},
+		} {
+			m.CounterFunc("tman_pool_total", "driver pool activity", v.fn, metrics.L("counter", v.counter))
+		}
+	}
 }
 
 func (s *System) rebuildMultiVar() {
@@ -358,14 +486,15 @@ func (s *System) Catalog() *catalog.Catalog { return s.cat }
 // PredIndex exposes the predicate index (benchmarks read its stats).
 func (s *System) PredIndex() *predindex.Index { return s.pidx }
 
-// Stats returns a combined counter snapshot.
+// Stats returns a combined counter snapshot. The headline counters are
+// views over the metrics registry — the same cells /metrics exports.
 func (s *System) Stats() Stats {
 	raised, delivered := s.bus.Stats()
 	st := Stats{
 		Triggers:        s.cat.TriggerCount(),
-		TokensIn:        atomic.LoadInt64(&s.tokensIn),
-		TokensMatched:   atomic.LoadInt64(&s.tokensMatched),
-		ActionsRun:      atomic.LoadInt64(&s.actionsRun),
+		TokensIn:        s.cTokensIn.Value(),
+		TokensMatched:   s.cTokensMatch.Value(),
+		ActionsRun:      s.cActionsRun.Value(),
 		Index:           s.pidx.Stats(),
 		TriggerCache:    s.cat.Cache().Stats(),
 		BufferPool:      s.bp.Stats(),
@@ -375,13 +504,20 @@ func (s *System) Stats() Stats {
 		Errors:          s.ring.totalCount(),
 		RecentErrors:    s.ring.snapshot(),
 		DeadLetters:     s.cat.DeadLetterCount(),
-		DeadLettered:    atomic.LoadInt64(&s.deadLettered),
+		DeadLettered:    s.cDeadLettered.Value(),
 	}
 	if s.pool != nil {
 		st.Pool = s.pool.Stats()
 	}
 	return st
 }
+
+// Metrics exposes the instrument registry (the ops endpoint and tests
+// read it; embedders may add their own instruments).
+func (s *System) Metrics() *metrics.Registry { return s.met }
+
+// Tracer exposes the token-lifecycle tracer.
+func (s *System) Tracer() *trace.Tracer { return s.tracer }
 
 // Exec runs a mini-SQL statement directly against the embedded database
 // (uncaptured: no update descriptors are generated; use a TableSource
@@ -497,7 +633,12 @@ func (s *System) Close() error {
 		return nil
 	}
 	s.closed = true
+	ops := s.ops
+	s.ops = nil
 	s.mu.Unlock()
+	if ops != nil {
+		ops.shutdown()
+	}
 	if s.pool != nil {
 		s.pool.Close()
 	}
