@@ -14,6 +14,7 @@ import (
 	"triggerman/internal/expr"
 	"triggerman/internal/minisql"
 	"triggerman/internal/predindex"
+	"triggerman/internal/profile"
 	"triggerman/internal/storage"
 	"triggerman/internal/types"
 	"triggerman/internal/workload"
@@ -156,6 +157,50 @@ func BenchmarkE1_PredicateIndexVsNaive(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				tok := benchToken(fmt.Sprintf("user%07d", rng.Intn(n)), 1)
 				nm.Match(tok, func(uint64) bool { matched++; return true })
+			}
+			if matched != b.N {
+				b.Fatalf("matched %d of %d", matched, b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkE1_ProfilingOverhead isolates the cost-attribution sketch's
+// tax on the E1 match path: the same probe workload with and without a
+// profiler attached. The sketch charges one lookup per matching
+// candidate (MatchHit folds probe+match into a single cell scan), so
+// the delta should stay within a few percent of the bare probe.
+func BenchmarkE1_ProfilingOverhead(b *testing.B) {
+	const n = 10000
+	for _, profiled := range []bool{false, true} {
+		name := "profile=off"
+		if profiled {
+			name = "profile=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			ix := benchIndex(b, n, n, predindex.OrgMemoryIndex)
+			if profiled {
+				ix2 := predindex.New(predindex.WithForcedOrganization(predindex.OrgMemoryIndex),
+					predindex.WithProfile(profile.New(0)))
+				ix2.AddSource(1, workload.EmpSchema)
+				for i := 0; i < n; i++ {
+					sig, consts := benchEqSig(b, fmt.Sprintf("user%07d", i))
+					ref := predindex.Ref{
+						ExprID: uint64(i + 1), TriggerID: uint64(i + 1),
+						FireMask: predindex.EventMask{AnyOp: true},
+					}
+					if _, err := ix2.AddPredicate(1, predindex.EventMask{AnyOp: true}, sig, consts, ref); err != nil {
+						b.Fatal(err)
+					}
+				}
+				ix = ix2
+			}
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			matched := 0
+			for i := 0; i < b.N; i++ {
+				tok := benchToken(fmt.Sprintf("user%07d", rng.Intn(n)), 1)
+				ix.MatchToken(tok, func(predindex.Match) bool { matched++; return true })
 			}
 			if matched != b.N {
 				b.Fatalf("matched %d of %d", matched, b.N)

@@ -180,6 +180,17 @@ func (c *Client) Metrics() (string, error) {
 	return resp.Output, nil
 }
 
+// Explain fetches the server's placement and cost-attribution report
+// for one trigger; an empty name explains the whole predicate index
+// (every signature's constant-set organization and counters).
+func (c *Client) Explain(trigger string) (string, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: "explain", Text: trigger})
+	if err != nil {
+		return "", err
+	}
+	return resp.Output, nil
+}
+
 // Subscribe registers for an event by name ("" or "*" = all). Matching
 // notifications arrive on Events().
 func (c *Client) Subscribe(name string) error {

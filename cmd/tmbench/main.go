@@ -32,6 +32,7 @@ import (
 	"triggerman/internal/minisql"
 	"triggerman/internal/parser"
 	"triggerman/internal/predindex"
+	"triggerman/internal/profile"
 	"triggerman/internal/storage"
 	"triggerman/internal/types"
 	"triggerman/internal/workload"
@@ -49,6 +50,7 @@ type benchRow struct {
 var (
 	jsonMode  bool
 	maxPop    int
+	noProfile bool
 	benchRows = map[string][]benchRow{}
 )
 
@@ -109,6 +111,8 @@ func main() {
 	)
 	flag.BoolVar(&jsonMode, "json", false, "write BENCH_<exp>.json result files")
 	flag.IntVar(&maxPop, "maxpop", 0, "cap per-experiment populations (0 = unlimited)")
+	flag.BoolVar(&noProfile, "noprofile", false,
+		"disable per-trigger cost attribution on the match path (overhead A/B runs)")
 	flag.Parse()
 	defer flushBench()
 	experiments := map[string]func(int){
@@ -154,6 +158,11 @@ func mkIndex(n, distinct int, org predindex.Organization) *predindex.Index {
 	opts := []predindex.Option{predindex.WithDB(db)}
 	if org != predindex.OrgAuto {
 		opts = append(opts, predindex.WithForcedOrganization(org))
+	}
+	if !noProfile {
+		// Mirrors the system default: attribution is always on unless
+		// explicitly disabled, so E1 measures the shipped match path.
+		opts = append(opts, predindex.WithProfile(profile.New(0)))
 	}
 	ix := predindex.New(opts...)
 	ix.AddSource(1, workload.EmpSchema)

@@ -15,6 +15,7 @@
 //	watch EVENT      -- subscribe and print notifications ("*" = all)
 //	stats            -- system counters
 //	metrics          -- Prometheus-format instrument dump
+//	explain [NAME]   -- trigger cost/placement report, or index shape
 //	deadletter ...   -- list, requeue, or purge quarantined work
 //	help / quit
 package main
@@ -40,6 +41,7 @@ const helpText = `commands:
   watch <event>                        print notifications ("*" = all)
   stats                                system counters
   metrics                              Prometheus-format instrument dump
+  explain [<trigger>]                  trigger cost/placement report, or index shape
   deadletter [list|requeue <id>|purge] inspect or replay quarantined work
   help | quit`
 

@@ -55,6 +55,9 @@ func (s *System) PurgeDeadLetters() (int, error) { return s.cat.PurgeDeadLetters
 // genuinely be dropped, and it is never silent.
 func (s *System) quarantine(kind string, triggerID uint64, tok datasource.Token, cause error, attempts int) {
 	s.ring.add(kind, triggerID, cause)
+	s.prof.ActionFailure(triggerID)
+	s.elog.Warn("deadletter.quarantine",
+		"kind", kind, "trigger_id", triggerID, "attempts", attempts, "cause", cause.Error())
 	_, err := s.dlRetry.Do(func() error {
 		_, e := s.cat.AddDeadLetter(kind, triggerID, tok, cause.Error(), attempts)
 		return e

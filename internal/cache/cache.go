@@ -29,6 +29,15 @@ type Entry struct {
 // Loader fetches a trigger description from the catalog on a miss.
 type Loader func(triggerID uint64) (interface{}, error)
 
+// Observer receives per-trigger cache events for attribution and the
+// structured event log. Callbacks run outside the cache lock but must
+// be cheap and must not call back into the cache.
+type Observer interface {
+	CacheHit(triggerID uint64)
+	CacheMiss(triggerID uint64)
+	CacheEvict(triggerID uint64)
+}
+
 // Stats counts cache activity.
 type Stats struct {
 	Hits, Misses, Evictions int64
@@ -42,6 +51,14 @@ type Cache struct {
 	entries  map[uint64]*Entry
 	lru      *list.List // back = least recently used, unpinned only
 	stats    Stats
+	observer Observer
+}
+
+// SetObserver installs the event observer (call before concurrent use).
+func (c *Cache) SetObserver(o Observer) {
+	c.mu.Lock()
+	c.observer = o
+	c.mu.Unlock()
 }
 
 // New builds a cache holding at most capacity descriptions. The paper's
@@ -77,6 +94,7 @@ func (c *Cache) Len() int {
 // with an Unpin.
 func (c *Cache) Pin(triggerID uint64) (*Entry, error) {
 	c.mu.Lock()
+	obs := c.observer
 	if e, ok := c.entries[triggerID]; ok {
 		c.stats.Hits++
 		e.pins++
@@ -85,19 +103,26 @@ func (c *Cache) Pin(triggerID uint64) (*Entry, error) {
 			e.lruEl = nil
 		}
 		c.mu.Unlock()
+		if obs != nil {
+			obs.CacheHit(triggerID)
+		}
 		return e, nil
 	}
 	c.stats.Misses++
 	// Make room before loading (load happens outside the lock; a
 	// placeholder reserves the slot so concurrent pins of the same
 	// trigger wait via double-check below).
+	var evicted []uint64
 	if len(c.entries) >= c.capacity {
-		if err := c.evictLocked(); err != nil {
+		victim, err := c.evictLocked()
+		if err != nil {
 			c.mu.Unlock()
 			return nil, err
 		}
+		evicted = append(evicted, victim)
 	}
 	c.mu.Unlock()
+	c.notify(obs, triggerID, evicted)
 
 	val, err := c.loader(triggerID)
 	if err != nil {
@@ -105,7 +130,6 @@ func (c *Cache) Pin(triggerID uint64) (*Entry, error) {
 	}
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	// Double-check: a concurrent loader may have installed it.
 	if e, ok := c.entries[triggerID]; ok {
 		e.pins++
@@ -113,16 +137,38 @@ func (c *Cache) Pin(triggerID uint64) (*Entry, error) {
 			c.lru.Remove(e.lruEl)
 			e.lruEl = nil
 		}
+		c.mu.Unlock()
 		return e, nil
 	}
+	evicted = evicted[:0]
 	if len(c.entries) >= c.capacity {
-		if err := c.evictLocked(); err != nil {
+		victim, err := c.evictLocked()
+		if err != nil {
+			c.mu.Unlock()
 			return nil, err
 		}
+		evicted = append(evicted, victim)
 	}
 	e := &Entry{TriggerID: triggerID, Value: val, pins: 1}
 	c.entries[triggerID] = e
+	c.mu.Unlock()
+	if obs != nil {
+		for _, v := range evicted {
+			obs.CacheEvict(v)
+		}
+	}
 	return e, nil
+}
+
+// notify delivers the miss and any eviction events outside the lock.
+func (c *Cache) notify(obs Observer, missed uint64, evicted []uint64) {
+	if obs == nil {
+		return
+	}
+	obs.CacheMiss(missed)
+	for _, v := range evicted {
+		obs.CacheEvict(v)
+	}
 }
 
 // Unpin releases one pin; at zero pins the entry becomes evictable.
@@ -162,16 +208,16 @@ func (c *Cache) Invalidate(triggerID uint64) error {
 	return nil
 }
 
-func (c *Cache) evictLocked() error {
+func (c *Cache) evictLocked() (uint64, error) {
 	el := c.lru.Back()
 	if el == nil {
-		return fmt.Errorf("cache: all %d cached triggers are pinned", c.capacity)
+		return 0, fmt.Errorf("cache: all %d cached triggers are pinned", c.capacity)
 	}
 	victim := el.Value.(uint64)
 	c.lru.Remove(el)
 	delete(c.entries, victim)
 	c.stats.Evictions++
-	return nil
+	return victim, nil
 }
 
 // Resident reports whether the trigger is currently cached (tests).

@@ -185,3 +185,57 @@ func TestWorkingSetHitRatio(t *testing.T) {
 		t.Errorf("half-capacity hit ratio = %f (LRU on cyclic scan should thrash)", small)
 	}
 }
+
+type recordingObserver struct {
+	mu                    sync.Mutex
+	hits, misses, evicted []uint64
+}
+
+func (o *recordingObserver) CacheHit(id uint64) {
+	o.mu.Lock()
+	o.hits = append(o.hits, id)
+	o.mu.Unlock()
+}
+
+func (o *recordingObserver) CacheMiss(id uint64) {
+	o.mu.Lock()
+	o.misses = append(o.misses, id)
+	o.mu.Unlock()
+}
+
+func (o *recordingObserver) CacheEvict(id uint64) {
+	o.mu.Lock()
+	o.evicted = append(o.evicted, id)
+	o.mu.Unlock()
+}
+
+func TestObserverSeesHitMissEvict(t *testing.T) {
+	var loads int64
+	c := New(2, countingLoader(&loads))
+	obs := &recordingObserver{}
+	c.SetObserver(obs)
+
+	mustPin := func(id uint64) {
+		t.Helper()
+		if _, err := c.Pin(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Unpin(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPin(1) // miss
+	mustPin(1) // hit
+	mustPin(2) // miss
+	mustPin(3) // miss, evicts 1 (LRU)
+
+	if len(obs.misses) != 3 || obs.misses[0] != 1 || obs.misses[1] != 2 || obs.misses[2] != 3 {
+		t.Fatalf("misses = %v", obs.misses)
+	}
+	if len(obs.hits) != 1 || obs.hits[0] != 1 {
+		t.Fatalf("hits = %v", obs.hits)
+	}
+	if len(obs.evicted) != 1 || obs.evicted[0] != 1 {
+		t.Fatalf("evicted = %v", obs.evicted)
+	}
+}

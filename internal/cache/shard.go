@@ -24,6 +24,13 @@ func NewSharded(capacity int, loader Loader) *Sharded {
 	return s
 }
 
+// SetObserver installs the event observer on every shard.
+func (s *Sharded) SetObserver(o Observer) {
+	for _, c := range s.shards {
+		c.SetObserver(o)
+	}
+}
+
 func (s *Sharded) shard(id uint64) *Cache {
 	return s.shards[id&(shardCount-1)]
 }

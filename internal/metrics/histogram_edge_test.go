@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// Edge cases around the quantile extractor: empty histograms must
+// refuse, single observations must bracket correctly, and observations
+// beyond the last bucket bound must land in the overflow bucket without
+// inventing durations larger than the largest finite bound.
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := NewHistogram(nil)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if d, ok := h.Quantile(q); ok || d != 0 {
+			t.Fatalf("Quantile(%v) on empty histogram = %v, %v; want 0, false", q, d, ok)
+		}
+		if lo, hi, ok := h.QuantileBounds(q); ok || lo != 0 || hi != 0 {
+			t.Fatalf("QuantileBounds(%v) on empty histogram = %v, %v, %v", q, lo, hi, ok)
+		}
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(3 * time.Microsecond) // lands in the (2.5µs, 5µs] bucket
+	for _, q := range []float64{0, 0.5, 1} {
+		lo, hi, ok := h.QuantileBounds(q)
+		if !ok {
+			t.Fatalf("QuantileBounds(%v) not ok with one observation", q)
+		}
+		if lo != 2500*time.Nanosecond || hi != 5*time.Microsecond {
+			t.Fatalf("QuantileBounds(%v) = [%v, %v], want [2.5µs, 5µs]", q, lo, hi)
+		}
+	}
+	if h.Count() != 1 || h.Sum() != 3*time.Microsecond {
+		t.Fatalf("Count=%d Sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestQuantileBeyondLastBound(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(time.Minute) // beyond the 10s top bound: overflow bucket
+	d, ok := h.Quantile(0.5)
+	last := time.Duration(DefaultLatencyBounds[len(DefaultLatencyBounds)-1])
+	if !ok || d != last {
+		t.Fatalf("Quantile(0.5) = %v, %v; want the largest finite bound %v", d, ok, last)
+	}
+	lo, hi, ok := h.QuantileBounds(0.5)
+	if !ok || lo != last || hi != last {
+		t.Fatalf("QuantileBounds(0.5) = [%v, %v], %v; want [%v, %v]", lo, hi, ok, last, last)
+	}
+	// The observation must sit in the +Inf overflow bucket alone.
+	cum, total := h.snapshot()
+	if total != 1 || cum[len(cum)-1] != 1 || cum[len(cum)-2] != 0 {
+		t.Fatalf("overflow observation not in +Inf bucket: cum=%v total=%d", cum, total)
+	}
+}
+
+func TestQuantileMixedWithOverflow(t *testing.T) {
+	h := NewHistogram([]int64{int64(time.Millisecond), int64(10 * time.Millisecond)})
+	for i := 0; i < 9; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	h.Observe(time.Hour) // one overflow outlier
+	if d, ok := h.Quantile(0.5); !ok || d != time.Millisecond {
+		t.Fatalf("median = %v, %v; want 1ms", d, ok)
+	}
+	// p100 hits the overflow bucket and reports the largest finite bound.
+	if d, ok := h.Quantile(1); !ok || d != 10*time.Millisecond {
+		t.Fatalf("p100 = %v, %v; want 10ms (largest finite bound)", d, ok)
+	}
+}
+
+func TestQuantileClampsOutOfRangeQ(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(time.Microsecond)
+	for _, q := range []float64{-1, 2} {
+		if _, ok := h.Quantile(q); !ok {
+			t.Fatalf("Quantile(%v) should clamp into [0,1] and succeed", q)
+		}
+	}
+}
+
+func TestNegativeObservationClampedToZero(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(-5 * time.Second)
+	if h.Sum() != 0 || h.Count() != 1 {
+		t.Fatalf("negative observation: Sum=%v Count=%d, want 0 and 1", h.Sum(), h.Count())
+	}
+	if d, ok := h.Quantile(0.5); !ok || d != time.Microsecond {
+		t.Fatalf("Quantile(0.5) = %v, %v; want the smallest bound 1µs", d, ok)
+	}
+}

@@ -27,10 +27,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		help, kind := fam.help, fam.kind
 		r.mu.RUnlock()
 
-		if help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
-				return err
-			}
+		// Every family gets a # HELP line, even when no help text was
+		// registered: scrapers and exposition-format linters treat a
+		// family without HELP as malformed. Fall back to the name.
+		if help == "" {
+			help = name
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
+			return err
 		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind); err != nil {
 			return err
@@ -75,6 +79,13 @@ func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
 // without float artifacts (2500000 → "0.0025").
 func formatSeconds(ns int64) string {
 	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition
+// format's HELP escaping rules.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 // mergeLabels splices an extra label into an already-rendered label

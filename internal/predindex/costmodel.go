@@ -121,7 +121,11 @@ func (m CostModel) Policy() Policy {
 }
 
 // WithCostModel configures the index's adaptive thresholds from a cost
-// model instead of raw cutoffs.
+// model instead of raw cutoffs. The model is retained so organization-
+// transition events and snapshots can report its per-probe estimates.
 func WithCostModel(m CostModel) Option {
-	return func(ix *Index) { ix.policy = m.Policy() }
+	return func(ix *Index) {
+		ix.policy = m.Policy()
+		ix.costModel = &m
+	}
 }

@@ -27,6 +27,9 @@ type constantSet interface {
 	match(tuple types.Tuple, part int, emit func(Ref) bool) (int, error)
 	forEach(fn func(consts types.Tuple, ref Ref) error) error
 	repartition(n int) error
+	// describe names the concrete predicate-testing structure for
+	// introspection (/indexz, explain).
+	describe() string
 }
 
 // centry is one constant (or constant tuple) with its triggerID set,
@@ -229,6 +232,10 @@ func (m *memList) repartition(n int) error {
 		c.repartition(n)
 	}
 	return nil
+}
+
+func (m *memList) describe() string {
+	return fmt.Sprintf("linear list, %d constant(s)", len(m.entries))
 }
 
 // --- organization 2: main-memory index ---
@@ -452,6 +459,17 @@ func (m *memIndex) repartition(n int) error {
 		c.repartition(n)
 	}
 	return nil
+}
+
+func (m *memIndex) describe() string {
+	switch m.sig.Indexability() {
+	case expr.IndexEquality:
+		return fmt.Sprintf("hash table, %d constant(s)", len(m.byKey))
+	case expr.IndexRange:
+		return fmt.Sprintf("interval skip list, %d interval(s)", len(m.byID))
+	default:
+		return fmt.Sprintf("non-indexable scan list, %d constant(s)", len(m.plain))
+	}
 }
 
 // --- organizations 3 and 4: database constant tables ---
@@ -721,6 +739,13 @@ func (ts *tableSet) forEach(fn func(types.Tuple, Ref) error) error {
 func (ts *tableSet) repartition(n int) error {
 	ts.nparts = n
 	return nil
+}
+
+func (ts *tableSet) describe() string {
+	if ts.indexed {
+		return fmt.Sprintf("table %s with clustered index %s_cidx", ts.name, ts.name)
+	}
+	return fmt.Sprintf("table %s, sequential scan", ts.name)
 }
 
 // restToText serializes an instantiated rest-of-predicate for the

@@ -25,6 +25,7 @@ import (
 	"triggerman/internal/expr"
 	"triggerman/internal/metrics"
 	"triggerman/internal/minisql"
+	"triggerman/internal/profile"
 	"triggerman/internal/types"
 )
 
@@ -252,6 +253,33 @@ type Index struct {
 	// latency histogram.
 	orgProbes [5]*metrics.Counter
 	matchHist *metrics.Histogram
+
+	// prof, when set, attributes candidate probes and matches to
+	// individual trigger IDs (nil = no attribution; all Profiler
+	// methods are nil-safe, the branch here just avoids the calls
+	// entirely on the hot path).
+	prof *profile.Profiler
+	// costModel prices organizations for reorg events and snapshots
+	// (nil = DefaultCostModel).
+	costModel *CostModel
+	// reorgHook observes constant-set organization transitions.
+	reorgHook func(ReorgEvent)
+}
+
+// ReorgEvent describes one constant-set organization transition
+// decided by the cost model's thresholds.
+type ReorgEvent struct {
+	SigID  uint64
+	Source int32
+	// Expr is the signature's canonical generalized expression.
+	Expr string
+	// From and To are the old and new organizations.
+	From, To Organization
+	// Size is the equivalence-class size that crossed a threshold.
+	Size int
+	// FromCostNs and ToCostNs are the cost model's per-probe estimates
+	// for the class at this size under each organization.
+	FromCostNs, ToCostNs float64
 }
 
 type sourceIndex struct {
@@ -274,6 +302,11 @@ type SignatureEntry struct {
 	org        Organization
 	partitions int
 	size       int // expression instances stored
+
+	// Lock-free introspection counters: tokens consulted against this
+	// signature and refs matched through it.
+	cProbes  atomic.Int64
+	cMatches atomic.Int64
 }
 
 // Option configures an Index.
@@ -289,6 +322,19 @@ func WithDB(db *minisql.DB) Option { return func(ix *Index) { ix.db = db } }
 // WithForcedOrganization pins all constant sets to one strategy.
 func WithForcedOrganization(o Organization) Option {
 	return func(ix *Index) { ix.forceOrg = o }
+}
+
+// WithProfile attributes candidate probes and matches to trigger IDs
+// through the profiler's sketch.
+func WithProfile(p *profile.Profiler) Option {
+	return func(ix *Index) { ix.prof = p }
+}
+
+// WithReorgHook installs fn, called after every constant-set
+// organization migration. fn runs under the signature entry's lock and
+// must not call back into the index.
+func WithReorgHook(fn func(ReorgEvent)) Option {
+	return func(ix *Index) { ix.reorgHook = fn }
 }
 
 // WithMetrics registers the index's instruments with reg: a probe
@@ -459,6 +505,12 @@ func (e *SignatureEntry) Partitions() int {
 	return e.partitions
 }
 
+// ProbeCount reports how many tokens have consulted this signature.
+func (e *SignatureEntry) ProbeCount() int64 { return e.cProbes.Load() }
+
+// MatchCount reports how many refs have matched through this signature.
+func (e *SignatureEntry) MatchCount() int64 { return e.cMatches.Load() }
+
 // maybeReorganize migrates the constant set when its size crosses a
 // policy threshold. Caller holds entry.mu.
 func (ix *Index) maybeReorganize(e *SignatureEntry) error {
@@ -501,9 +553,31 @@ func (ix *Index) migrate(e *SignatureEntry, want Organization) error {
 	if err := ns.repartition(e.partitions); err != nil {
 		return err
 	}
+	from := e.org
 	e.set = ns
 	e.org = want
+	if ix.reorgHook != nil {
+		m := ix.costModelOrDefault()
+		ix.reorgHook(ReorgEvent{
+			SigID:      e.ID,
+			Source:     e.Source,
+			Expr:       e.Sig.Canonical(),
+			From:       from,
+			To:         want,
+			Size:       e.size,
+			FromCostNs: m.ProbeCost(from, e.size),
+			ToCostNs:   m.ProbeCost(want, e.size),
+		})
+	}
 	return nil
+}
+
+// costModelOrDefault prices organizations for events and snapshots.
+func (ix *Index) costModelOrDefault() CostModel {
+	if ix.costModel != nil {
+		return *ix.costModel
+	}
+	return DefaultCostModel
 }
 
 func (ix *Index) newSet(e *SignatureEntry, org Organization) (constantSet, error) {
@@ -583,21 +657,35 @@ func (ix *Index) matchToken(tok datasource.Token, part int, fn func(Match) bool)
 		if probePart >= parts {
 			probePart = probePart % parts
 		}
+		e.cProbes.Add(1)
+		var sigMatches int64
 		compares, err := set.match(tuple, probePart, func(ref Ref) bool {
 			if len(ref.Rest.Clauses) > 0 {
 				restTests++
 				ok, err := expr.EvalPredicate(ref.Rest.Node(), env)
 				if err != nil || ok != expr.True {
+					// Charge the failed probe on this cold branch; the hot
+					// (matching) branch folds probe+match into one lookup.
+					if p := ix.prof; p != nil {
+						p.MatchProbe(ref.TriggerID)
+					}
 					return true
 				}
 			}
 			matches++
+			sigMatches++
+			if p := ix.prof; p != nil {
+				p.MatchHit(ref.TriggerID)
+			}
 			if !fn(Match{Ref: ref, SourceID: tok.SourceID}) {
 				stop = true
 				return false
 			}
 			return true
 		})
+		if sigMatches > 0 {
+			e.cMatches.Add(sigMatches)
+		}
 		atomic.AddInt64(&ix.stats.ConstCompares, int64(compares))
 		if err != nil {
 			return err
@@ -606,4 +694,64 @@ func (ix *Index) matchToken(tok datasource.Token, part int, fn func(Match) bool)
 	atomic.AddInt64(&ix.stats.RestTests, restTests)
 	atomic.AddInt64(&ix.stats.Matches, matches)
 	return nil
+}
+
+// SigSnapshot describes one signature entry for introspection
+// (/indexz, the explain verb): identity, live organization, class
+// size, partitioning, probe/match counters, and the cost model's
+// per-probe estimate at the current size.
+type SigSnapshot struct {
+	ID     uint64 `json:"sig_id"`
+	Source int32  `json:"source_id"`
+	Mask   string `json:"mask"`
+	Expr   string `json:"expr"`
+	// Org is the live constant-set organization; Structure names the
+	// concrete predicate-testing structure behind it.
+	Org        string `json:"organization"`
+	Structure  string `json:"structure"`
+	Size       int    `json:"size"`
+	Partitions int    `json:"partitions"`
+	Probes     int64  `json:"probes"`
+	Matches    int64  `json:"matches"`
+	// EstProbeCostNs is the cost model's estimate for one probe against
+	// this class at its current size and organization.
+	EstProbeCostNs float64 `json:"est_probe_cost_ns"`
+}
+
+// Snapshot dumps every signature on every source, ordered by source ID
+// then signature ID.
+func (ix *Index) Snapshot() []SigSnapshot {
+	ix.mu.RLock()
+	var entries []*SignatureEntry
+	for _, si := range ix.sources {
+		entries = append(entries, si.list...)
+	}
+	ix.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Source != entries[j].Source {
+			return entries[i].Source < entries[j].Source
+		}
+		return entries[i].ID < entries[j].ID
+	})
+	m := ix.costModelOrDefault()
+	out := make([]SigSnapshot, 0, len(entries))
+	for _, e := range entries {
+		e.mu.RLock()
+		snap := SigSnapshot{
+			ID:             e.ID,
+			Source:         e.Source,
+			Mask:           e.Mask.Encode(),
+			Expr:           e.Sig.Canonical(),
+			Org:            e.org.String(),
+			Structure:      e.set.describe(),
+			Size:           e.size,
+			Partitions:     e.partitions,
+			EstProbeCostNs: m.ProbeCost(e.org, e.size),
+		}
+		e.mu.RUnlock()
+		snap.Probes = e.cProbes.Load()
+		snap.Matches = e.cMatches.Load()
+		out = append(out, snap)
+	}
+	return out
 }

@@ -3,6 +3,7 @@ package wire
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 
 	"triggerman/internal/datasource"
@@ -128,6 +129,15 @@ func (s *Server) dispatch(sess *session, req *Request) *Response {
 		// Dispatched through Command so Backend needs no new method;
 		// the system intercepts the metrics verb before its parser.
 		out, err := s.backend.Command("metrics")
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Output = out
+	case "explain":
+		// Same Command dispatch as "metrics": the system intercepts
+		// the explain verb. Text names the trigger ("" = index table).
+		out, err := s.backend.Command(strings.TrimSpace("explain " + req.Text))
 		if err != nil {
 			return fail(err)
 		}

@@ -23,9 +23,10 @@ type Request struct {
 	// ID correlates the response; client-chosen, nonzero.
 	ID uint64 `json:"id"`
 	// Op is one of "command", "subscribe", "unsubscribe", "push",
-	// "stats", "metrics", "ping".
+	// "stats", "metrics", "explain", "ping".
 	Op string `json:"op"`
-	// Text is the command text for "command".
+	// Text is the command text for "command", or the trigger name for
+	// "explain" ("" explains the whole predicate index).
 	Text string `json:"text,omitempty"`
 	// Event names the event for "subscribe"/"unsubscribe" ("" or "*"
 	// subscribes to all).

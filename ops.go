@@ -6,9 +6,11 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
+	"triggerman/internal/eventlog"
 	"triggerman/internal/trace"
 )
 
@@ -45,6 +47,9 @@ func (s *System) ListenOps(addr string) (string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/indexz", s.handleIndexz)
+	mux.HandleFunc("/triggerz", s.handleTriggerz)
+	mux.HandleFunc("/eventz", s.handleEventz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -53,6 +58,7 @@ func (s *System) ListenOps(addr string) (string, error) {
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s.ops = &opsServer{ln: ln, srv: srv}
 	go srv.Serve(ln)
+	s.elog.Emit("ops.listen", "addr", ln.Addr().String())
 	return ln.Addr().String(), nil
 }
 
@@ -107,12 +113,48 @@ type statuszPayload struct {
 	RecentTraces    []trace.Record `json:"recent_traces"`
 }
 
+// Default /statusz bounds: scrapes want a glance, not a dump. Larger
+// windows are available via ?traces=N&errors=N.
+const (
+	defaultStatuszTraces = 8
+	defaultStatuszErrors = 16
+	maxStatuszWindow     = 1024
+)
+
+// queryBound reads a non-negative integer query parameter, applying the
+// default when absent or malformed and clamping to maxStatuszWindow.
+func queryBound(r *http.Request, key string, def int) int {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return def
+	}
+	if n > maxStatuszWindow {
+		return maxStatuszWindow
+	}
+	return n
+}
+
 func (s *System) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	if s.isClosed() {
 		http.Error(w, errClosed.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	maxTraces := queryBound(r, "traces", defaultStatuszTraces)
+	maxErrors := queryBound(r, "errors", defaultStatuszErrors)
 	st := s.Stats()
+	recentErrs := st.RecentErrors
+	if len(recentErrs) > maxErrors {
+		// Rings are oldest-first; the tail is the most recent.
+		recentErrs = recentErrs[len(recentErrs)-maxErrors:]
+	}
+	traces := s.tracer.Recent()
+	if len(traces) > maxTraces {
+		traces = traces[len(traces)-maxTraces:]
+	}
 	p := statuszPayload{
 		Triggers:        st.Triggers,
 		TokensIn:        st.TokensIn,
@@ -124,15 +166,63 @@ func (s *System) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		EventsRaised:    st.EventsRaised,
 		EventsDelivered: st.EventsDelivered,
 		Errors:          st.Errors,
-		RecentErrors:    make([]string, 0, len(st.RecentErrors)),
+		RecentErrors:    make([]string, 0, len(recentErrs)),
 		ActiveTraces:    s.tracer.ActiveCount(),
-		RecentTraces:    s.tracer.Recent(),
+		RecentTraces:    traces,
 	}
-	for _, rec := range st.RecentErrors {
+	for _, rec := range recentErrs {
 		p.RecentErrors = append(p.RecentErrors, rec.String())
 	}
+	writeJSON(w, p)
+}
+
+// writeJSON renders one indented JSON payload.
+func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(p)
+	enc.Encode(v)
+}
+
+// handleIndexz dumps the live predicate-index shape: every expression
+// signature with its constant-set organization, size, partitioning, and
+// exact probe/match counters.
+func (s *System) handleIndexz(w http.ResponseWriter, r *http.Request) {
+	if s.isClosed() {
+		http.Error(w, errClosed.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, s.indexzPayload())
+}
+
+// handleTriggerz dumps per-trigger cost attribution: the top-K hottest
+// (match probes), slowest (action wall time), and most-failing triggers
+// from the space-saving sketch. ?k=N sizes the lists (default 10).
+func (s *System) handleTriggerz(w http.ResponseWriter, r *http.Request) {
+	if s.isClosed() {
+		http.Error(w, errClosed.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	k := queryBound(r, "k", 10)
+	writeJSON(w, s.triggerzPayload(k))
+}
+
+// eventzPayload is the /eventz JSON shape.
+type eventzPayload struct {
+	Total   int64            `json:"total"`
+	Records []eventlog.Record `json:"records"`
+}
+
+// handleEventz serves the bounded structured event ring, oldest first.
+// ?n=N trims to the most recent N records.
+func (s *System) handleEventz(w http.ResponseWriter, r *http.Request) {
+	if s.isClosed() {
+		http.Error(w, errClosed.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	recs := s.elog.Recent()
+	if n := queryBound(r, "n", maxStatuszWindow); len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	writeJSON(w, eventzPayload{Total: s.elog.Total(), Records: recs})
 }

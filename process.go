@@ -401,6 +401,7 @@ func (s *System) fireMatches(tok datasource.Token, part int, sp *trace.Span) err
 		attempts, err := s.actionRetry.Do(func() error {
 			return s.fireTrigger(m, tok, sp)
 		})
+		s.prof.ActionRetries(m.TriggerID, attempts)
 		if err != nil {
 			s.quarantine(catalog.DeadAction, m.TriggerID, tok, err, attempts)
 		}
@@ -473,10 +474,9 @@ func (s *System) runCombo(lt catalog.LoadedTrigger, tok datasource.Token, tuples
 	}
 	run := func() error {
 		s.cActionsRun.Inc()
-		var begin time.Time
-		if sp != nil {
-			begin = time.Now()
-		}
+		// Timed unconditionally: the elapsed wall time feeds both the
+		// sampled trace span and the always-on per-trigger attribution.
+		begin := time.Now()
 		// The action runs under the action retry policy: transient
 		// faults back off and retry, panics and semantic errors fail
 		// fast, and either way an undeliverable firing is quarantined in
@@ -485,9 +485,12 @@ func (s *System) runCombo(lt catalog.LoadedTrigger, tok datasource.Token, tuples
 		attempts, err := s.actionRetry.Do(func() error {
 			return exe.Execute(id, action, binding, schemaOf)
 		})
+		elapsed := time.Since(begin)
 		if sp != nil {
-			sp.Observe(trace.StageAction, time.Since(begin))
+			sp.Observe(trace.StageAction, elapsed)
 		}
+		s.prof.ObserveAction(id, elapsed)
+		s.prof.ActionRetries(id, attempts)
 		if err != nil {
 			s.quarantine(catalog.DeadAction, id, tok, err, attempts)
 		}

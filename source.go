@@ -155,14 +155,22 @@ func (st *StreamSource) Push(tok datasource.Token) error {
 
 // command implements System.Command.
 func (s *System) command(text string) (string, error) {
-	// Dead-letter and metrics operations are console verbs, not parser
-	// statements: intercept them before the command-language parser.
+	// Dead-letter, metrics, and explain operations are console verbs,
+	// not parser statements: intercept them before the command-language
+	// parser.
 	if fields := strings.Fields(text); len(fields) > 0 {
 		switch {
 		case strings.EqualFold(fields[0], "deadletter"):
 			return s.deadLetterCommand(strings.Join(fields[1:], " "))
 		case strings.EqualFold(fields[0], "metrics"):
 			return s.MetricsText()
+		case strings.EqualFold(fields[0], "explain"):
+			// "explain <trigger>" reports one trigger's placement and
+			// attributed costs; bare "explain" dumps the signature table.
+			if len(fields) == 1 {
+				return s.explainIndexText(), nil
+			}
+			return s.ExplainTrigger(strings.Join(fields[1:], " "))
 		}
 	}
 	st, err := parser.Parse(text)

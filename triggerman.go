@@ -27,6 +27,7 @@ package triggerman
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -34,10 +35,12 @@ import (
 	"triggerman/internal/catalog"
 	"triggerman/internal/datasource"
 	"triggerman/internal/event"
+	"triggerman/internal/eventlog"
 	"triggerman/internal/exec"
 	"triggerman/internal/metrics"
 	"triggerman/internal/minisql"
 	"triggerman/internal/predindex"
+	"triggerman/internal/profile"
 	"triggerman/internal/retry"
 	"triggerman/internal/storage"
 	"triggerman/internal/taskq"
@@ -136,6 +139,21 @@ type Options struct {
 	// action → deliver. 0 takes the default of 64, 1 traces every
 	// token, negative disables tracing.
 	TraceSampleEvery int
+	// DisableProfiling turns off per-trigger cost attribution. Profiling
+	// is on by default: the hot-path charge is a handful of atomic adds
+	// into a bounded top-K sketch (see internal/profile).
+	DisableProfiling bool
+	// ProfileCapacity bounds the number of triggers the attribution
+	// sketch tracks exactly-ish (space-saving top-K; default 1024).
+	ProfileCapacity int
+	// EventLogOut, when non-nil, mirrors the structured event log as
+	// JSON lines to the writer (one line per discrete decision:
+	// constant-set reorganizations, cache evictions, quarantines, ops
+	// listener lifecycle). The bounded in-memory ring is kept either
+	// way and served at /eventz.
+	EventLogOut io.Writer
+	// EventLogRing bounds the in-memory event ring (default 256).
+	EventLogRing int
 }
 
 // Stats aggregates subsystem counters.
@@ -186,6 +204,8 @@ type System struct {
 	// the same cells.
 	met           *metrics.Registry
 	tracer        *trace.Tracer
+	prof          *profile.Profiler
+	elog          *eventlog.Log
 	cTokensIn     *metrics.Counter
 	cTokensMatch  *metrics.Counter
 	cActionsRun   *metrics.Counter
@@ -240,6 +260,11 @@ func Open(opts Options) (*System, error) {
 	}
 
 	reg := datasource.NewRegistry()
+	var prof *profile.Profiler
+	if !opts.DisableProfiling {
+		prof = profile.New(opts.ProfileCapacity)
+	}
+	elog := eventlog.New(eventlog.Config{Out: opts.EventLogOut, Ring: opts.EventLogRing})
 	pidxOpts := []predindex.Option{predindex.WithDB(db), predindex.WithMetrics(met)}
 	switch {
 	case opts.Policy != nil:
@@ -250,6 +275,20 @@ func Open(opts Options) (*System, error) {
 	if opts.ForceOrganization != predindex.OrgAuto {
 		pidxOpts = append(pidxOpts, predindex.WithForcedOrganization(opts.ForceOrganization))
 	}
+	if prof != nil {
+		pidxOpts = append(pidxOpts, predindex.WithProfile(prof))
+	}
+	pidxOpts = append(pidxOpts, predindex.WithReorgHook(func(ev predindex.ReorgEvent) {
+		elog.Emit("predindex.reorganize",
+			"sig_id", ev.SigID,
+			"source_id", ev.Source,
+			"expr", ev.Expr,
+			"from", ev.From.String(),
+			"to", ev.To.String(),
+			"size", ev.Size,
+			"from_cost_ns", ev.FromCostNs,
+			"to_cost_ns", ev.ToCostNs)
+	}))
 	pidx := predindex.New(pidxOpts...)
 
 	cat, err := catalog.New(catalog.Config{
@@ -274,6 +313,8 @@ func Open(opts Options) (*System, error) {
 		bus:             event.NewBus(),
 		met:             met,
 		tracer:          trace.New(trace.Config{Registry: met, SampleEvery: sampleEvery}),
+		prof:            prof,
+		elog:            elog,
 		multiVarSources: make(map[int32]int),
 		aggSources:      make(map[int32]int),
 		partitions:      opts.ConditionPartitions,
@@ -325,6 +366,7 @@ func Open(opts Options) (*System, error) {
 			Metrics:          met,
 		})
 	}
+	cat.Cache().SetObserver(cacheObserver{prof: prof, elog: elog})
 	sys.registerViews()
 	// Rebuild the multi-var bookkeeping for recovered triggers.
 	sys.rebuildMultiVar()
@@ -335,6 +377,20 @@ func Open(opts Options) (*System, error) {
 		}
 	}
 	return sys, nil
+}
+
+// cacheObserver charges trigger-cache activity to the attribution
+// profiler and mirrors evictions into the event log. Both sinks are
+// nil-receiver safe, so the zero observer is inert.
+type cacheObserver struct {
+	prof *profile.Profiler
+	elog *eventlog.Log
+}
+
+func (o cacheObserver) CacheHit(id uint64)  { o.prof.CacheHit(id) }
+func (o cacheObserver) CacheMiss(id uint64) { o.prof.CacheMiss(id) }
+func (o cacheObserver) CacheEvict(id uint64) {
+	o.elog.Emit("cache.evict", "trigger_id", id)
 }
 
 // retryObserver builds a Policy.Observe hook recording retry attempts
@@ -405,6 +461,12 @@ func (s *System) registerViews() {
 	} {
 		m.CounterFunc("tman_index_total", "predicate index activity", v.fn, metrics.L("counter", v.counter))
 	}
+	if s.prof != nil {
+		m.CounterFunc("tman_profile_evictions_total", "attribution sketch slot replacements",
+			func() int64 { return s.prof.Triggers.Evictions() }, metrics.L("sketch", "triggers"))
+	}
+	m.CounterFunc("tman_events_logged_total", "structured event-log records accepted",
+		func() int64 { return s.elog.Total() })
 	if s.pool != nil {
 		for _, v := range []struct {
 			counter string
@@ -518,6 +580,14 @@ func (s *System) Metrics() *metrics.Registry { return s.met }
 
 // Tracer exposes the token-lifecycle tracer.
 func (s *System) Tracer() *trace.Tracer { return s.tracer }
+
+// Profile exposes the per-trigger cost-attribution profiler (nil when
+// Options.DisableProfiling is set; profile.Profiler methods are
+// nil-receiver safe).
+func (s *System) Profile() *profile.Profiler { return s.prof }
+
+// EventLog exposes the structured event log.
+func (s *System) EventLog() *eventlog.Log { return s.elog }
 
 // Exec runs a mini-SQL statement directly against the embedded database
 // (uncaptured: no update descriptors are generated; use a TableSource
@@ -637,7 +707,9 @@ func (s *System) Close() error {
 	s.ops = nil
 	s.mu.Unlock()
 	if ops != nil {
+		addr := ops.ln.Addr().String()
 		ops.shutdown()
+		s.elog.Emit("ops.shutdown", "addr", addr)
 	}
 	if s.pool != nil {
 		s.pool.Close()
