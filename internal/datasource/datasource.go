@@ -12,7 +12,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"triggerman/internal/fifo"
 	"triggerman/internal/storage"
 	"triggerman/internal/types"
 )
@@ -229,16 +231,21 @@ type Queue interface {
 	// Dequeue removes and returns the oldest token; ok is false when the
 	// queue is empty.
 	Dequeue() (Token, bool, error)
+	// DequeueBatch removes and returns up to max tokens in queue order
+	// (max <= 0 means "whatever one scan yields"). An empty result with
+	// a nil error means the queue is empty. A non-empty result with a
+	// non-nil error returns tokens already removed — the caller must
+	// process them before handling the error, or they are lost.
+	DequeueBatch(max int) ([]Token, error)
 	// Len reports the number of queued tokens.
 	Len() int
 }
 
 // MemQueue is the main-memory queue (fast, not crash-safe).
 type MemQueue struct {
-	mu   sync.Mutex
-	buf  []Token
-	head int
-	seq  uint64
+	mu  sync.Mutex
+	q   fifo.Queue[Token]
+	seq uint64
 }
 
 // NewMemQueue returns an empty in-memory queue.
@@ -250,7 +257,7 @@ func (q *MemQueue) Enqueue(t Token) (Token, error) {
 	defer q.mu.Unlock()
 	q.seq++
 	t.Seq = q.seq
-	q.buf = append(q.buf, t)
+	q.q.Push(t)
 	return t, nil
 }
 
@@ -258,30 +265,48 @@ func (q *MemQueue) Enqueue(t Token) (Token, error) {
 func (q *MemQueue) Dequeue() (Token, bool, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.head >= len(q.buf) {
-		q.buf = q.buf[:0]
-		q.head = 0
-		return Token{}, false, nil
+	t, ok := q.q.Pop()
+	return t, ok, nil
+}
+
+// DequeueBatch implements Queue.
+func (q *MemQueue) DequeueBatch(max int) ([]Token, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.q.Len()
+	if n == 0 {
+		return nil, nil
 	}
-	t := q.buf[q.head]
-	q.head++
-	if q.head > 4096 && q.head*2 > len(q.buf) {
-		// Slide to reclaim memory.
-		q.buf = append(q.buf[:0], q.buf[q.head:]...)
-		q.head = 0
+	if max > 0 && n > max {
+		n = max
 	}
-	return t, true, nil
+	out := make([]Token, 0, n)
+	for len(out) < n {
+		t, ok := q.q.Pop()
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	return out, nil
 }
 
 // Len implements Queue.
 func (q *MemQueue) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.buf) - q.head
+	return q.q.Len()
 }
 
 // TableQueue is the persistent queue table of Figure 1: tokens are
 // inserted as rows by update-capture triggers and consumed by TmanTest.
+//
+// Durable enqueues are group-committed: the first enqueue to reach the
+// flush step becomes the leader and writes out every page dirtied so
+// far (then syncs the disk once); enqueues arriving while a flush is in
+// progress register their page and wait for the next round. N
+// concurrent durable enqueues thus cost one or two flush+sync rounds,
+// not N.
 type TableQueue struct {
 	mu   sync.Mutex
 	heap *storage.HeapFile
@@ -294,6 +319,85 @@ type TableQueue struct {
 	// dequeues do not rescan drained pages.
 	cursor storage.RID
 	hasCur bool
+
+	commit commitGroup
+}
+
+// commitGroup is the leader/follower state for group-committed flushes.
+// It is deliberately separate from TableQueue.mu: flushing happens with
+// the queue unlocked, so enqueues and dequeues proceed while the disk
+// syncs.
+type commitGroup struct {
+	mu       sync.Mutex
+	flushing bool
+	dirty    map[storage.PageID]struct{}
+	waiters  []chan error
+
+	// rounds counts flush+sync rounds; enqueues counts durable enqueues
+	// served. enqueues/rounds is the coalescing factor.
+	rounds   atomic.Int64
+	enqueues atomic.Int64
+}
+
+// FlushRounds reports completed group-commit flush rounds.
+func (q *TableQueue) FlushRounds() int64 { return q.commit.rounds.Load() }
+
+// DurableEnqueues reports durable enqueues served by group commit.
+func (q *TableQueue) DurableEnqueues() int64 { return q.commit.enqueues.Load() }
+
+// flushGroup makes page durable, coalescing with concurrent callers.
+// The caller must not hold q.mu.
+func (q *TableQueue) flushGroup(page storage.PageID) error {
+	g := &q.commit
+	g.enqueues.Add(1)
+	g.mu.Lock()
+	if g.dirty == nil {
+		g.dirty = make(map[storage.PageID]struct{})
+	}
+	g.dirty[page] = struct{}{}
+	if g.flushing {
+		// Follower: the leader's next round claims our page and waiter
+		// together, so the error we get back covers our page.
+		ch := make(chan error, 1)
+		g.waiters = append(g.waiters, ch)
+		g.mu.Unlock()
+		return <-ch
+	}
+	g.flushing = true
+	var myErr error
+	for first := true; ; first = false {
+		pages := g.dirty
+		waiters := g.waiters
+		g.dirty = nil
+		g.waiters = nil
+		g.mu.Unlock()
+
+		var err error
+		for p := range pages {
+			if e := q.bp.WriteBack(p); e != nil && err == nil {
+				err = e
+			}
+		}
+		// One sync covers every page in the round — this is the whole
+		// saving over flush-per-enqueue.
+		if e := q.bp.Disk().Sync(); e != nil && err == nil {
+			err = e
+		}
+		g.rounds.Add(1)
+		if first {
+			myErr = err
+		}
+		for _, ch := range waiters {
+			ch <- err
+		}
+
+		g.mu.Lock()
+		if len(g.dirty) == 0 {
+			g.flushing = false
+			g.mu.Unlock()
+			return myErr
+		}
+	}
 }
 
 // SetDurable toggles flush-per-enqueue durability.
@@ -335,18 +439,21 @@ func OpenTableQueue(bp *storage.BufferPool, first storage.PageID) (*TableQueue, 
 // FirstPage returns the queue heap's identity page.
 func (q *TableQueue) FirstPage() storage.PageID { return q.heap.FirstPage() }
 
-// Enqueue implements Queue.
+// Enqueue implements Queue. The heap insert happens under the queue
+// lock; the durability flush happens outside it through the commit
+// group, so concurrent enqueues coalesce their disk waits.
 func (q *TableQueue) Enqueue(t Token) (Token, error) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	q.seq++
 	t.Seq = q.seq
 	rid, err := q.heap.Insert(t.Encode())
+	durable := q.durable
+	q.mu.Unlock()
 	if err != nil {
 		return Token{}, err
 	}
-	if q.durable {
-		if err := q.bp.FlushPage(rid.Page); err != nil {
+	if durable {
+		if err := q.flushGroup(rid.Page); err != nil {
 			return Token{}, err
 		}
 	}
@@ -355,19 +462,29 @@ func (q *TableQueue) Enqueue(t Token) (Token, error) {
 
 // Dequeue implements Queue. Tokens come back in heap (insertion) order.
 func (q *TableQueue) Dequeue() (Token, bool, error) {
+	batch, err := q.DequeueBatch(1)
+	if len(batch) == 0 {
+		return Token{}, false, err
+	}
+	return batch[0], true, err
+}
+
+// DequeueBatch implements Queue. One call drains up to max tokens from
+// the first non-empty page (pages fill strictly in chain order, so that
+// page holds the oldest tokens; within it, dead-slot reuse can scramble
+// slot order, so records are sorted by sequence number).
+func (q *TableQueue) DequeueBatch(max int) ([]Token, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	type liveRec struct {
+		tok Token
+		rid storage.RID
+	}
 	var (
-		found bool
-		tok   Token
-		rid   storage.RID
-		derr  error
+		recs []liveRec
+		derr error
 	)
-	// Pages fill strictly in chain order, so the oldest token lives on
-	// the first page with any live record. Within a page, dead-slot
-	// reuse can scramble slot order, so pick the minimum sequence number
-	// on that page.
-	scanOldest := func(start storage.PageID) error {
+	scanPage := func(start storage.PageID) error {
 		var page storage.PageID
 		havePage := false
 		return q.heap.ScanFrom(start, func(r storage.RID, rec []byte) bool {
@@ -380,9 +497,7 @@ func (q *TableQueue) Dequeue() (Token, bool, error) {
 				return false
 			}
 			page, havePage = r.Page, true
-			if !found || t.Seq < tok.Seq {
-				tok, rid, found = t, r, true
-			}
+			recs = append(recs, liveRec{t, r})
 			return true
 		})
 	}
@@ -390,29 +505,40 @@ func (q *TableQueue) Dequeue() (Token, bool, error) {
 	if q.hasCur {
 		start = q.cursor.Page
 	}
-	if err := scanOldest(start); err != nil {
-		return Token{}, false, err
+	if err := scanPage(start); err != nil {
+		return nil, err
 	}
 	if derr != nil {
-		return Token{}, false, derr
+		return nil, derr
 	}
-	if !found && q.hasCur {
+	if len(recs) == 0 && q.hasCur {
+		// The cursor's page drained; restart from the head in case
+		// earlier pages gained records through slot reuse.
 		q.hasCur = false
-		if err := scanOldest(q.heap.FirstPage()); err != nil {
-			return Token{}, false, err
+		if err := scanPage(q.heap.FirstPage()); err != nil {
+			return nil, err
+		}
+		if derr != nil {
+			return nil, derr
 		}
 	}
-	if derr != nil {
-		return Token{}, false, derr
+	if len(recs) == 0 {
+		return nil, nil
 	}
-	if !found {
-		return Token{}, false, nil
+	sort.Slice(recs, func(i, j int) bool { return recs[i].tok.Seq < recs[j].tok.Seq })
+	if max > 0 && len(recs) > max {
+		recs = recs[:max]
 	}
-	if err := q.heap.Delete(rid); err != nil {
-		return Token{}, false, err
+	out := make([]Token, 0, len(recs))
+	for _, r := range recs {
+		if err := q.heap.Delete(r.rid); err != nil {
+			// Tokens already deleted must still reach the caller.
+			return out, err
+		}
+		out = append(out, r.tok)
+		q.cursor, q.hasCur = r.rid, true
 	}
-	q.cursor, q.hasCur = rid, true
-	return tok, true, nil
+	return out, nil
 }
 
 // Len implements Queue.

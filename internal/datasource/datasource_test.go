@@ -3,7 +3,10 @@ package datasource
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"triggerman/internal/storage"
 	"triggerman/internal/types"
@@ -362,5 +365,184 @@ func TestDecodeTokenNeverPanicsOnGarbage(t *testing.T) {
 	})
 	if _, err := DecodeToken(evil); err == nil {
 		t.Error("absurd old/new lengths should fail")
+	}
+}
+
+// slowSyncDisk wraps a disk manager and stretches Sync so group-commit
+// followers pile up behind the leader's round.
+type slowSyncDisk struct {
+	storage.DiskManager
+	delay time.Duration
+	syncs atomic.Int64
+}
+
+func (d *slowSyncDisk) Sync() error {
+	d.syncs.Add(1)
+	time.Sleep(d.delay)
+	return d.DiskManager.Sync()
+}
+
+func TestGroupCommitCoalescesConcurrentEnqueues(t *testing.T) {
+	disk := &slowSyncDisk{DiskManager: storage.NewMem(), delay: 2 * time.Millisecond}
+	bp := storage.NewBufferPool(disk, 32)
+	q, err := NewTableQueue(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.SetDurable(true)
+	const n = 64
+	var wg sync.WaitGroup
+	for i := int64(0); i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := q.Enqueue(tok(1, OpInsert, i)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := q.DurableEnqueues(); got != n {
+		t.Fatalf("durable enqueues = %d, want %d", got, n)
+	}
+	rounds := q.FlushRounds()
+	if rounds < 1 || rounds >= n {
+		t.Errorf("flush rounds = %d for %d concurrent enqueues; expected coalescing", rounds, n)
+	}
+	if disk.syncs.Load() != rounds {
+		t.Errorf("disk syncs = %d, rounds = %d", disk.syncs.Load(), rounds)
+	}
+	if q.Len() != n {
+		t.Errorf("len = %d", q.Len())
+	}
+	// Every token survives a crash-restart: group commit must not trade
+	// away the durability contract.
+	bp2 := storage.NewBufferPool(disk, 32)
+	q2, err := OpenTableQueue(bp2, q.FirstPage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Len() != n {
+		t.Errorf("reopened len = %d, want %d", q2.Len(), n)
+	}
+}
+
+func TestGroupCommitSerialEnqueuesStillFlushEach(t *testing.T) {
+	// Without concurrency there is nothing to coalesce: each durable
+	// enqueue runs its own round (the TestDurableQueueFlushesPerEnqueue
+	// contract, restated against the round counter).
+	bp := storage.NewBufferPool(storage.NewMem(), 32)
+	q, _ := NewTableQueue(bp)
+	q.SetDurable(true)
+	for i := int64(0); i < 10; i++ {
+		if _, err := q.Enqueue(tok(1, OpInsert, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := q.FlushRounds(); got != 10 {
+		t.Errorf("flush rounds = %d, want 10 for serial enqueues", got)
+	}
+}
+
+func TestMemQueueDequeueBatch(t *testing.T) {
+	q := NewMemQueue()
+	for i := int64(0); i < 10; i++ {
+		q.Enqueue(tok(1, OpInsert, i))
+	}
+	batch, err := q.DequeueBatch(4)
+	if err != nil || len(batch) != 4 {
+		t.Fatalf("batch = %d tokens, err %v", len(batch), err)
+	}
+	for i, tk := range batch {
+		if tk.New.Get(0).Int() != int64(i) {
+			t.Fatalf("batch order broken at %d: %v", i, tk)
+		}
+	}
+	rest, err := q.DequeueBatch(0) // no cap: drain the rest
+	if err != nil || len(rest) != 6 {
+		t.Fatalf("rest = %d tokens, err %v", len(rest), err)
+	}
+	if rest[0].New.Get(0).Int() != 4 {
+		t.Fatalf("rest starts at %v", rest[0])
+	}
+	if b, err := q.DequeueBatch(8); err != nil || b != nil {
+		t.Fatalf("empty queue batch = %v, %v", b, err)
+	}
+}
+
+func TestTableQueueDequeueBatchAcrossPageBoundaries(t *testing.T) {
+	// Enqueue enough tokens to span several heap pages, then pull
+	// batches larger than a page holds: each call drains at most one
+	// page, order must hold across the boundary, and interleaved
+	// enqueues around the boundary must not disturb the cursor.
+	bp := storage.NewBufferPool(storage.NewMem(), 64)
+	q, err := NewTableQueue(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 600 // several pages worth with these record sizes
+	for i := int64(0); i < total; i++ {
+		if _, err := q.Enqueue(tok(1, OpInsert, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := int64(0)
+	for want < total/2 {
+		batch, err := q.DequeueBatch(37)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) == 0 {
+			t.Fatalf("queue dried up at %d of %d", want, total)
+		}
+		for _, tk := range batch {
+			if got := tk.New.Get(0).Int(); got != want {
+				t.Fatalf("order broken: got %d, want %d", got, want)
+			}
+			want++
+		}
+	}
+	// Interleave fresh enqueues mid-drain: they reuse freed slots on
+	// early pages but carry higher sequence numbers, so they must come
+	// out after everything already queued.
+	for i := int64(total); i < total+50; i++ {
+		if _, err := q.Enqueue(tok(1, OpInsert, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for want < total+50 {
+		batch, err := q.DequeueBatch(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) == 0 {
+			t.Fatalf("queue dried up at %d of %d", want, total+50)
+		}
+		for _, tk := range batch {
+			if got := tk.New.Get(0).Int(); got != want {
+				t.Fatalf("order broken after interleave: got %d, want %d", got, want)
+			}
+			want++
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("len after drain = %d", q.Len())
+	}
+}
+
+func TestTableQueueBatchThenSingleDequeueAgree(t *testing.T) {
+	bp := storage.NewBufferPool(storage.NewMem(), 64)
+	q, _ := NewTableQueue(bp)
+	for i := int64(0); i < 20; i++ {
+		q.Enqueue(tok(1, OpInsert, i))
+	}
+	batch, err := q.DequeueBatch(5)
+	if err != nil || len(batch) != 5 {
+		t.Fatalf("batch = %v, %v", batch, err)
+	}
+	got, ok, err := q.Dequeue()
+	if err != nil || !ok || got.New.Get(0).Int() != 5 {
+		t.Fatalf("single dequeue after batch = %v %v %v", got, ok, err)
 	}
 }

@@ -1,0 +1,97 @@
+package fifo
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var q Queue[int]
+	if _, ok := q.Pop(); ok {
+		t.Fatal("empty queue popped")
+	}
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d, %v", i, v, ok)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len after drain = %d", q.Len())
+	}
+}
+
+func TestPushFrontPreservesPosition(t *testing.T) {
+	var q Queue[int]
+	q.Push(1)
+	q.Push(2)
+	q.Push(3)
+	v, _ := q.Pop() // 1 leaves, then returns to the front
+	q.PushFront(v)
+	want := []int{1, 2, 3}
+	for _, w := range want {
+		if v, ok := q.Pop(); !ok || v != w {
+			t.Fatalf("got %d, want %d", v, w)
+		}
+	}
+	// PushFront onto a queue with no consumed head slots shifts right.
+	var q2 Queue[int]
+	q2.Push(9)
+	q2.PushFront(8)
+	if v, _ := q2.Pop(); v != 8 {
+		t.Fatalf("front = %d", v)
+	}
+	if v, _ := q2.Pop(); v != 9 {
+		t.Fatalf("second = %d", v)
+	}
+}
+
+func TestCompactionReclaimsAndKeepsOrder(t *testing.T) {
+	var q Queue[int]
+	next, want := 0, 0
+	// Interleave pushes and pops so head grows far past compactAfter
+	// while order must survive every slide.
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 37; i++ {
+			q.Push(next)
+			next++
+		}
+		for i := 0; i < 36; i++ {
+			v, ok := q.Pop()
+			if !ok || v != want {
+				t.Fatalf("round %d: got %d, want %d", round, v, want)
+			}
+			want++
+		}
+	}
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if v != want {
+			t.Fatalf("drain: got %d, want %d", v, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained %d, pushed %d", want, next)
+	}
+	if len(q.buf) != 0 || q.head != 0 {
+		t.Fatalf("empty pop should reset storage: len=%d head=%d", len(q.buf), q.head)
+	}
+}
+
+func TestPopZeroesSlots(t *testing.T) {
+	var q Queue[*int]
+	v := new(int)
+	q.Push(v)
+	q.Pop()
+	// The consumed slot must not retain the pointer.
+	if q.buf[:1][0] != nil {
+		t.Fatal("popped slot retains reference")
+	}
+}

@@ -235,16 +235,26 @@ func DecodeEventMask(s string) (EventMask, error) {
 }
 
 // Index is the root predicate index.
+//
+// The match path is lock-free: the root source table and each source's
+// signature list are published through atomic pointers, so MatchToken
+// never takes the index-wide or per-source locks. Writers (AddSource,
+// AddPredicate interning) clone the structure they change under a
+// mutex and atomically swap the new copy in — index maintenance pays
+// the copy, the probe path pays nothing.
 type Index struct {
-	mu     sync.RWMutex
 	policy Policy
 	db     *minisql.DB // backing store for table organizations
 	// forceOrg, when not OrgAuto, pins every new signature to one
 	// organization (benchmarks use this).
 	forceOrg Organization
 
-	sources map[int32]*sourceIndex
-	nextSig uint64
+	// sources is the copy-on-write root: source ID → per-source shard.
+	// srcMu serializes the clone-and-swap in AddSource; readers load
+	// the pointer and never block.
+	srcMu   sync.Mutex
+	sources atomic.Pointer[map[int32]*sourceShard]
+	nextSig atomic.Uint64
 
 	stats Stats
 
@@ -282,11 +292,27 @@ type ReorgEvent struct {
 	FromCostNs, ToCostNs float64
 }
 
-type sourceIndex struct {
+// sourceShard is one data source's slice of the index. The signature
+// list probed by MatchToken is copy-on-write: writers append to a clone
+// under mu and swap the pointer; the interning map is only touched
+// under mu and never read on the match path.
+type sourceShard struct {
 	schema *types.Schema
-	// sigs keys on event-mask + canonical generalized expression.
+
+	mu sync.Mutex
+	// sigs keys on event-mask + canonical generalized expression
+	// (writer-side interning only).
 	sigs map[string]*SignatureEntry
-	list []*SignatureEntry
+	// list is the published probe order; loaded without locks.
+	list atomic.Pointer[[]*SignatureEntry]
+}
+
+// signatures loads the published signature list (lock-free).
+func (s *sourceShard) signatures() []*SignatureEntry {
+	if p := s.list.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // SignatureEntry is one unique expression signature for a data source,
@@ -296,6 +322,9 @@ type SignatureEntry struct {
 	Source int32
 	Mask   EventMask
 	Sig    *expr.Signature
+	// schema is the owning source's schema, carried here so constant-set
+	// migrations never reach back into the root structure.
+	schema *types.Schema
 
 	mu         sync.RWMutex
 	set        constantSet
@@ -353,14 +382,20 @@ func WithMetrics(reg *metrics.Registry) Option {
 
 // New builds an empty predicate index.
 func New(opts ...Option) *Index {
-	ix := &Index{
-		policy:  DefaultPolicy,
-		sources: make(map[int32]*sourceIndex),
-	}
+	ix := &Index{policy: DefaultPolicy}
+	empty := make(map[int32]*sourceShard)
+	ix.sources.Store(&empty)
 	for _, o := range opts {
 		o(ix)
 	}
 	return ix
+}
+
+// shard loads the current root map and looks up one source (lock-free).
+func (ix *Index) shard(source int32) (*sourceShard, bool) {
+	m := *ix.sources.Load()
+	s, ok := m[source]
+	return s, ok
 }
 
 // Stats returns a snapshot of the index counters.
@@ -375,38 +410,43 @@ func (ix *Index) Stats() Stats {
 }
 
 // AddSource registers a data source's schema (required before adding
-// predicates or probing tokens for it).
+// predicates or probing tokens for it). The root map is copy-on-write:
+// concurrent MatchToken calls keep probing the old map until the swap.
 func (ix *Index) AddSource(id int32, schema *types.Schema) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if _, ok := ix.sources[id]; !ok {
-		ix.sources[id] = &sourceIndex{schema: schema, sigs: make(map[string]*SignatureEntry)}
+	ix.srcMu.Lock()
+	defer ix.srcMu.Unlock()
+	old := *ix.sources.Load()
+	if _, ok := old[id]; ok {
+		return
 	}
+	next := make(map[int32]*sourceShard, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[id] = &sourceShard{schema: schema, sigs: make(map[string]*SignatureEntry)}
+	ix.sources.Store(&next)
 }
 
 // Signatures returns the signature entries for a source (tests and the
 // console's dump command).
 func (ix *Index) Signatures(source int32) []*SignatureEntry {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	si, ok := ix.sources[source]
+	si, ok := ix.shard(source)
 	if !ok {
 		return nil
 	}
-	out := make([]*SignatureEntry, len(si.list))
-	copy(out, si.list)
+	sigs := si.signatures()
+	out := make([]*SignatureEntry, len(sigs))
+	copy(out, sigs)
 	return out
 }
 
 // SignatureCount reports the number of distinct signatures on a source.
 func (ix *Index) SignatureCount(source int32) int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	si, ok := ix.sources[source]
+	si, ok := ix.shard(source)
 	if !ok {
 		return 0
 	}
-	return len(si.list)
+	return len(si.signatures())
 }
 
 // AddPredicate registers one selection predicate instance: the
@@ -414,21 +454,20 @@ func (ix *Index) SignatureCount(source int32) int {
 // §5.1 step 5) and the instance's constants and ref are added to the
 // equivalence class.
 func (ix *Index) AddPredicate(source int32, mask EventMask, sig *expr.Signature, consts []types.Value, ref Ref) (*SignatureEntry, error) {
-	ix.mu.Lock()
-	si, ok := ix.sources[source]
+	si, ok := ix.shard(source)
 	if !ok {
-		ix.mu.Unlock()
 		return nil, fmt.Errorf("predindex: unknown data source %d", source)
 	}
 	key := mask.key() + "\x00" + sig.Canonical()
+	si.mu.Lock()
 	entry, seen := si.sigs[key]
 	if !seen {
-		ix.nextSig++
 		entry = &SignatureEntry{
-			ID:         ix.nextSig,
+			ID:         ix.nextSig.Add(1),
 			Source:     source,
 			Mask:       mask,
 			Sig:        sig,
+			schema:     si.schema,
 			partitions: 1,
 		}
 		org := ix.forceOrg
@@ -437,15 +476,21 @@ func (ix *Index) AddPredicate(source int32, mask EventMask, sig *expr.Signature,
 		}
 		set, err := ix.newSet(entry, org)
 		if err != nil {
-			ix.mu.Unlock()
+			si.mu.Unlock()
 			return nil, err
 		}
 		entry.set = set
 		entry.org = org
 		si.sigs[key] = entry
-		si.list = append(si.list, entry)
+		// Publish the extended list as a fresh copy: in-flight probes
+		// keep walking the old slice, new probes see the new entry.
+		old := si.signatures()
+		next := make([]*SignatureEntry, len(old), len(old)+1)
+		copy(next, old)
+		next = append(next, entry)
+		si.list.Store(&next)
 	}
-	ix.mu.Unlock()
+	si.mu.Unlock()
 
 	entry.mu.Lock()
 	defer entry.mu.Unlock()
@@ -590,12 +635,7 @@ func (ix *Index) newSet(e *SignatureEntry, org Organization) (constantSet, error
 		if ix.db == nil {
 			return nil, fmt.Errorf("predindex: table organization requires a database (WithDB)")
 		}
-		si := ix.sources[e.Source]
-		var schema *types.Schema
-		if si != nil {
-			schema = si.schema
-		}
-		return newTableSet(ix.db, e, schema, org == OrgIndexedTable)
+		return newTableSet(ix.db, e, e.schema, org == OrgIndexedTable)
 	default:
 		return nil, fmt.Errorf("predindex: cannot instantiate organization %s", org)
 	}
@@ -621,14 +661,15 @@ func (ix *Index) matchToken(tok datasource.Token, part int, fn func(Match) bool)
 		begin := time.Now()
 		defer func() { ix.matchHist.Observe(time.Since(begin)) }()
 	}
-	ix.mu.RLock()
-	si, ok := ix.sources[tok.SourceID]
+	// Lock-free: one atomic load for the root map, one for the
+	// source's published signature list. Concurrent AddPredicate swaps
+	// are invisible to a probe already holding the old slice, which is
+	// exactly the isolation the paper's per-token semantics need.
+	si, ok := ix.shard(tok.SourceID)
 	if !ok {
-		ix.mu.RUnlock()
 		return fmt.Errorf("predindex: token for unknown data source %d", tok.SourceID)
 	}
-	sigs := si.list
-	ix.mu.RUnlock()
+	sigs := si.signatures()
 
 	atomic.AddInt64(&ix.stats.Tokens, 1)
 	tuple := tok.Effective()
@@ -721,12 +762,10 @@ type SigSnapshot struct {
 // Snapshot dumps every signature on every source, ordered by source ID
 // then signature ID.
 func (ix *Index) Snapshot() []SigSnapshot {
-	ix.mu.RLock()
 	var entries []*SignatureEntry
-	for _, si := range ix.sources {
-		entries = append(entries, si.list...)
+	for _, si := range *ix.sources.Load() {
+		entries = append(entries, si.signatures()...)
 	}
-	ix.mu.RUnlock()
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].Source != entries[j].Source {
 			return entries[i].Source < entries[j].Source

@@ -2,7 +2,9 @@ package predindex
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"triggerman/internal/datasource"
 	"triggerman/internal/expr"
@@ -512,5 +514,109 @@ func TestEventMaskCodec(t *testing.T) {
 		if _, err := DecodeEventMask(bad); err == nil {
 			t.Errorf("%q should fail", bad)
 		}
+	}
+}
+
+func TestConcurrentProbesDuringWrites(t *testing.T) {
+	// The match path must stay correct (and race-free) while writers
+	// swap copy-on-write signature lists and the root source map
+	// underneath it: probers, AddPredicate interning new signatures,
+	// and AddSource registering fresh sources all run concurrently.
+	ix := newIx(t)
+	mask := EventMask{Op: datasource.OpInsert}
+	sig, consts := buildSig(t, "emp.salary == 100")
+	if _, err := ix.AddPredicate(empSrc, mask, sig, consts, refFor(t, sig, consts, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	tok := insertTok("ann", 100, "eng")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var n int
+				if err := ix.MatchToken(tok, func(Match) bool { n++; return true }); err != nil {
+					t.Error(err)
+					return
+				}
+				if n < 1 {
+					t.Errorf("probe lost the seed predicate: %d matches", n)
+					return
+				}
+			}
+		}()
+	}
+	// Writer 1: intern new signature entries on the probed source (COW
+	// list swaps under the probers' feet). Constants generalize into
+	// one signature, so distinct update-column masks force distinct
+	// entries; inserts ignore the column filter, keeping every entry on
+	// the probers' path.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			m := EventMask{Op: datasource.OpInsert, Columns: []int{i + 1}}
+			s, c := buildSig(t, fmt.Sprintf("emp.salary == %d", 1000+i))
+			if _, err := ix.AddPredicate(empSrc, m, s, c, refFor(t, s, c, uint64(100+i), uint64(100+i))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Writer 2: grow the root source map (root pointer swaps).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int32(2); i < 100; i++ {
+			ix.AddSource(i, empSchema)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if got := ix.SignatureCount(empSrc); got != 201 {
+		t.Errorf("signature count = %d, want 201", got)
+	}
+	if got := len(matchAll(t, ix, tok)); got != 1 {
+		t.Errorf("final probe matched %d refs, want 1", got)
+	}
+}
+
+func TestConcurrentAddPredicateSameSignature(t *testing.T) {
+	// Concurrent adds that intern the SAME signature must not lose
+	// instances or publish a duplicate entry.
+	ix := newIx(t)
+	mask := EventMask{Op: datasource.OpInsert}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				id := uint64(g*1000 + i + 1)
+				s, c := buildSig(t, fmt.Sprintf("emp.salary == %d", id))
+				if _, err := ix.AddPredicate(empSrc, mask, s, c, refFor(t, s, c, id, id)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ix.SignatureCount(empSrc); got != 1 {
+		t.Fatalf("signature count = %d, want 1 (same shape interned once)", got)
+	}
+	es := ix.Signatures(empSrc)
+	if len(es) != 1 || es[0].Size() != 200 {
+		t.Fatalf("entry size = %d, want 200 instances", es[0].Size())
 	}
 }

@@ -212,6 +212,25 @@ func (bp *BufferPool) FlushPage(id PageID) error {
 	return bp.disk.Sync()
 }
 
+// WriteBack writes one cached dirty page to the disk manager without
+// syncing. Group commit uses it to write a round's pages back to back
+// and pay a single Sync for all of them; callers that need durability
+// must sync the disk manager afterwards.
+func (bp *BufferPool) WriteBack(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[id]
+	if !ok || !fr.dirty {
+		return nil
+	}
+	if err := bp.writePage(id, fr.page.Data[:]); err != nil {
+		return err
+	}
+	fr.dirty = false
+	bp.stats.Flushes++
+	return nil
+}
+
 // FlushAll writes every dirty cached page to disk.
 func (bp *BufferPool) FlushAll() error {
 	bp.mu.Lock()

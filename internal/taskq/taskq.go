@@ -1,12 +1,26 @@
 // Package taskq implements the concurrent processing machinery of §6: a
-// shared task queue holding the four task kinds the paper defines, and N
-// driver workers that each run the TmanTest() loop — drain tasks for at
-// most THRESHOLD, yield, and come back after T when the queue was empty.
+// task queue holding the four task kinds the paper defines, and N driver
+// workers that each run the TmanTest() loop — drain tasks for at most
+// THRESHOLD, yield, and come back after T when the queue was empty.
 //
 // The paper cannot spawn threads inside Informix, so it multiplexes
 // driver *processes* over a shared-memory queue; here goroutines play
-// the driver role and the queue is an in-process structure, preserving
-// the scheduling discipline (bounded drain slices, idle backoff).
+// the driver role, preserving the scheduling discipline (bounded drain
+// slices, idle backoff).
+//
+// The queue itself is sharded per driver. Submit routes keyed tasks to
+// their home shard (source-affine, so one data source's tokens stay
+// together) and spreads unkeyed tasks round-robin, spilling to a global
+// overflow queue when a shard backs up. A driver drains its own shard
+// first, then the overflow, then steals from its peers' shards before
+// parking — so a single hot source cannot idle the rest of the pool,
+// and an idle pool costs nothing but parked goroutines.
+//
+// Tasks marked Serial additionally serialize per Key: at most one
+// Serial task per key runs at a time, and blocked successors keep their
+// FIFO position. The pipeline's SourceFIFO mode uses this to give each
+// data source strict enqueue-order action visibility even with stealing
+// enabled.
 package taskq
 
 import (
@@ -16,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"triggerman/internal/fifo"
 	"triggerman/internal/metrics"
 	"triggerman/internal/retry"
 )
@@ -53,6 +68,10 @@ func (k Kind) String() string {
 	}
 }
 
+// spillDepth is the per-shard backlog beyond which unkeyed Submits
+// divert to the global overflow queue instead of piling onto one shard.
+const spillDepth = 1024
+
 // Task is one unit of work. Run executes it; tasks may enqueue follow-up
 // tasks (e.g. a ProcessToken task spawning RunAction tasks).
 //
@@ -62,6 +81,15 @@ func (k Kind) String() string {
 type Task struct {
 	Kind Kind
 	Run  func() error
+	// Key, when non-zero, routes the task to a fixed shard so tasks
+	// sharing a key drain from the same queue (source affinity). Keyed
+	// tasks never spill to the overflow queue.
+	Key int64
+	// Serial, with a non-zero Key, guarantees at most one task with
+	// this key runs at a time; later same-key tasks wait, keeping their
+	// FIFO position. Stealing drivers honor the constraint because the
+	// busy/blocked bookkeeping lives on the key's home shard.
+	Serial bool
 	// Retry, when non-nil, re-enqueues the task with the policy's
 	// backoff after Run returns a transient error, up to the policy's
 	// MaxAttempts total runs. Permanent errors, unknown errors and
@@ -93,8 +121,8 @@ type Config struct {
 	// OnError receives task errors (default: counted and dropped).
 	OnError func(error)
 	// Metrics, when non-nil, registers the pool's instruments:
-	// per-kind dispatch counters, a task-duration histogram, and a
-	// queue-depth gauge.
+	// per-kind dispatch counters, a task-duration histogram, a
+	// queue-depth gauge, and steal/park counters.
 	Metrics *metrics.Registry
 }
 
@@ -127,17 +155,54 @@ type Stats struct {
 	Panics int64
 	// Retries counts backoff re-enqueues of transiently failed tasks.
 	Retries int64
+	// Steals counts tasks a driver took from another driver's shard.
+	Steals int64
+	// Parks counts drivers going idle; Unparks counts wake-ups by a
+	// Submit (timed re-polls after T are not counted as unparks).
+	Parks, Unparks int64
 }
 
-// Pool is the shared task queue plus its driver goroutines.
+// shard is one driver's run queue. The overflow queue is a shard too
+// (without an owning driver). busy/blocked implement the Serial
+// constraint: busy holds keys with a task currently running, blocked
+// holds popped-but-not-runnable tasks per key, in FIFO order.
+type shard struct {
+	mu      sync.Mutex
+	q       fifo.Queue[Task]
+	busy    map[int64]struct{}
+	blocked map[int64][]Task
+	// depth mirrors the number of tasks queued on this shard (including
+	// blocked Serial tasks) so QueueLen and the depth gauge sum shard
+	// lengths without taking every shard lock.
+	depth atomic.Int64
+}
+
+func newShard() *shard {
+	return &shard{busy: make(map[int64]struct{}), blocked: make(map[int64][]Task)}
+}
+
+// Pool is the sharded task queue plus its driver goroutines.
 type Pool struct {
 	cfg Config
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []Task
-	head   int
-	closed bool
+	shards   []*shard
+	overflow *shard
+	rr       atomic.Uint64 // round-robin cursor for unkeyed tasks
+
+	// runnable counts queued tasks that a driver could take right now
+	// (excludes Serial tasks parked behind a busy key). Parking drivers
+	// re-check it after joining the waiter list, closing the lost-wakeup
+	// window between a failed scan and the park.
+	runnable atomic.Int64
+
+	// closeMu serializes Submit against Close's transition to closed;
+	// requeue (retry re-admission) deliberately bypasses it.
+	closeMu sync.RWMutex
+	closed  atomic.Bool
+
+	// lotMu guards the parking lot: drivers waiting for work.
+	lotMu   sync.Mutex
+	waiters []*waiter
 
 	pending sync.WaitGroup // open tasks (queued or running)
 	drivers sync.WaitGroup
@@ -149,11 +214,21 @@ type Pool struct {
 	taskHist     *metrics.Histogram
 }
 
+// waiter is one parked driver's wake-up channel (capacity 1 so a wake
+// never blocks the waker and a stale token at most causes one spurious
+// rescan).
+type waiter struct {
+	ch chan struct{}
+}
+
 // New creates a pool and starts its drivers.
 func New(cfg Config) *Pool {
 	cfg = cfg.withDefaults()
-	p := &Pool{cfg: cfg}
-	p.cond = sync.NewCond(&p.mu)
+	p := &Pool{cfg: cfg, overflow: newShard()}
+	p.shards = make([]*shard, cfg.Drivers)
+	for i := range p.shards {
+		p.shards[i] = newShard()
+	}
 	if reg := cfg.Metrics; reg != nil {
 		for k := ProcessToken; k <= TokenActions; k++ {
 			p.kindCounters[k] = reg.Counter("tman_tasks_total",
@@ -163,10 +238,16 @@ func New(cfg Config) *Pool {
 			"task execution time (one attempt)", nil)
 		reg.GaugeFunc("tman_task_queue_depth", "tasks queued, not yet running",
 			func() int64 { return int64(p.QueueLen()) })
+		reg.CounterFunc("tman_task_steals_total", "tasks taken from another driver's shard",
+			func() int64 { return atomic.LoadInt64(&p.stats.Steals) })
+		reg.CounterFunc("tman_driver_parks_total", "drivers going idle",
+			func() int64 { return atomic.LoadInt64(&p.stats.Parks) })
+		reg.CounterFunc("tman_driver_unparks_total", "idle drivers woken by a submit",
+			func() int64 { return atomic.LoadInt64(&p.stats.Unparks) })
 	}
 	p.drivers.Add(cfg.Drivers)
 	for i := 0; i < cfg.Drivers; i++ {
-		go p.driver()
+		go p.driver(i)
 	}
 	return p
 }
@@ -183,96 +264,256 @@ func (p *Pool) Stats() Stats {
 		DrainSlices: atomic.LoadInt64(&p.stats.DrainSlices),
 		Panics:      atomic.LoadInt64(&p.stats.Panics),
 		Retries:     atomic.LoadInt64(&p.stats.Retries),
+		Steals:      atomic.LoadInt64(&p.stats.Steals),
+		Parks:       atomic.LoadInt64(&p.stats.Parks),
+		Unparks:     atomic.LoadInt64(&p.stats.Unparks),
 	}
+}
+
+// shardFor picks the queue a task lands on. Keyed tasks always go to
+// the key's home shard — routing and the Serial bookkeeping both depend
+// on that. Unkeyed tasks rotate across shards and divert to the global
+// overflow queue when the chosen shard is backed up, so a burst cannot
+// bury one driver while its peers idle.
+func (p *Pool) shardFor(t Task) *shard {
+	if t.Key != 0 {
+		return p.shards[uint64(t.Key)%uint64(len(p.shards))]
+	}
+	s := p.shards[p.rr.Add(1)%uint64(len(p.shards))]
+	if s.depth.Load() >= spillDepth {
+		return p.overflow
+	}
+	return s
+}
+
+// push enqueues t on its shard and wakes one parked driver. Callers
+// handle closed-state and pending accounting.
+func (p *Pool) push(t Task) {
+	s := p.shardFor(t)
+	s.mu.Lock()
+	s.q.Push(t)
+	s.mu.Unlock()
+	s.depth.Add(1)
+	p.runnable.Add(1)
+	p.wakeOne()
 }
 
 // Submit enqueues a task. It fails after Close.
 func (p *Pool) Submit(t Task) error {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	p.closeMu.RLock()
+	if p.closed.Load() {
+		p.closeMu.RUnlock()
 		return fmt.Errorf("taskq: pool is closed")
 	}
 	p.pending.Add(1)
-	p.queue = append(p.queue, t)
 	atomic.AddInt64(&p.stats.Enqueued, 1)
-	p.cond.Signal()
-	p.mu.Unlock()
+	p.push(t)
+	p.closeMu.RUnlock()
 	return nil
 }
 
-// QueueLen reports the number of queued (not yet running) tasks.
-func (p *Pool) QueueLen() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.queue) - p.head
+// requeue re-admits a retried task. Unlike Submit it ignores the closed
+// flag: the task was accepted before Close, and Close's pending.Wait
+// cannot return until this incarnation runs, so the drivers are still
+// alive to pick it up.
+func (p *Pool) requeue(t Task) {
+	p.push(t)
 }
 
-// pop removes the next task, blocking while the queue is empty. The
-// paper's external driver processes must re-poll every T because they
-// cannot be signalled; in-process drivers are woken immediately on
-// Submit, which strictly dominates the T-polling discipline (T remains
-// configurable for the network daemon's external-driver mode).
-// ok is false when the pool is closed and drained.
-func (p *Pool) pop() (Task, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for p.head >= len(p.queue) {
-		if p.closed {
+// QueueLen reports the number of queued (not yet running) tasks. It
+// sums the shards' depth mirrors — no shard lock is taken, so a metrics
+// scrape never stalls the hot path.
+func (p *Pool) QueueLen() int {
+	n := p.overflow.depth.Load()
+	for _, s := range p.shards {
+		n += s.depth.Load()
+	}
+	return int(n)
+}
+
+// takeFrom pops the next runnable task from one shard. Serial tasks
+// whose key is busy are moved aside into the shard's blocked lists
+// (keeping FIFO order per key) and promoted by release when the running
+// task finishes.
+func (p *Pool) takeFrom(s *shard) (Task, bool) {
+	s.mu.Lock()
+	for {
+		t, ok := s.q.Pop()
+		if !ok {
+			s.mu.Unlock()
 			return Task{}, false
 		}
-		p.cond.Wait()
+		if t.Serial {
+			if _, running := s.busy[t.Key]; running {
+				s.blocked[t.Key] = append(s.blocked[t.Key], t)
+				p.runnable.Add(-1)
+				continue
+			}
+			s.busy[t.Key] = struct{}{}
+		}
+		s.depth.Add(-1)
+		p.runnable.Add(-1)
+		s.mu.Unlock()
+		return t, true
 	}
-	t := p.queue[p.head]
-	p.queue[p.head] = Task{}
-	p.head++
-	if p.head > 1024 && p.head*2 > len(p.queue) {
-		p.queue = append(p.queue[:0], p.queue[p.head:]...)
-		p.head = 0
-	}
-	return t, true
 }
 
-// tryPop is pop without blocking.
-func (p *Pool) tryPop() (Task, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.head >= len(p.queue) {
-		return Task{}, false
+// release clears a Serial key after its task ran and promotes the
+// oldest blocked same-key task to the front of the shard queue, so the
+// key's FIFO order survives the detour through blocked.
+func (p *Pool) release(s *shard, key int64) {
+	s.mu.Lock()
+	delete(s.busy, key)
+	bl := s.blocked[key]
+	if len(bl) == 0 {
+		s.mu.Unlock()
+		return
 	}
-	t := p.queue[p.head]
-	p.queue[p.head] = Task{}
-	p.head++
-	return t, true
+	next := bl[0]
+	copy(bl, bl[1:])
+	bl = bl[:len(bl)-1]
+	if len(bl) == 0 {
+		delete(s.blocked, key)
+	} else {
+		s.blocked[key] = bl
+	}
+	s.q.PushFront(next)
+	s.mu.Unlock()
+	p.runnable.Add(1)
+	p.wakeOne()
 }
 
-// driver is one TriggerMan driver: call TmanTest (a bounded drain),
-// and immediately call again while work remained; otherwise wait for
-// a wake-up or the idle interval T.
-func (p *Pool) driver() {
+// findTask scans for work: the driver's own shard first, then the
+// global overflow queue, then its peers' shards (a steal). It never
+// blocks; the driver loop parks when it returns false.
+func (p *Pool) findTask(id int) (Task, *shard, bool) {
+	own := p.shards[id]
+	if t, ok := p.takeFrom(own); ok {
+		return t, own, true
+	}
+	if t, ok := p.takeFrom(p.overflow); ok {
+		return t, p.overflow, true
+	}
+	for i := 1; i < len(p.shards); i++ {
+		victim := p.shards[(id+i)%len(p.shards)]
+		if t, ok := p.takeFrom(victim); ok {
+			atomic.AddInt64(&p.stats.Steals, 1)
+			return t, victim, true
+		}
+	}
+	return Task{}, nil, false
+}
+
+// wakeOne pops one parked driver and signals it.
+func (p *Pool) wakeOne() {
+	p.lotMu.Lock()
+	n := len(p.waiters)
+	if n == 0 {
+		p.lotMu.Unlock()
+		return
+	}
+	w := p.waiters[n-1]
+	p.waiters[n-1] = nil
+	p.waiters = p.waiters[:n-1]
+	p.lotMu.Unlock()
+	select {
+	case w.ch <- struct{}{}:
+	default:
+	}
+}
+
+// wakeAll signals every parked driver (Close).
+func (p *Pool) wakeAll() {
+	p.lotMu.Lock()
+	ws := p.waiters
+	p.waiters = nil
+	p.lotMu.Unlock()
+	for _, w := range ws {
+		select {
+		case w.ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// cancelPark withdraws w from the lot (it found work or the pool
+// closed) and absorbs a signal sent concurrently so a stale token does
+// not cause a phantom wake on the next park.
+func (p *Pool) cancelPark(w *waiter) {
+	p.lotMu.Lock()
+	for i, x := range p.waiters {
+		if x == w {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			break
+		}
+	}
+	p.lotMu.Unlock()
+	select {
+	case <-w.ch:
+	default:
+	}
+}
+
+// driver is one TriggerMan driver: call TmanTest (a bounded drain) while
+// work is found, otherwise park until a Submit wakes it or the idle
+// interval T elapses. The paper's external driver processes must re-poll
+// every T because they cannot be signalled; in-process drivers are woken
+// immediately, which strictly dominates the T-polling discipline (T
+// remains the timed-park bound for safety).
+func (p *Pool) driver(id int) {
 	defer p.drivers.Done()
+	w := &waiter{ch: make(chan struct{}, 1)}
+	timer := time.NewTimer(p.cfg.T)
+	defer timer.Stop()
 	for {
-		t, ok := p.pop()
-		if !ok {
+		t, s, ok := p.findTask(id)
+		if ok {
+			p.tmanTest(id, t, s)
+			continue
+		}
+		if p.closed.Load() {
 			return
 		}
-		p.tmanTest(t)
+		p.lotMu.Lock()
+		p.waiters = append(p.waiters, w)
+		p.lotMu.Unlock()
+		atomic.AddInt64(&p.stats.Parks, 1)
+		// Re-check after joining the lot: a Submit that scanned the lot
+		// before we appended would otherwise be a lost wakeup.
+		if p.runnable.Load() > 0 || p.closed.Load() {
+			p.cancelPark(w)
+			continue
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(p.cfg.T)
+		select {
+		case <-w.ch:
+			atomic.AddInt64(&p.stats.Unparks, 1)
+		case <-timer.C:
+			p.cancelPark(w)
+		}
 	}
 }
 
 // tmanTest runs the first task and keeps draining until Threshold
 // elapses, mirroring the paper's pseudocode (get task, execute, yield).
-func (p *Pool) tmanTest(first Task) {
+// Follow-up tasks come from the same scan order as the driver loop, so
+// a drain slice steals too when its own shard runs dry.
+func (p *Pool) tmanTest(id int, t Task, s *shard) {
 	atomic.AddInt64(&p.stats.DrainSlices, 1)
 	deadline := time.Now().Add(p.cfg.Threshold)
-	t := first
 	for {
-		p.runTask(t)
+		p.runTask(t, s)
 		if time.Now().After(deadline) {
 			return
 		}
 		var ok bool
-		t, ok = p.tryPop()
+		t, s, ok = p.findTask(id)
 		if !ok {
 			return
 		}
@@ -282,7 +523,7 @@ func (p *Pool) tmanTest(first Task) {
 	}
 }
 
-func (p *Pool) runTask(t Task) {
+func (p *Pool) runTask(t Task, s *shard) {
 	if t.Kind <= TokenActions {
 		if c := p.kindCounters[t.Kind]; c != nil {
 			c.Inc()
@@ -293,6 +534,11 @@ func (p *Pool) runTask(t Task) {
 		begin = time.Now()
 	}
 	err := p.invoke(t)
+	if t.Serial {
+		// Release the key before retry/Done handling: a retried
+		// incarnation re-acquires it via the normal queue path.
+		p.release(s, t.Key)
+	}
 	if p.taskHist != nil {
 		p.taskHist.Observe(time.Since(begin))
 	}
@@ -342,17 +588,6 @@ func (p *Pool) invoke(t Task) (err error) {
 	return t.Run()
 }
 
-// requeue re-admits a retried task. Unlike Submit it ignores the closed
-// flag: the task was accepted before Close, and Close's pending.Wait
-// cannot return until this incarnation runs, so the drivers are still
-// alive to pick it up.
-func (p *Pool) requeue(t Task) {
-	p.mu.Lock()
-	p.queue = append(p.queue, t)
-	p.cond.Signal()
-	p.mu.Unlock()
-}
-
 // Drain blocks until every task enqueued so far (and every follow-up
 // task they spawn) has finished.
 func (p *Pool) Drain() {
@@ -363,9 +598,9 @@ func (p *Pool) Drain() {
 // the drivers.
 func (p *Pool) Close() {
 	p.pending.Wait()
-	p.mu.Lock()
-	p.closed = true
-	p.cond.Broadcast()
-	p.mu.Unlock()
+	p.closeMu.Lock()
+	p.closed.Store(true)
+	p.closeMu.Unlock()
+	p.wakeAll()
 	p.drivers.Wait()
 }

@@ -294,6 +294,204 @@ func TestTaskRetrySkipsPermanentErrors(t *testing.T) {
 	}
 }
 
+func TestStealingDrainsHotShard(t *testing.T) {
+	// All tasks carry the same key, so they land on one shard; the
+	// other drivers must steal to help drain it.
+	p := New(Config{Drivers: 4, Threshold: 10 * time.Millisecond, T: time.Millisecond})
+	defer p.Close()
+	var inFlight, peak, count int64
+	var mu sync.Mutex
+	for i := 0; i < 64; i++ {
+		p.Submit(Task{Kind: ProcessToken, Key: 7, Run: func() error {
+			cur := atomic.AddInt64(&inFlight, 1)
+			mu.Lock()
+			if cur > peak {
+				peak = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			atomic.AddInt64(&inFlight, -1)
+			atomic.AddInt64(&count, 1)
+			return nil
+		}})
+	}
+	p.Drain()
+	if count != 64 {
+		t.Fatalf("executed %d", count)
+	}
+	if peak < 2 {
+		t.Errorf("peak concurrency = %d; stealing should parallelize a single hot shard", peak)
+	}
+	if st := p.Stats(); st.Steals == 0 {
+		t.Errorf("steals = 0 with one hot shard and 4 drivers; stats = %+v", st)
+	}
+}
+
+func TestSerialKeyOrderingUnderStealing(t *testing.T) {
+	// Serial tasks sharing a key must observe enqueue order even with
+	// many drivers stealing; tasks on other keys run freely in between.
+	p := New(Config{Drivers: 8, Threshold: time.Millisecond, T: time.Millisecond})
+	defer p.Close()
+	const n = 500
+	var mu sync.Mutex
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		p.Submit(Task{Kind: ProcessToken, Key: 42, Serial: true, Run: func() error {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+			return nil
+		}})
+		// Interfering unkeyed work to force stealing and shard churn.
+		p.Submit(Task{Kind: RunAction, Run: func() error { return nil }})
+	}
+	p.Drain()
+	if len(got) != n {
+		t.Fatalf("ran %d serial tasks, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial key order violated at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestSerialKeysDoNotBlockEachOther(t *testing.T) {
+	// Two serial keys mapping to different shards proceed in parallel:
+	// key A blocking must not stop key B.
+	p := New(Config{Drivers: 2, Threshold: time.Millisecond, T: time.Millisecond})
+	defer p.Close()
+	gate := make(chan struct{})
+	var bRan int64
+	p.Submit(Task{Key: 1, Serial: true, Run: func() error { <-gate; return nil }})
+	p.Submit(Task{Key: 2, Serial: true, Run: func() error {
+		atomic.AddInt64(&bRan, 1)
+		return nil
+	}})
+	deadline := time.Now().Add(2 * time.Second)
+	for atomic.LoadInt64(&bRan) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("key 2 never ran while key 1 was blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	p.Drain()
+}
+
+func TestSerialBlockedTaskCountsAsQueued(t *testing.T) {
+	// A popped-but-blocked serial task is still "queued, not running":
+	// QueueLen (and the depth gauge) must include it until it runs.
+	p := New(Config{Drivers: 2, Threshold: time.Millisecond, T: time.Millisecond})
+	defer p.Close()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	p.Submit(Task{Key: 9, Serial: true, Run: func() error { close(started); <-gate; return nil }})
+	<-started
+	p.Submit(Task{Key: 9, Serial: true, Run: func() error { return nil }})
+	// Give the second driver time to pop the blocked task into the
+	// shard's blocked list.
+	deadline := time.Now().Add(time.Second)
+	for p.QueueLen() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue len = %d, want 1 (blocked serial task)", p.QueueLen())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	p.Drain()
+	if p.QueueLen() != 0 {
+		t.Errorf("queue len after drain = %d", p.QueueLen())
+	}
+}
+
+func TestOverflowSpillKeepsSubmitCheap(t *testing.T) {
+	// With one driver wedged, unkeyed submits past the spill depth land
+	// on the overflow queue; everything still runs once unwedged.
+	p := New(Config{Drivers: 1, Threshold: time.Millisecond, T: time.Millisecond})
+	defer p.Close()
+	gate := make(chan struct{})
+	p.Submit(Task{Run: func() error { <-gate; return nil }})
+	var count int64
+	const n = spillDepth * 3
+	for i := 0; i < n; i++ {
+		p.Submit(Task{Run: func() error { atomic.AddInt64(&count, 1); return nil }})
+	}
+	if got := p.overflow.depth.Load(); got == 0 {
+		t.Errorf("overflow depth = 0 after %d submits onto a wedged shard", n)
+	}
+	if got := p.QueueLen(); got < n-1 {
+		t.Errorf("queue len = %d, want >= %d", got, n-1)
+	}
+	close(gate)
+	p.Drain()
+	if count != n {
+		t.Fatalf("executed %d, want %d", count, n)
+	}
+}
+
+func TestParkUnparkCounters(t *testing.T) {
+	p := New(Config{Drivers: 2, Threshold: time.Millisecond, T: time.Hour})
+	defer p.Close()
+	// Let the drivers go idle: with T enormous they park until woken.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().Parks < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("parks = %d, want both idle drivers parked", p.Stats().Parks)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan struct{})
+	p.Submit(Task{Run: func() error { close(done); return nil }})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("submit did not wake a parked driver")
+	}
+	p.Drain()
+	if st := p.Stats(); st.Unparks == 0 {
+		t.Errorf("unparks = 0 after a wake-up submit; stats = %+v", st)
+	}
+}
+
+func TestKeyedRoutingIsDeterministic(t *testing.T) {
+	p := New(Config{Drivers: 4, Threshold: time.Millisecond, T: time.Millisecond})
+	defer p.Close()
+	for _, key := range []int64{1, -1, 12345, -98765} {
+		a, b := p.shardFor(Task{Key: key}), p.shardFor(Task{Key: key})
+		if a != b {
+			t.Errorf("key %d routed to two different shards", key)
+		}
+		if a == p.overflow {
+			t.Errorf("key %d routed to the overflow queue", key)
+		}
+	}
+}
+
+func TestSerialRetryStillCompletes(t *testing.T) {
+	// A transiently failing serial task releases its key, retries via
+	// the normal queue path, and later same-key tasks wait their turn.
+	pol := &retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	p := New(Config{Drivers: 4, Threshold: time.Millisecond, T: time.Millisecond})
+	defer p.Close()
+	var first, second int64
+	p.Submit(Task{Key: 5, Serial: true, Retry: pol, Run: func() error {
+		if atomic.AddInt64(&first, 1) < 2 {
+			return retry.Transient(fmt.Errorf("flaky"))
+		}
+		return nil
+	}})
+	p.Submit(Task{Key: 5, Serial: true, Run: func() error {
+		atomic.AddInt64(&second, 1)
+		return nil
+	}})
+	p.Drain()
+	if first != 2 || second != 1 {
+		t.Errorf("first ran %d (want 2), second ran %d (want 1)", first, second)
+	}
+}
+
 func TestCloseWaitsForScheduledRetries(t *testing.T) {
 	// Close must not strand a retry scheduled via AfterFunc: the final
 	// incarnation still runs before Close returns.

@@ -1,0 +1,114 @@
+package triggerman
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"triggerman/internal/types"
+)
+
+// TestSourceFIFOOrderingUnderDriverPool is the ordering property test
+// for Options.SourceFIFO: with several drivers and work stealing
+// enabled, every firing for a given source must observe that source's
+// tokens in enqueue order. Two sources insert concurrently so tokens
+// from different sources interleave freely in the shared queue — only
+// the per-source subsequences are constrained.
+func TestSourceFIFOOrderingUnderDriverPool(t *testing.T) {
+	sys, err := Open(Options{
+		Drivers:    8,
+		Queue:      MemoryQueue,
+		SourceFIFO: true,
+		TokenBatch: 4,
+		Threshold:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	a, err := sys.DefineStreamSource("sa", types.Column{Name: "x", Kind: types.KindInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.DefineStreamSource("sb", types.Column{Name: "x", Kind: types.KindInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CreateTrigger(`create trigger ta from sa when sa.x >= 0 do raise event EA(sa.x)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CreateTrigger(`create trigger tb from sb when sb.x >= 0 do raise event EB(sb.x)`); err != nil {
+		t.Fatal(err)
+	}
+	idA := triggerIDByName(t, sys, "ta")
+	idB := triggerIDByName(t, sys, "tb")
+
+	var mu sync.Mutex
+	var gotA, gotB []int64
+	sys.FireHook = func(id uint64, combo []types.Tuple) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch id {
+		case idA:
+			gotA = append(gotA, combo[0][0].Int())
+		case idB:
+			gotB = append(gotB, combo[0][0].Int())
+		}
+	}
+
+	const n = 400
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := a.Insert(types.Tuple{types.NewInt(int64(i))}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := b.Insert(types.Tuple{types.NewInt(int64(i))}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	sys.Drain()
+
+	if sys.Errors() != 0 {
+		t.Fatalf("errors: %v", sys.LastError())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	checkSequential(t, "sa", gotA, n)
+	checkSequential(t, "sb", gotB, n)
+	t.Logf("pool steals=%d parks=%d unparks=%d",
+		sys.Stats().Pool.Steals, sys.Stats().Pool.Parks, sys.Stats().Pool.Unparks)
+}
+
+func checkSequential(t *testing.T, src string, got []int64, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("%s: fired %d times, want %d", src, len(got), n)
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("%s: firing %d observed token %d — enqueue order violated", src, i, v)
+		}
+	}
+}
+
+func triggerIDByName(t *testing.T, sys *System, name string) uint64 {
+	t.Helper()
+	id, ok := sys.Catalog().TriggerByName(name)
+	if !ok {
+		t.Fatalf("trigger %q not found", name)
+	}
+	return id
+}

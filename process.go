@@ -52,14 +52,30 @@ func (s *System) apply(tok datasource.Token) error {
 		// parallel tasks.
 		return s.submitPartitionedToken()
 	}
-	// Task-level retry covers transient *dequeue* failures (the token is
-	// still queued, so re-running the task finds it again). Once a token
-	// is dequeued, consumeOne handles its failures itself and returns
-	// nil, so a re-run can never strand a dequeued token.
-	return s.pool.Submit(taskq.Task{Kind: taskq.ProcessToken, Retry: &s.queueRetry, Run: func() error {
-		return s.consumeOne()
-	}})
+	if s.opts.SourceFIFO {
+		// Ordered mode: the task dispatches dequeued tokens into
+		// per-source serial tasks, preserving each source's enqueue
+		// order across drivers and stealing.
+		return s.pool.Submit(taskq.Task{
+			Kind: taskq.ProcessToken, Key: sourceKey(tok.SourceID),
+			Retry: &s.queueRetry, Run: s.dispatchOrdered,
+		})
+	}
+	// Task-level retry covers transient *dequeue* failures (the tokens
+	// are still queued, so re-running the task finds them again). Once a
+	// token is dequeued, consumeBatch handles its failures itself, so a
+	// re-run can never strand a dequeued token. The key routes the task
+	// to the source's home shard: one source's tokens drain from one
+	// queue (and batch together), while idle drivers steal across.
+	return s.pool.Submit(taskq.Task{
+		Kind: taskq.ProcessToken, Key: sourceKey(tok.SourceID),
+		Retry: &s.queueRetry, Run: s.consumeBatch,
+	})
 }
+
+// sourceKey maps a data source ID to a non-zero task-queue shard key
+// (taskq treats key 0 as "unkeyed").
+func sourceKey(id int32) int64 { return int64(id) + 1 }
 
 // consumeOne dequeues and fully processes one token. An error return
 // means the dequeue itself failed and the token is still in the queue;
@@ -74,6 +90,59 @@ func (s *System) consumeOne() error {
 		return nil
 	}
 	s.handleToken(tok, -1, s.tracer.Dequeued(tok.Seq))
+	return nil
+}
+
+// consumeBatch dequeues up to tokenBatch tokens and fully processes
+// each in order. Tracing and attribution stay per-token: every token
+// gets its own span and dead-letter handling. Tokens returned alongside
+// a dequeue error have already left the queue, so they are processed
+// before the error is surfaced for task-level retry.
+func (s *System) consumeBatch() error {
+	batch, err := s.queue.DequeueBatch(s.tokenBatch)
+	if len(batch) > 0 {
+		s.cBatches.Inc()
+		s.cBatchTokens.Add(int64(len(batch)))
+		for _, tok := range batch {
+			s.handleToken(tok, -1, s.tracer.Dequeued(tok.Seq))
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("dequeue: %w", err)
+	}
+	return nil
+}
+
+// dispatchOrdered implements SourceFIFO: one locked step dequeues a
+// batch and submits each token as a serial task keyed by its source, so
+// per-source submission order equals dequeue order equals enqueue
+// order, and taskq's serial-key discipline carries that order through
+// to execution even with work stealing. A token whose serial submission
+// fails has already left the queue and is quarantined, preserving the
+// fire-or-dead-letter invariant.
+func (s *System) dispatchOrdered() error {
+	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
+	batch, err := s.queue.DequeueBatch(s.tokenBatch)
+	if len(batch) > 0 {
+		s.cBatches.Inc()
+		s.cBatchTokens.Add(int64(len(batch)))
+		for _, tok := range batch {
+			tok := tok
+			sp := s.tracer.Dequeued(tok.Seq)
+			serr := s.pool.Submit(taskq.Task{
+				Kind: taskq.ProcessToken, Key: sourceKey(tok.SourceID), Serial: true,
+				Run: func() error { s.handleToken(tok, -1, sp); return nil },
+			})
+			if serr != nil {
+				s.quarantine(catalog.DeadToken, 0, tok, serr, 1)
+				sp.Finish()
+			}
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("dequeue: %w", err)
+	}
 	return nil
 }
 

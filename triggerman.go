@@ -109,6 +109,21 @@ type Options struct {
 	// to run a set of rule actions"), which avoids queue contention when
 	// tokens fire many cheap actions.
 	ActionTasks bool
+	// TokenBatch bounds how many tokens one process-token task dequeues
+	// and processes (default 16, 1 disables batching). Batching amortizes
+	// queue locking across tokens; tracing and cost attribution stay
+	// per-token.
+	TokenBatch int
+	// SourceFIFO makes each data source's tokens process strictly in
+	// enqueue order: tokens are dispatched through per-source serial
+	// tasks, so two tokens from one source never run concurrently (and
+	// never reorder), while different sources still process in parallel.
+	// Without it, same-source tokens may process concurrently across
+	// drivers — higher throughput, no cross-token ordering guarantee.
+	// Applies to the asynchronous, non-partitioned pipeline; ignored
+	// under Synchronous or ConditionPartitions > 1, which have their own
+	// ordering behavior.
+	SourceFIFO bool
 	// Policy overrides the constant-set organization thresholds.
 	Policy *predindex.Policy
 	// CostModel derives the organization thresholds from the [Hans98b]
@@ -198,6 +213,11 @@ type System struct {
 	multiVarSources map[int32]int // #multi-var triggers per source
 	aggSources      map[int32]int // #aggregate triggers per source
 	partitions      int
+	tokenBatch      int
+	// dispatchMu serializes SourceFIFO dispatch: dequeue-batch and the
+	// per-token serial submissions happen as one atomic step, so tokens
+	// reach the task queue in dequeue order.
+	dispatchMu sync.Mutex
 
 	// met is the process-wide instrument registry; the headline
 	// counters below are registry-backed so Stats() and /metrics read
@@ -210,6 +230,8 @@ type System struct {
 	cTokensMatch  *metrics.Counter
 	cActionsRun   *metrics.Counter
 	cDeadLettered *metrics.Counter
+	cBatches      *metrics.Counter
+	cBatchTokens  *metrics.Counter
 	ops           *opsServer
 	ring          errorRing
 
@@ -318,11 +340,17 @@ func Open(opts Options) (*System, error) {
 		multiVarSources: make(map[int32]int),
 		aggSources:      make(map[int32]int),
 		partitions:      opts.ConditionPartitions,
+		tokenBatch:      opts.TokenBatch,
+	}
+	if sys.tokenBatch <= 0 {
+		sys.tokenBatch = 16
 	}
 	sys.cTokensIn = met.Counter("tman_tokens_total", "update descriptors captured into the queue")
 	sys.cTokensMatch = met.Counter("tman_matches_total", "token-trigger matches that fired or fed a network")
 	sys.cActionsRun = met.Counter("tman_actions_total", "rule-action executions started")
 	sys.cDeadLettered = met.Counter("tman_dead_letters_total", "tokens and firings quarantined in the dead-letter table")
+	sys.cBatches = met.Counter("tman_token_batches_total", "non-empty token batches processed by process-token tasks")
+	sys.cBatchTokens = met.Counter("tman_token_batch_tokens_total", "tokens processed through batches (ratio to batches = mean batch size)")
 	if opts.ActionRetry != nil {
 		sys.actionRetry = *opts.ActionRetry
 	} else {
@@ -477,6 +505,9 @@ func (s *System) registerViews() {
 			{"errors", func() int64 { return s.pool.Stats().Errors }},
 			{"panics", func() int64 { return s.pool.Stats().Panics }},
 			{"retries", func() int64 { return s.pool.Stats().Retries }},
+			{"steals", func() int64 { return s.pool.Stats().Steals }},
+			{"parks", func() int64 { return s.pool.Stats().Parks }},
+			{"unparks", func() int64 { return s.pool.Stats().Unparks }},
 		} {
 			m.CounterFunc("tman_pool_total", "driver pool activity", v.fn, metrics.L("counter", v.counter))
 		}
