@@ -1,0 +1,42 @@
+package datasource
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"triggerman/internal/storage"
+)
+
+// Scratch: maximize overlap between leader WriteBack and concurrent inserts.
+func TestScratchGroupCommitWriteBackRace(t *testing.T) {
+	disk := &slowSyncDisk{DiskManager: storage.NewMem(), delay: 0}
+	bp := storage.NewBufferPool(disk, 64)
+	q, err := NewTableQueue(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.SetDurable(true)
+	stop := time.Now().Add(2 * time.Second)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); time.Now().Before(stop); i++ {
+				if _, err := q.Enqueue(tok(int32(g), OpInsert, i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%64 == 0 {
+					if _, err := q.DequeueBatch(32); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
