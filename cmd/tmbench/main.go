@@ -15,6 +15,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -25,9 +26,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"triggerman"
+	"triggerman/internal/admission"
 	"triggerman/internal/datasource"
 	"triggerman/internal/discrim"
 	"triggerman/internal/expr"
@@ -50,12 +53,14 @@ type benchRow struct {
 }
 
 var (
-	jsonMode  bool
-	maxPop    int
-	noProfile bool
-	driverSet string
-	syncLat   time.Duration
-	benchRows = map[string][]benchRow{}
+	jsonMode    bool
+	maxPop      int
+	noProfile   bool
+	driverSet   string
+	syncLat     time.Duration
+	arrivalSet  string
+	openLoopDur time.Duration
+	benchRows   = map[string][]benchRow{}
 )
 
 // parseDriverCounts splits the -drivers list ("1,2,4,8") into counts.
@@ -141,12 +146,16 @@ func main() {
 		"driver counts for the scaling sweep (comma-separated)")
 	flag.DurationVar(&syncLat, "synclat", 2*time.Millisecond,
 		"modelled per-commit disk latency for the scaling sweep (0 = raw fsync)")
+	flag.StringVar(&arrivalSet, "arrival", "2000,8000",
+		"open-loop arrival rates in tokens/s for -exp latency (comma-separated)")
+	flag.DurationVar(&openLoopDur, "openloopdur", time.Second,
+		"duration of each open-loop latency run")
 	flag.Parse()
 	defer flushBench()
 	experiments := map[string]func(int){
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
 		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
-		"e13": e13, "scaling": scaling,
+		"e13": e13, "scaling": scaling, "latency": latency,
 	}
 	if *exp == "all" {
 		keys := make([]string, 0, len(experiments))
@@ -850,5 +859,128 @@ func scaling(scale int) {
 			float64(tokens)/el.Seconds(), float64(base)/float64(el), sys.Stats().Pool.Steals)
 		sys.Close()
 		os.RemoveAll(dir)
+	}
+}
+
+// latRow is one open-loop latency observation for BENCH_latency.json.
+type latRow struct {
+	RatePerSec float64 `json:"rate_per_s"`
+	Sent       int     `json:"sent"`
+	Fired      int     `json:"fired"`
+	Rejected   int     `json:"rejected"`
+	Shed       int64   `json:"shed"`
+	P50Ns      int64   `json:"p50_ns"`
+	P99Ns      int64   `json:"p99_ns"`
+	P999Ns     int64   `json:"p999_ns"`
+}
+
+// percentile reads the q-quantile from a sorted duration slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// latency runs the open-loop arrival experiment: a constant-rate
+// generator (next send time computed from the start instant, never from
+// the previous send, so a slow system accumulates queueing delay
+// instead of silently slowing the load — the coordinated-omission-free
+// protocol) drives one stream source while a FireHook timestamps each
+// firing against the capture time carried in the tuple's salary column.
+// Admission control is on, so overload shows up as rejected sends
+// rather than unbounded queues.
+func latency(scale int) {
+	header("latency", "open-loop arrival latency under admission control")
+	var rates []float64
+	for _, f := range strings.Split(arrivalSet, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(f, 64)
+		if err != nil || r <= 0 {
+			log.Fatalf("tmbench: bad -arrival entry %q", f)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		log.Fatal("tmbench: -arrival lists no rates")
+	}
+	fmt.Printf("open loop: %v per rate, drivers: 4, soft/hard watermarks 4096/16384\n", openLoopDur)
+	fmt.Printf("%-12s %8s %8s %8s %12s %12s %12s\n",
+		"rate/s", "sent", "fired", "rejected", "p50", "p99", "p999")
+	var rows []latRow
+	for _, rate := range rates {
+		sys := sysWith(triggerman.Options{
+			Drivers:         4,
+			AdmissionConfig: &admission.Config{SoftDepth: 4096, HardDepth: 16384},
+		})
+		if _, err := sys.DefineStreamSource("emp", workload.EmpSchema.Columns...); err != nil {
+			log.Fatal(err)
+		}
+		load(sys, workload.EqualityTriggers(1, 1))
+		var (
+			latMu sync.Mutex
+			lats  []time.Duration
+		)
+		sys.FireHook = func(id uint64, tuples []types.Tuple) {
+			if len(tuples) == 0 || len(tuples[0]) < 2 {
+				return
+			}
+			d := time.Duration(time.Now().UnixNano() - tuples[0][1].Int())
+			latMu.Lock()
+			lats = append(lats, d)
+			latMu.Unlock()
+		}
+		src := mustSource(sys, "emp")
+		interval := time.Duration(float64(time.Second) / rate)
+		n := int(rate * openLoopDur.Seconds())
+		rejected := 0
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			next := start.Add(time.Duration(i) * interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			err := src.Push(datasource.Token{Op: datasource.OpInsert,
+				New: workload.EmpRow("user0000000", time.Now().UnixNano(), "d")})
+			if err != nil {
+				if errors.Is(err, admission.ErrOverload) {
+					rejected++
+					continue
+				}
+				log.Fatal(err)
+			}
+		}
+		sys.Drain()
+		shed := sys.Stats().TokensShed
+		latMu.Lock()
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		p50 := percentile(lats, 0.50)
+		p99 := percentile(lats, 0.99)
+		p999 := percentile(lats, 0.999)
+		fired := len(lats)
+		latMu.Unlock()
+		fmt.Printf("%-12.0f %8d %8d %8d %12s %12s %12s\n",
+			rate, n, fired, rejected, p50, p99, p999)
+		if jsonMode {
+			rows = append(rows, latRow{
+				RatePerSec: rate, Sent: n, Fired: fired, Rejected: rejected, Shed: shed,
+				P50Ns: p50.Nanoseconds(), P99Ns: p99.Nanoseconds(), P999Ns: p999.Nanoseconds(),
+			})
+		}
+		sys.Close()
+	}
+	if jsonMode {
+		body, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			log.Fatalf("tmbench: marshal latency: %v", err)
+		}
+		if err := os.WriteFile("BENCH_latency.json", append(body, '\n'), 0o644); err != nil {
+			log.Fatalf("tmbench: %v", err)
+		}
+		fmt.Printf("wrote BENCH_latency.json (%d rows)\n", len(rows))
 	}
 }

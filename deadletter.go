@@ -36,7 +36,11 @@ func (s *System) RequeueDeadLetter(id uint64) error {
 	}
 	tok := d.Token
 	tok.Seq = 0 // the queue assigns a fresh sequence number
-	if err := s.apply(tok); err != nil {
+	// Requeue runs through admission (not raw apply): re-injecting into
+	// a source that is still shedding would just deepen the overload, so
+	// a shed verdict re-quarantines the token as a fresh DeadShed entry
+	// and a reject restores this one below.
+	if err := s.admit(tok); err != nil {
 		if _, aerr := s.cat.AddDeadLetter(d.Kind, d.TriggerID, d.Token, d.Error, d.Attempts); aerr != nil {
 			return fmt.Errorf("triggerman: requeue %d failed (%v) and restore failed: %w", id, err, aerr)
 		}
@@ -64,6 +68,25 @@ func (s *System) quarantine(kind string, triggerID uint64, tok datasource.Token,
 	})
 	if err != nil {
 		s.ring.add("deadletter", triggerID, fmt.Errorf("quarantine of %s failed, work lost: %w", tok, err))
+		return
+	}
+	s.cDeadLettered.Inc()
+}
+
+// shedToken parks a token shed by admission control in the dead-letter
+// table. Unlike quarantine it is not a failure record — the token never
+// ran — so it skips the error ring and profiler; the dead-letter write
+// is the accounting that keeps "shed" distinct from "lost". If even the
+// retried write fails, the loss lands in the error ring like any other
+// quarantine failure.
+func (s *System) shedToken(tok datasource.Token) {
+	s.elog.Emit("admission.shed", "source_id", tok.SourceID, "op", tok.Op.String())
+	_, err := s.dlRetry.Do(func() error {
+		_, e := s.cat.AddDeadLetter(catalog.DeadShed, 0, tok, "shed by admission control", 0)
+		return e
+	})
+	if err != nil {
+		s.ring.add("admission", 0, fmt.Errorf("shed token lost: %w", err))
 		return
 	}
 	s.cDeadLettered.Inc()

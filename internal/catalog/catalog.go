@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"triggerman/internal/admission"
 	"triggerman/internal/agg"
 	"triggerman/internal/cache"
 	"triggerman/internal/datasource"
@@ -51,6 +52,11 @@ type TriggerInfo struct {
 	SourceIDs []int32
 	// IsAggregate marks group-by/having triggers.
 	IsAggregate bool
+	// Class is the scheduling priority class, declared as a flag in the
+	// create-trigger statement ("create trigger t batch from ...").
+	// Interactive is the default. It survives restart because recovery
+	// re-parses the trigger text through primeTrigger.
+	Class admission.Class
 
 	rid  storage.RID
 	regs []predReg
@@ -463,6 +469,17 @@ func (c *Catalog) TriggerIsAggregate(id uint64) bool {
 	defer c.mu.RUnlock()
 	t, ok := c.triggers[id]
 	return ok && t.IsAggregate
+}
+
+// TriggerClass reports the trigger's scheduling priority class.
+// Unknown triggers are interactive (the safe default for routing).
+func (c *Catalog) TriggerClass(id uint64) admission.Class {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if t, ok := c.triggers[id]; ok {
+		return t.Class
+	}
+	return admission.Interactive
 }
 
 // TriggerSources returns the data sources of a trigger's tuple

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"triggerman/internal/admission"
 	"triggerman/internal/datasource"
 	"triggerman/internal/minisql"
 	"triggerman/internal/parser"
@@ -419,5 +420,39 @@ func TestAggregateTriggerRecovery(t *testing.T) {
 	}
 	if len(lt.Agg.Specs) != 1 {
 		t.Errorf("specs = %v", lt.Agg.Specs)
+	}
+}
+
+func TestTriggerClassFromFlags(t *testing.T) {
+	disk := storage.NewMem()
+	c, flush := newCatalogFlush(t, disk, 8)
+	withEmp(t, c)
+	inter, err := c.CreateTrigger("create trigger t_inter from emp when emp.salary > 1 do raise event A(emp.name)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := c.CreateTrigger("create trigger t_bat batch from emp when emp.salary > 2 do raise event B(emp.name)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TriggerClass(inter.ID); got != admission.Interactive {
+		t.Fatalf("default class = %v", got)
+	}
+	if got := c.TriggerClass(bat.ID); got != admission.Batch {
+		t.Fatalf("batch flag class = %v", got)
+	}
+	if got := c.TriggerClass(99999); got != admission.Interactive {
+		t.Fatalf("unknown trigger class = %v", got)
+	}
+	flush()
+
+	// The class survives restart via text re-parse in recovery.
+	c2 := newCatalog(t, disk, 8)
+	id, ok := c2.TriggerByName("t_bat")
+	if !ok {
+		t.Fatal("t_bat lost in recovery")
+	}
+	if got := c2.TriggerClass(id); got != admission.Batch {
+		t.Fatalf("recovered class = %v", got)
 	}
 }

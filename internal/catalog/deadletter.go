@@ -22,6 +22,11 @@ const (
 	DeadToken = "token"
 	// DeadAction is one trigger firing whose action failed.
 	DeadAction = "action"
+	// DeadShed is a token diverted by admission control before it
+	// reached the queue: batch-class work shed past the soft watermark.
+	// Shed entries carry no failure, only deferral — requeue them once
+	// the source recovers.
+	DeadShed = "shed"
 )
 
 // DeadLetter is one quarantined work item.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"triggerman/internal/admission"
 	"triggerman/internal/agg"
 	"triggerman/internal/datasource"
 	"triggerman/internal/discrim"
@@ -107,6 +108,14 @@ func (c *Catalog) primeTrigger(info *TriggerInfo, ct *parser.CreateTrigger) erro
 	}
 	if ct.Do == nil {
 		return fmt.Errorf("catalog: trigger %q has no action", ct.Name)
+	}
+	// The priority class rides in the flag list between the trigger name
+	// and the from clause; other flags stay reserved for future options.
+	info.Class = admission.Interactive
+	for _, f := range ct.Flags {
+		if cl, ok := admission.ParseClass(f); ok {
+			info.Class = cl
+		}
 	}
 	// Resolve tuple variables to sources.
 	varIndex := ct.VarIndex()

@@ -239,17 +239,34 @@ type Queue interface {
 	DequeueBatch(max int) ([]Token, error)
 	// Len reports the number of queued tokens.
 	Len() int
+	// SourceDepth reports the number of queued tokens from one source —
+	// the admission controller's watermark signal. Both implementations
+	// answer from a counter map, not a scan, so the capture path can
+	// afford a reading per token.
+	SourceDepth(src int32) int
+}
+
+// depthAdd adjusts a per-source depth counter, dropping zero entries so
+// the map does not accumulate every source ever seen.
+func depthAdd(m map[int32]int, src int32, d int) {
+	n := m[src] + d
+	if n <= 0 {
+		delete(m, src)
+		return
+	}
+	m[src] = n
 }
 
 // MemQueue is the main-memory queue (fast, not crash-safe).
 type MemQueue struct {
-	mu  sync.Mutex
-	q   fifo.Queue[Token]
-	seq uint64
+	mu     sync.Mutex
+	q      fifo.Queue[Token]
+	seq    uint64
+	depths map[int32]int
 }
 
 // NewMemQueue returns an empty in-memory queue.
-func NewMemQueue() *MemQueue { return &MemQueue{} }
+func NewMemQueue() *MemQueue { return &MemQueue{depths: make(map[int32]int)} }
 
 // Enqueue implements Queue.
 func (q *MemQueue) Enqueue(t Token) (Token, error) {
@@ -258,6 +275,7 @@ func (q *MemQueue) Enqueue(t Token) (Token, error) {
 	q.seq++
 	t.Seq = q.seq
 	q.q.Push(t)
+	depthAdd(q.depths, t.SourceID, 1)
 	return t, nil
 }
 
@@ -266,6 +284,9 @@ func (q *MemQueue) Dequeue() (Token, bool, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	t, ok := q.q.Pop()
+	if ok {
+		depthAdd(q.depths, t.SourceID, -1)
+	}
 	return t, ok, nil
 }
 
@@ -286,6 +307,7 @@ func (q *MemQueue) DequeueBatch(max int) ([]Token, error) {
 		if !ok {
 			break
 		}
+		depthAdd(q.depths, t.SourceID, -1)
 		out = append(out, t)
 	}
 	return out, nil
@@ -296,6 +318,13 @@ func (q *MemQueue) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.q.Len()
+}
+
+// SourceDepth implements Queue.
+func (q *MemQueue) SourceDepth(src int32) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depths[src]
 }
 
 // TableQueue is the persistent queue table of Figure 1: tokens are
@@ -319,6 +348,9 @@ type TableQueue struct {
 	// dequeues do not rescan drained pages.
 	cursor storage.RID
 	hasCur bool
+	// depths counts queued tokens per source (admission's watermark
+	// signal); rebuilt from the recovery scan on reopen.
+	depths map[int32]int
 
 	commit commitGroup
 }
@@ -413,7 +445,7 @@ func NewTableQueue(bp *storage.BufferPool) (*TableQueue, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TableQueue{heap: h, bp: bp}, nil
+	return &TableQueue{heap: h, bp: bp, depths: make(map[int32]int)}, nil
 }
 
 // OpenTableQueue reopens a persistent queue by its first page.
@@ -422,11 +454,15 @@ func OpenTableQueue(bp *storage.BufferPool, first storage.PageID) (*TableQueue, 
 	if err != nil {
 		return nil, err
 	}
-	q := &TableQueue{heap: h, bp: bp}
-	// Restore the sequence counter from the surviving tokens.
+	q := &TableQueue{heap: h, bp: bp, depths: make(map[int32]int)}
+	// Restore the sequence counter and per-source depths from the
+	// surviving tokens.
 	err = h.Scan(func(_ storage.RID, rec []byte) bool {
-		if t, derr := DecodeToken(rec); derr == nil && t.Seq > q.seq {
-			q.seq = t.Seq
+		if t, derr := DecodeToken(rec); derr == nil {
+			if t.Seq > q.seq {
+				q.seq = t.Seq
+			}
+			depthAdd(q.depths, t.SourceID, 1)
 		}
 		return true
 	})
@@ -447,6 +483,9 @@ func (q *TableQueue) Enqueue(t Token) (Token, error) {
 	q.seq++
 	t.Seq = q.seq
 	rid, err := q.heap.Insert(t.Encode())
+	if err == nil {
+		depthAdd(q.depths, t.SourceID, 1)
+	}
 	durable := q.durable
 	q.mu.Unlock()
 	if err != nil {
@@ -535,6 +574,7 @@ func (q *TableQueue) DequeueBatch(max int) ([]Token, error) {
 			// Tokens already deleted must still reach the caller.
 			return out, err
 		}
+		depthAdd(q.depths, r.tok.SourceID, -1)
 		out = append(out, r.tok)
 		q.cursor, q.hasCur = r.rid, true
 	}
@@ -543,3 +583,10 @@ func (q *TableQueue) DequeueBatch(max int) ([]Token, error) {
 
 // Len implements Queue.
 func (q *TableQueue) Len() int { return q.heap.Count() }
+
+// SourceDepth implements Queue.
+func (q *TableQueue) SourceDepth(src int32) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depths[src]
+}

@@ -546,3 +546,118 @@ func TestTableQueueBatchThenSingleDequeueAgree(t *testing.T) {
 		t.Fatalf("single dequeue after batch = %v %v %v", got, ok, err)
 	}
 }
+
+// TestGroupCommitWriteBackUnderConcurrentDequeues maximizes overlap
+// between the group-commit leader's WriteBack loop and concurrent
+// inserts/dequeues (folded from the PR-5 scratch race test, shortened).
+// Besides being a race-detector target, it checks that the per-source
+// depth counters balance exactly against what went in and came out.
+func TestGroupCommitWriteBackUnderConcurrentDequeues(t *testing.T) {
+	disk := &slowSyncDisk{DiskManager: storage.NewMem(), delay: 0}
+	bp := storage.NewBufferPool(disk, 64)
+	q, err := NewTableQueue(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.SetDurable(true)
+	stop := time.Now().Add(300 * time.Millisecond)
+	var enq, deq [8]int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); time.Now().Before(stop); i++ {
+				if _, err := q.Enqueue(tok(int32(g+1), OpInsert, i)); err != nil {
+					t.Error(err)
+					return
+				}
+				atomic.AddInt64(&enq[g], 1)
+				if i%64 == 0 {
+					batch, err := q.DequeueBatch(32)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for _, tk := range batch {
+						atomic.AddInt64(&deq[tk.SourceID-1], 1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for g := 0; g < 8; g++ {
+		want := int(enq[g] - deq[g])
+		if got := q.SourceDepth(int32(g + 1)); got != want {
+			t.Errorf("source %d depth = %d, want %d (enq %d, deq %d)",
+				g+1, got, want, enq[g], deq[g])
+		}
+	}
+}
+
+// TestSourceDepthTracksPerSource exercises the depth counters on both
+// queue implementations through every dequeue path.
+func TestSourceDepthTracksPerSource(t *testing.T) {
+	queues := map[string]Queue{
+		"mem": NewMemQueue(),
+	}
+	tq, err := NewTableQueue(storage.NewBufferPool(storage.NewMem(), 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queues["table"] = tq
+	for name, q := range queues {
+		for i := int64(0); i < 6; i++ {
+			q.Enqueue(tok(1, OpInsert, i))
+		}
+		for i := int64(0); i < 3; i++ {
+			q.Enqueue(tok(2, OpInsert, i))
+		}
+		if d1, d2 := q.SourceDepth(1), q.SourceDepth(2); d1 != 6 || d2 != 3 {
+			t.Fatalf("%s: depths = %d,%d want 6,3", name, d1, d2)
+		}
+		if d := q.SourceDepth(99); d != 0 {
+			t.Fatalf("%s: unknown source depth = %d", name, d)
+		}
+		if _, ok, _ := q.Dequeue(); !ok {
+			t.Fatalf("%s: dequeue failed", name)
+		}
+		if d := q.SourceDepth(1); d != 5 {
+			t.Fatalf("%s: depth after single dequeue = %d, want 5", name, d)
+		}
+		if batch, err := q.DequeueBatch(0); err != nil || len(batch) != 8 {
+			t.Fatalf("%s: drain = %d tokens, err %v", name, len(batch), err)
+		}
+		if d1, d2 := q.SourceDepth(1), q.SourceDepth(2); d1 != 0 || d2 != 0 {
+			t.Fatalf("%s: depths after drain = %d,%d", name, d1, d2)
+		}
+	}
+}
+
+// TestSourceDepthSurvivesReopen checks the recovery scan rebuilds the
+// per-source counters a restarted system's admission control needs.
+func TestSourceDepthSurvivesReopen(t *testing.T) {
+	disk := storage.NewMem()
+	bp := storage.NewBufferPool(disk, 32)
+	q, err := NewTableQueue(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 7; i++ {
+		q.Enqueue(tok(3, OpInsert, i))
+	}
+	q.Enqueue(tok(4, OpInsert, 0))
+	q.DequeueBatch(2) // consume two of source 3's tokens
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := OpenTableQueue(storage.NewBufferPool(disk, 32), q.FirstPage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3, d4 := q2.SourceDepth(3), q2.SourceDepth(4); d3 != 5 || d4 != 1 {
+		t.Fatalf("reopened depths = %d,%d want 5,1", d3, d4)
+	}
+}

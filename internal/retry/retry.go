@@ -196,7 +196,10 @@ func (p Policy) WithDefaults() Policy {
 }
 
 // Backoff returns the jittered delay before attempt (1-based: the
-// delay after the attempt-th failure).
+// delay after the attempt-th failure). The result always lies within
+// [BaseDelay, MaxDelay]: jitter decorrelates concurrent retries but
+// must neither hammer faster than the configured floor nor overshoot
+// the cap.
 func (p Policy) Backoff(attempt int) time.Duration {
 	p = p.WithDefaults()
 	if attempt < 1 {
@@ -210,12 +213,15 @@ func (p Policy) Backoff(attempt int) time.Duration {
 		d = p.MaxDelay
 	}
 	if p.Jitter > 0 {
-		// Spread over [d*(1-j/2), d*(1+j/2)].
+		// Spread over [d*(1-j/2), d*(1+j/2)], then clamp into bounds.
 		span := float64(d) * p.Jitter
 		d = time.Duration(float64(d) - span/2 + rand.Float64()*span)
-		if d < 0 {
-			d = 0
-		}
+	}
+	if d < p.BaseDelay {
+		d = p.BaseDelay
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
 	}
 	return d
 }

@@ -171,3 +171,31 @@ func TestClassifyOverride(t *testing.T) {
 		t.Errorf("err = %v", err)
 	}
 }
+
+// TestBackoffJitterBounds asserts every computed delay lies within
+// [BaseDelay, MaxDelay] across the policy classes the system actually
+// runs (action, queue, dead-letter) plus the defaults and full jitter.
+// The raw jitter spread is symmetric around the nominal delay, so an
+// unclamped implementation dips below base on early attempts and
+// overshoots the cap on late ones.
+func TestBackoffJitterBounds(t *testing.T) {
+	policies := map[string]Policy{
+		"defaults":    {},
+		"action":      {MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond},
+		"queue":       {MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond},
+		"dead-letter": {MaxAttempts: 8, BaseDelay: 500 * time.Microsecond, MaxDelay: 20 * time.Millisecond},
+		"full-jitter": {BaseDelay: 2 * time.Millisecond, MaxDelay: 16 * time.Millisecond, Jitter: 1},
+	}
+	for name, p := range policies {
+		eff := p.WithDefaults()
+		for attempt := 1; attempt <= 12; attempt++ {
+			for i := 0; i < 200; i++ {
+				d := p.Backoff(attempt)
+				if d < eff.BaseDelay || d > eff.MaxDelay {
+					t.Fatalf("%s: backoff(%d) = %v outside [%v, %v]",
+						name, attempt, d, eff.BaseDelay, eff.MaxDelay)
+				}
+			}
+		}
+	}
+}

@@ -72,6 +72,28 @@ func (k Kind) String() string {
 // divert to the global overflow queue instead of piling onto one shard.
 const spillDepth = 1024
 
+// Priority selects which of a shard's two run queues a task joins.
+// Drivers drain high before low — across their own shard, the overflow
+// queue, and steals — but an aging tick (Config.AgingEvery) bounds how
+// long low-priority work can wait behind a steady high-priority stream.
+type Priority uint8
+
+const (
+	// High is the default: interactive-class work.
+	High Priority = iota
+	// Low marks batch-class work: drained after high, first to wait
+	// under load, never starved thanks to aging.
+	Low
+)
+
+// String names the priority.
+func (pr Priority) String() string {
+	if pr == Low {
+		return "low"
+	}
+	return "high"
+}
+
 // Task is one unit of work. Run executes it; tasks may enqueue follow-up
 // tasks (e.g. a ProcessToken task spawning RunAction tasks).
 //
@@ -90,6 +112,9 @@ type Task struct {
 	// FIFO position. Stealing drivers honor the constraint because the
 	// busy/blocked bookkeeping lives on the key's home shard.
 	Serial bool
+	// Pri selects the run queue; the zero value is High, so untagged
+	// call sites keep today's behavior.
+	Pri Priority
 	// Retry, when non-nil, re-enqueues the task with the policy's
 	// backoff after Run returns a transient error, up to the policy's
 	// MaxAttempts total runs. Permanent errors, unknown errors and
@@ -118,6 +143,11 @@ type Config struct {
 	T time.Duration
 	// Threshold bounds one TmanTest drain slice (paper default 250ms).
 	Threshold time.Duration
+	// AgingEvery bounds low-priority starvation: after this many
+	// consecutive high-priority picks from one shard, the next pick
+	// takes a waiting low-priority task even though high work remains.
+	// Default 16.
+	AgingEvery int
 	// OnError receives task errors (default: counted and dropped).
 	OnError func(error)
 	// Metrics, when non-nil, registers the pool's instruments:
@@ -143,6 +173,9 @@ func (c Config) withDefaults() Config {
 	if c.Threshold <= 0 {
 		c.Threshold = 250 * time.Millisecond
 	}
+	if c.AgingEvery <= 0 {
+		c.AgingEvery = 16
+	}
 	return c
 }
 
@@ -160,6 +193,11 @@ type Stats struct {
 	// Parks counts drivers going idle; Unparks counts wake-ups by a
 	// Submit (timed re-polls after T are not counted as unparks).
 	Parks, Unparks int64
+	// Aged counts low-priority tasks promoted by the aging tick while
+	// high-priority work was still waiting.
+	Aged int64
+	// LowRuns counts executed low-priority tasks.
+	LowRuns int64
 }
 
 // shard is one driver's run queue. The overflow queue is a shard too
@@ -167,14 +205,28 @@ type Stats struct {
 // constraint: busy holds keys with a task currently running, blocked
 // holds popped-but-not-runnable tasks per key, in FIFO order.
 type shard struct {
-	mu      sync.Mutex
-	q       fifo.Queue[Task]
-	busy    map[int64]struct{}
-	blocked map[int64][]Task
+	mu sync.Mutex
+	// hi and lo are the priority run queues; takeFrom drains hi first
+	// with an aging tick so lo is never starved.
+	hi, lo fifo.Queue[Task]
+	// hiStreak counts consecutive high-priority picks since the last
+	// low pick (the aging clock).
+	hiStreak int
+	busy     map[int64]struct{}
+	blocked  map[int64][]Task
 	// depth mirrors the number of tasks queued on this shard (including
 	// blocked Serial tasks) so QueueLen and the depth gauge sum shard
 	// lengths without taking every shard lock.
 	depth atomic.Int64
+}
+
+// queueFor picks the run queue matching a task's priority. Callers hold
+// s.mu.
+func (s *shard) queueFor(t Task) *fifo.Queue[Task] {
+	if t.Pri == Low {
+		return &s.lo
+	}
+	return &s.hi
 }
 
 func newShard() *shard {
@@ -204,7 +256,16 @@ type Pool struct {
 	lotMu   sync.Mutex
 	waiters []*waiter
 
-	pending sync.WaitGroup // open tasks (queued or running)
+	// pendN counts open tasks (queued or running); drainers are parked
+	// Drain/Close callers woken at the next zero crossing. An explicit
+	// counter instead of a WaitGroup: Drain and Close must tolerate
+	// Submits racing the wait (a Close during a token storm), and
+	// WaitGroup.Add concurrent with Wait across a zero crossing is a
+	// runtime panic ("WaitGroup misuse").
+	pendN    atomic.Int64
+	drainMu  sync.Mutex
+	drainers []chan struct{}
+
 	drivers sync.WaitGroup
 
 	stats Stats
@@ -244,6 +305,10 @@ func New(cfg Config) *Pool {
 			func() int64 { return atomic.LoadInt64(&p.stats.Parks) })
 		reg.CounterFunc("tman_driver_unparks_total", "idle drivers woken by a submit",
 			func() int64 { return atomic.LoadInt64(&p.stats.Unparks) })
+		reg.CounterFunc("tman_task_aged_total", "low-priority tasks promoted by the aging tick",
+			func() int64 { return atomic.LoadInt64(&p.stats.Aged) })
+		reg.CounterFunc("tman_task_low_runs_total", "executed low-priority tasks",
+			func() int64 { return atomic.LoadInt64(&p.stats.LowRuns) })
 	}
 	p.drivers.Add(cfg.Drivers)
 	for i := 0; i < cfg.Drivers; i++ {
@@ -267,6 +332,8 @@ func (p *Pool) Stats() Stats {
 		Steals:      atomic.LoadInt64(&p.stats.Steals),
 		Parks:       atomic.LoadInt64(&p.stats.Parks),
 		Unparks:     atomic.LoadInt64(&p.stats.Unparks),
+		Aged:        atomic.LoadInt64(&p.stats.Aged),
+		LowRuns:     atomic.LoadInt64(&p.stats.LowRuns),
 	}
 }
 
@@ -291,7 +358,7 @@ func (p *Pool) shardFor(t Task) *shard {
 func (p *Pool) push(t Task) {
 	s := p.shardFor(t)
 	s.mu.Lock()
-	s.q.Push(t)
+	s.queueFor(t).Push(t)
 	s.mu.Unlock()
 	s.depth.Add(1)
 	p.runnable.Add(1)
@@ -305,7 +372,7 @@ func (p *Pool) Submit(t Task) error {
 		p.closeMu.RUnlock()
 		return fmt.Errorf("taskq: pool is closed")
 	}
-	p.pending.Add(1)
+	p.pendN.Add(1)
 	atomic.AddInt64(&p.stats.Enqueued, 1)
 	p.push(t)
 	p.closeMu.RUnlock()
@@ -338,7 +405,23 @@ func (p *Pool) QueueLen() int {
 func (p *Pool) takeFrom(s *shard) (Task, bool) {
 	s.mu.Lock()
 	for {
-		t, ok := s.q.Pop()
+		var t Task
+		var ok bool
+		// High-priority first; after AgingEvery consecutive high picks
+		// the next pick promotes the oldest waiting low task so a steady
+		// interactive stream cannot starve batch work.
+		if s.lo.Len() > 0 && (s.hi.Len() == 0 || s.hiStreak >= p.cfg.AgingEvery) {
+			if s.hi.Len() > 0 {
+				atomic.AddInt64(&p.stats.Aged, 1)
+			}
+			t, ok = s.lo.Pop()
+			s.hiStreak = 0
+		} else {
+			t, ok = s.hi.Pop()
+			if ok {
+				s.hiStreak++
+			}
+		}
 		if !ok {
 			s.mu.Unlock()
 			return Task{}, false
@@ -359,8 +442,8 @@ func (p *Pool) takeFrom(s *shard) (Task, bool) {
 }
 
 // release clears a Serial key after its task ran and promotes the
-// oldest blocked same-key task to the front of the shard queue, so the
-// key's FIFO order survives the detour through blocked.
+// oldest blocked same-key task to the front of its priority's shard
+// queue, so the key's FIFO order survives the detour through blocked.
 func (p *Pool) release(s *shard, key int64) {
 	s.mu.Lock()
 	delete(s.busy, key)
@@ -377,7 +460,7 @@ func (p *Pool) release(s *shard, key int64) {
 	} else {
 		s.blocked[key] = bl
 	}
-	s.q.PushFront(next)
+	s.queueFor(next).PushFront(next)
 	s.mu.Unlock()
 	p.runnable.Add(1)
 	p.wakeOne()
@@ -472,6 +555,15 @@ func (p *Pool) driver(id int) {
 			continue
 		}
 		if p.closed.Load() {
+			// closed is stored only after every racing Submit finished
+			// its push (Submit holds closeMu.RLock across check+push), so
+			// a failed rescan after observing the flag proves the queues
+			// are empty for good — no task can be stranded by a Submit
+			// that won the race against Close.
+			if t, s, ok := p.findTask(id); ok {
+				p.tmanTest(id, t, s)
+				continue
+			}
 			return
 		}
 		p.lotMu.Lock()
@@ -543,11 +635,14 @@ func (p *Pool) runTask(t Task, s *shard) {
 		p.taskHist.Observe(time.Since(begin))
 	}
 	atomic.AddInt64(&p.stats.Executed, 1)
+	if t.Pri == Low {
+		atomic.AddInt64(&p.stats.LowRuns, 1)
+	}
 	if err == nil {
 		if t.OnDone != nil {
 			t.OnDone(nil)
 		}
-		p.pending.Done()
+		p.donePending()
 		return
 	}
 	atomic.AddInt64(&p.stats.Errors, 1)
@@ -557,10 +652,10 @@ func (p *Pool) runTask(t Task, s *shard) {
 		// and Close keep waiting for the task's final outcome.
 		nt := t
 		nt.attempt++
-		p.pending.Add(1)
+		p.pendN.Add(1)
 		atomic.AddInt64(&p.stats.Retries, 1)
 		time.AfterFunc(t.Retry.Backoff(nt.attempt), func() { p.requeue(nt) })
-		p.pending.Done()
+		p.donePending()
 		return
 	}
 	if p.cfg.OnError != nil {
@@ -569,7 +664,7 @@ func (p *Pool) runTask(t Task, s *shard) {
 	if t.OnDone != nil {
 		t.OnDone(err)
 	}
-	p.pending.Done()
+	p.donePending()
 }
 
 // invoke runs the task body under panic isolation: a panicking task is
@@ -588,16 +683,48 @@ func (p *Pool) invoke(t Task) (err error) {
 	return t.Run()
 }
 
+// donePending retires one open task and wakes every parked drainer at
+// a zero crossing.
+func (p *Pool) donePending() {
+	if p.pendN.Add(-1) != 0 {
+		return
+	}
+	p.drainMu.Lock()
+	ds := p.drainers
+	p.drainers = nil
+	p.drainMu.Unlock()
+	for _, ch := range ds {
+		close(ch)
+	}
+}
+
 // Drain blocks until every task enqueued so far (and every follow-up
-// task they spawn) has finished.
+// task they spawn) has finished. Unlike a WaitGroup wait it is safe
+// against Submits racing the drain: the register-then-recheck dance
+// closes the lost-wakeup window, and a waiter left registered across a
+// missed crossing is swept (its channel closed) at the next one.
 func (p *Pool) Drain() {
-	p.pending.Wait()
+	for {
+		if p.pendN.Load() == 0 {
+			return
+		}
+		ch := make(chan struct{})
+		p.drainMu.Lock()
+		p.drainers = append(p.drainers, ch)
+		p.drainMu.Unlock()
+		if p.pendN.Load() == 0 {
+			return
+		}
+		<-ch
+	}
 }
 
 // Close stops accepting tasks, waits for the queue to drain, and stops
-// the drivers.
+// the drivers. Tasks still in flight (and the follow-ups they cascade)
+// complete; Submits racing Close either land before the drain finishes
+// and are executed, or observe the closed flag and fail cleanly.
 func (p *Pool) Close() {
-	p.pending.Wait()
+	p.Drain()
 	p.closeMu.Lock()
 	p.closed.Store(true)
 	p.closeMu.Unlock()

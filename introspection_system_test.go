@@ -278,7 +278,7 @@ func TestEventLogMirror(t *testing.T) {
 		t.Fatal(err)
 	}
 	var ez struct {
-		Total   int64            `json:"total"`
+		Total   int64             `json:"total"`
 		Records []eventlog.Record `json:"records"`
 	}
 	getJSON(t, "http://"+addr+"/eventz", &ez)

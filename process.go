@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"triggerman/internal/admission"
 	"triggerman/internal/agg"
 	"triggerman/internal/catalog"
 	"triggerman/internal/datasource"
@@ -17,14 +18,60 @@ import (
 	"triggerman/internal/types"
 )
 
-// apply accepts a captured update descriptor: it is enqueued (persistent
-// or memory queue per Figure 1) and either processed inline
-// (Synchronous) or handed to the task queue as a process-one-token task
-// (task type 1 of §6).
-func (s *System) apply(tok datasource.Token) error {
+// capture is the external entry point for a freshly captured update:
+// the closed check and admission control run here, before the token is
+// durably enqueued. Producers (TableSource, StreamSource) call capture;
+// internal re-entries that must survive shutdown or bypass the closed
+// gate (cascaded execSQL updates, dead-letter requeue) call admit
+// directly.
+func (s *System) capture(tok datasource.Token) error {
 	if s.isClosed() {
 		return errClosed
 	}
+	return s.admit(tok)
+}
+
+// admit runs the token through admission control (§6's capture point is
+// where overload must be pushed back, before the token costs queue
+// space). Three outcomes:
+//
+//   - Admit: the token proceeds into the queue (apply).
+//   - Shed: batch-class work over the soft watermark is diverted to the
+//     dead-letter table — accounted, requeueable later, never silently
+//     dropped — and the capture call reports success.
+//   - Reject: the hard watermark or rate limit is breached; the caller
+//     gets a retryable *admission.OverloadError and keeps the token.
+func (s *System) admit(tok datasource.Token) error {
+	if s.adm != nil {
+		verdict, err := s.adm.Admit(tok.SourceID, s.sourceClass(tok.SourceID))
+		switch verdict {
+		case admission.VerdictReject:
+			return err
+		case admission.VerdictShed:
+			s.shedToken(tok)
+			return nil
+		}
+	}
+	return s.apply(tok)
+}
+
+// taskPri maps a token's source class to its run-queue priority:
+// interactive sources ride the high queue, batch sources the low queue
+// (aged by taskq so they cannot starve).
+func (s *System) taskPri(src int32) taskq.Priority {
+	if s.sourceClass(src) == admission.Batch {
+		return taskq.Low
+	}
+	return taskq.High
+}
+
+// apply accepts an admitted update descriptor: it is enqueued (persistent
+// or memory queue per Figure 1) and either processed inline
+// (Synchronous) or handed to the task queue as a process-one-token task
+// (task type 1 of §6). No closed check here: Close drains the pool, and
+// tokens cascaded by in-flight actions must still be accepted during
+// that drain or they would be lost mid-shutdown.
+func (s *System) apply(tok datasource.Token) error {
 	sp := s.tracer.Begin(tok.SourceID, tok.Op.String())
 	// Enqueue under the queue retry policy: a transient page fault must
 	// not lose a captured update. A retried enqueue whose first attempt
@@ -58,6 +105,7 @@ func (s *System) apply(tok datasource.Token) error {
 		// order across drivers and stealing.
 		return s.pool.Submit(taskq.Task{
 			Kind: taskq.ProcessToken, Key: sourceKey(tok.SourceID),
+			Pri:   s.taskPri(tok.SourceID),
 			Retry: &s.queueRetry, Run: s.dispatchOrdered,
 		})
 	}
@@ -69,6 +117,7 @@ func (s *System) apply(tok datasource.Token) error {
 	// queue (and batch together), while idle drivers steal across.
 	return s.pool.Submit(taskq.Task{
 		Kind: taskq.ProcessToken, Key: sourceKey(tok.SourceID),
+		Pri:   s.taskPri(tok.SourceID),
 		Retry: &s.queueRetry, Run: s.consumeBatch,
 	})
 }
@@ -132,6 +181,7 @@ func (s *System) dispatchOrdered() error {
 			sp := s.tracer.Dequeued(tok.Seq)
 			serr := s.pool.Submit(taskq.Task{
 				Kind: taskq.ProcessToken, Key: sourceKey(tok.SourceID), Serial: true,
+				Pri: s.taskPri(tok.SourceID),
 				Run: func() error { s.handleToken(tok, -1, sp); return nil },
 			})
 			if serr != nil {
@@ -182,11 +232,12 @@ func (s *System) submitPartitionedToken() error {
 		sp.Finish()
 		return nil
 	}
+	pri := s.taskPri(tok.SourceID)
 	for p := 0; p < s.partitions; p++ {
 		part := p
 		sp.Retain()
 		if err := s.pool.Submit(taskq.Task{
-			Kind: taskq.TokenConditions, Retry: &s.queueRetry,
+			Kind: taskq.TokenConditions, Retry: &s.queueRetry, Pri: pri,
 			Run:    func() error { return s.fireMatches(tok, part, sp) },
 			OnDone: func(error) { sp.Finish() },
 		}); err != nil {
@@ -571,10 +622,16 @@ func (s *System) runCombo(lt catalog.LoadedTrigger, tok datasource.Token, tuples
 	}
 	// Rule action concurrency (task type 2 of §6): the task holds a
 	// span reference, because it may outlive the token task that
-	// spawned it.
+	// spawned it. The action inherits the *trigger's* declared class,
+	// not the source's — a batch trigger on a shared source must not
+	// ride the interactive queue.
+	pri := taskq.High
+	if lt.Info.Class == admission.Batch {
+		pri = taskq.Low
+	}
 	sp.Retain()
 	err := s.pool.Submit(taskq.Task{
-		Kind: taskq.RunAction, Run: run,
+		Kind: taskq.RunAction, Run: run, Pri: pri,
 		OnDone: func(error) { sp.Finish() },
 	})
 	if err != nil {
@@ -608,7 +665,11 @@ func (r capturingRunner) ExecStmt(st parser.Statement) (*minisql.Result, error) 
 					tok.Op = datasource.OpUpdate
 					tok.Old, tok.New = ch.Old, ch.New
 				}
-				if err := r.sys.apply(tok); err != nil {
+				// Cascades go through admission (an overloaded source
+				// pushes back on the action that feeds it) but skip the
+				// closed gate: an in-flight action during Close must be
+				// able to finish its writes while the pool drains.
+				if err := r.sys.admit(tok); err != nil {
 					return res, err
 				}
 			}

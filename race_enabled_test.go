@@ -1,0 +1,9 @@
+//go:build race
+
+package triggerman
+
+// raceEnabled reports whether this binary was built with -race.
+// Latency-bound assertions use it: the race detector slows every
+// memory access ~5-20x, which invalidates wall-clock bounds while
+// leaving accounting invariants intact.
+const raceEnabled = true

@@ -72,7 +72,7 @@ func (t *TableSource) Insert(tu types.Tuple) error {
 	if _, err := t.tab.Insert(tu); err != nil {
 		return err
 	}
-	return t.sys.apply(datasource.Token{SourceID: t.src.ID, Op: datasource.OpInsert, New: tu.Clone()})
+	return t.sys.capture(datasource.Token{SourceID: t.src.ID, Op: datasource.OpInsert, New: tu.Clone()})
 }
 
 // Delete removes the first row equal to tu and captures a delete
@@ -96,7 +96,7 @@ func (t *TableSource) Delete(tu types.Tuple) error {
 	if err := t.tab.Delete(rid); err != nil {
 		return err
 	}
-	return t.sys.apply(datasource.Token{SourceID: t.src.ID, Op: datasource.OpDelete, Old: tu.Clone()})
+	return t.sys.capture(datasource.Token{SourceID: t.src.ID, Op: datasource.OpDelete, Old: tu.Clone()})
 }
 
 // Update replaces the first row equal to old with new and captures an
@@ -120,7 +120,7 @@ func (t *TableSource) Update(old, new types.Tuple) error {
 	if _, err := t.tab.UpdateRow(rid, new); err != nil {
 		return err
 	}
-	return t.sys.apply(datasource.Token{
+	return t.sys.capture(datasource.Token{
 		SourceID: t.src.ID, Op: datasource.OpUpdate,
 		Old: old.Clone(), New: new.Clone(),
 	})
@@ -131,17 +131,17 @@ func (st *StreamSource) Source() *datasource.Source { return st.src }
 
 // Insert pushes an insert descriptor.
 func (st *StreamSource) Insert(tu types.Tuple) error {
-	return st.sys.apply(datasource.Token{SourceID: st.src.ID, Op: datasource.OpInsert, New: tu.Clone()})
+	return st.sys.capture(datasource.Token{SourceID: st.src.ID, Op: datasource.OpInsert, New: tu.Clone()})
 }
 
 // Delete pushes a delete descriptor.
 func (st *StreamSource) Delete(tu types.Tuple) error {
-	return st.sys.apply(datasource.Token{SourceID: st.src.ID, Op: datasource.OpDelete, Old: tu.Clone()})
+	return st.sys.capture(datasource.Token{SourceID: st.src.ID, Op: datasource.OpDelete, Old: tu.Clone()})
 }
 
 // Update pushes an update descriptor.
 func (st *StreamSource) Update(old, new types.Tuple) error {
-	return st.sys.apply(datasource.Token{
+	return st.sys.capture(datasource.Token{
 		SourceID: st.src.ID, Op: datasource.OpUpdate,
 		Old: old.Clone(), New: new.Clone(),
 	})
@@ -150,7 +150,7 @@ func (st *StreamSource) Update(old, new types.Tuple) error {
 // Push delivers a raw token through the data source API.
 func (st *StreamSource) Push(tok datasource.Token) error {
 	tok.SourceID = st.src.ID
-	return st.sys.apply(tok)
+	return st.sys.capture(tok)
 }
 
 // command implements System.Command.

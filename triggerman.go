@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"triggerman/internal/admission"
 	"triggerman/internal/cache"
 	"triggerman/internal/catalog"
 	"triggerman/internal/datasource"
@@ -81,6 +82,14 @@ type Options struct {
 	// processing work (enqueue, dequeue, match passes). Nil takes the
 	// default (6 attempts, 1ms base doubling to a 50ms cap).
 	QueueRetry *retry.Policy
+	// AdmissionConfig, when non-nil, enables overload protection at
+	// capture: per-source token-bucket rate limits and queue-depth
+	// watermarks. Over the soft watermark, batch-class tokens are shed
+	// to the dead-letter table (accounted, requeueable); over the hard
+	// watermark (or rate limit) every token is rejected with a
+	// retryable error matching admission.ErrOverload. Nil admits
+	// everything (no overload protection).
+	AdmissionConfig *admission.Config
 	// BufferPoolPages bounds the page cache (default 4096 pages = 16MB).
 	BufferPoolPages int
 	// TriggerCacheSize bounds the trigger cache (default 16384, the
@@ -193,6 +202,11 @@ type Stats struct {
 	DeadLetters int
 	// DeadLettered counts quarantines performed since Open.
 	DeadLettered int64
+	// TokensShed and TokensRejected count admission-control verdicts
+	// (zero when Options.AdmissionConfig is nil). Shed tokens are also
+	// counted by DeadLettered when their quarantine lands.
+	TokensShed     int64
+	TokensRejected int64
 }
 
 // System is a TriggerMan instance.
@@ -208,12 +222,21 @@ type System struct {
 	exe   *exec.Executor
 	pool  *taskq.Pool
 	queue datasource.Queue
+	// adm is the admission controller (nil when overload protection is
+	// not configured).
+	adm *admission.Controller
 
 	mu              sync.RWMutex
 	multiVarSources map[int32]int // #multi-var triggers per source
 	aggSources      map[int32]int // #aggregate triggers per source
-	partitions      int
-	tokenBatch      int
+	// interSources / batchSources count triggers per source by priority
+	// class: a source is batch-class (low-priority tasks, sheddable)
+	// exactly when it feeds at least one batch trigger and no
+	// interactive ones.
+	interSources map[int32]int
+	batchSources map[int32]int
+	partitions   int
+	tokenBatch   int
 	// dispatchMu serializes SourceFIFO dispatch: dequeue-batch and the
 	// per-token serial submissions happen as one atomic step, so tokens
 	// reach the task queue in dequeue order.
@@ -339,6 +362,8 @@ func Open(opts Options) (*System, error) {
 		elog:            elog,
 		multiVarSources: make(map[int32]int),
 		aggSources:      make(map[int32]int),
+		interSources:    make(map[int32]int),
+		batchSources:    make(map[int32]int),
 		partitions:      opts.ConditionPartitions,
 		tokenBatch:      opts.TokenBatch,
 	}
@@ -383,6 +408,13 @@ func Open(opts Options) (*System, error) {
 		}
 		q.SetDurable(opts.DurableQueue)
 		sys.queue = q
+	}
+	if opts.AdmissionConfig != nil {
+		sys.adm = admission.New(*opts.AdmissionConfig, sys.queue.SourceDepth)
+		sys.adm.OnTransition = func(src int32, from, to admission.State) {
+			elog.Emit("admission.state",
+				"source_id", src, "from", from.String(), "to", to.String())
+		}
 	}
 	if !opts.Synchronous {
 		sys.pool = taskq.New(taskq.Config{
@@ -508,8 +540,35 @@ func (s *System) registerViews() {
 			{"steals", func() int64 { return s.pool.Stats().Steals }},
 			{"parks", func() int64 { return s.pool.Stats().Parks }},
 			{"unparks", func() int64 { return s.pool.Stats().Unparks }},
+			{"aged", func() int64 { return s.pool.Stats().Aged }},
+			{"low_runs", func() int64 { return s.pool.Stats().LowRuns }},
 		} {
 			m.CounterFunc("tman_pool_total", "driver pool activity", v.fn, metrics.L("counter", v.counter))
+		}
+	}
+	if s.adm != nil {
+		for _, v := range []struct {
+			verdict string
+			fn      func() int64
+		}{
+			{"admitted", func() int64 { a, _, _ := s.adm.Totals(); return a }},
+			{"shed", func() int64 { _, sh, _ := s.adm.Totals(); return sh }},
+			{"rejected", func() int64 { _, _, r := s.adm.Totals(); return r }},
+		} {
+			m.CounterFunc("tman_admission_total", "admission-control verdicts", v.fn, metrics.L("verdict", v.verdict))
+		}
+		for _, st := range []admission.State{admission.StateAdmitting, admission.StateShedding, admission.StateRejecting} {
+			st := st
+			m.GaugeFunc("tman_admission_sources", "data sources per graceful-degradation state",
+				func() int64 {
+					var n int64
+					for _, row := range s.adm.Snapshot(nil) {
+						if row.State == st {
+							n++
+						}
+					}
+					return n
+				}, metrics.L("state", st.String()))
 		}
 	}
 }
@@ -531,7 +590,30 @@ func (s *System) rebuildMultiVar() {
 				s.aggSources[src]++
 			}
 		}
+		if s.cat.TriggerClass(id) == admission.Batch {
+			for _, src := range srcs {
+				s.batchSources[src]++
+			}
+		} else {
+			for _, src := range srcs {
+				s.interSources[src]++
+			}
+		}
 	}
+}
+
+// sourceClass derives the admission class of a data source from the
+// triggers attached to it: a source is batch-class exactly when it
+// feeds at least one batch trigger and no interactive ones. A source
+// with no triggers at all stays interactive — admission must not shed
+// tokens whose consumers we cannot see yet.
+func (s *System) sourceClass(src int32) admission.Class {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.interSources[src] > 0 || s.batchSources[src] == 0 {
+		return admission.Interactive
+	}
+	return admission.Batch
 }
 
 // noteError records an asynchronous error with no further context
@@ -602,8 +684,16 @@ func (s *System) Stats() Stats {
 	if s.pool != nil {
 		st.Pool = s.pool.Stats()
 	}
+	if s.adm != nil {
+		_, st.TokensShed, st.TokensRejected = s.adm.Totals()
+	}
 	return st
 }
+
+// Admission exposes the admission controller, or nil when
+// Options.AdmissionConfig was not set. Ops handlers and tests read
+// per-source load states through it.
+func (s *System) Admission() *admission.Controller { return s.adm }
 
 // Metrics exposes the instrument registry (the ops endpoint and tests
 // read it; embedders may add their own instruments).
@@ -645,6 +735,15 @@ func (s *System) CreateTrigger(text string) error {
 			s.aggSources[src]++
 		}
 	}
+	if info.Class == admission.Batch {
+		for _, src := range info.SourceIDs {
+			s.batchSources[src]++
+		}
+	} else {
+		for _, src := range info.SourceIDs {
+			s.interSources[src]++
+		}
+	}
 	s.mu.Unlock()
 	if s.partitions > 1 {
 		for _, src := range info.SourceIDs {
@@ -663,6 +762,7 @@ func (s *System) DropTrigger(name string) error {
 	if id, ok := s.cat.TriggerByName(name); ok {
 		srcs, haveSrcs := s.cat.TriggerSources(id)
 		isAgg := s.cat.TriggerIsAggregate(id)
+		class := s.cat.TriggerClass(id)
 		if haveSrcs {
 			s.mu.Lock()
 			if len(srcs) > 1 {
@@ -673,6 +773,15 @@ func (s *System) DropTrigger(name string) error {
 			if isAgg {
 				for _, src := range srcs {
 					s.aggSources[src]--
+				}
+			}
+			if class == admission.Batch {
+				for _, src := range srcs {
+					s.batchSources[src]--
+				}
+			} else {
+				for _, src := range srcs {
+					s.interSources[src]--
 				}
 			}
 			s.mu.Unlock()
