@@ -637,3 +637,55 @@ func BenchmarkE12_AdaptiveOrganization(b *testing.B) {
 		})
 	}
 }
+
+// --- Telemetry overhead guard ---
+
+// BenchmarkTelemetryOverhead is the E1-profiling-style A/B guard for
+// the observability stack: the same end-to-end token path with
+// tracing, the SLO engine, and the runtime sampler fully disabled
+// versus the shipped defaults (1-in-64 trace sampling, per-class
+// histograms, default objectives ticking) versus tracing every token.
+// The default leg should stay within a few percent of the bare path —
+// the SLO engine runs off the hot path entirely and an unsampled token
+// costs one counter increment; trace=all prices the full stamp-every-
+// stage mode a debugging session would switch on.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	for _, mode := range []string{"telemetry=off", "telemetry=default", "telemetry=all"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := Options{Synchronous: true, Queue: MemoryQueue}
+			switch mode {
+			case "telemetry=off":
+				opts.TraceSampleEvery = -1
+				opts.DisableSLO = true
+			case "telemetry=default":
+				// Zero values: SampleEvery 64, SLO engine on defaults.
+			case "telemetry=all":
+				opts.TraceSampleEvery = 1
+				opts.SLOTick = 100 * time.Millisecond
+			}
+			sys := benchSystem(b, opts)
+			if _, err := sys.DefineStreamSource("emp",
+				workload.EmpSchema.Columns...); err != nil {
+				b.Fatal(err)
+			}
+			loadTriggers(b, sys, workload.EqualityTriggers(1000, 1000))
+			src, _ := sys.reg.ByName("emp")
+			rng := rand.New(rand.NewSource(17))
+			for i := 0; i < 1000; i++ {
+				tok := datasource.Token{SourceID: src.ID, Op: datasource.OpInsert,
+					New: workload.EmpRow(fmt.Sprintf("user%07d", i), 1, "d")}
+				if err := sys.apply(tok); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tok := datasource.Token{SourceID: src.ID, Op: datasource.OpInsert,
+					New: workload.EmpRow(fmt.Sprintf("user%07d", rng.Intn(1000)), 1, "d")}
+				if err := sys.apply(tok); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

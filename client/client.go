@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"triggerman/internal/datasource"
+	"triggerman/internal/trace"
 	"triggerman/internal/types"
 	"triggerman/internal/wire"
 )
@@ -206,26 +207,49 @@ func (c *Client) Unsubscribe(name string) error {
 
 // PushInsert delivers an insert descriptor through the data source API.
 func (c *Client) PushInsert(source string, tuple types.Tuple) error {
-	return c.push(source, datasource.OpInsert, nil, tuple)
+	return c.push(source, datasource.OpInsert, nil, tuple, "")
 }
 
 // PushDelete delivers a delete descriptor.
 func (c *Client) PushDelete(source string, tuple types.Tuple) error {
-	return c.push(source, datasource.OpDelete, tuple, nil)
+	return c.push(source, datasource.OpDelete, tuple, nil, "")
 }
 
 // PushUpdate delivers an update descriptor.
 func (c *Client) PushUpdate(source string, old, new types.Tuple) error {
-	return c.push(source, datasource.OpUpdate, old, new)
+	return c.push(source, datasource.OpUpdate, old, new, "")
 }
 
-func (c *Client) push(source string, op datasource.Op, old, new types.Tuple) error {
+// PushInsertTraced is PushInsert with trace propagation: the client
+// begins a trace here and the server continues it through
+// capture→action, sampling forced. The returned context string
+// ("tm1-<id>-<flags>") identifies the trace in the server's /statusz
+// ring (Record.TraceParent).
+func (c *Client) PushInsertTraced(source string, tuple types.Tuple) (string, error) {
+	ctx := trace.FormatContext(trace.NewTraceID(), trace.FlagSampled)
+	return ctx, c.push(source, datasource.OpInsert, nil, tuple, ctx)
+}
+
+// PushDeleteTraced is PushDelete with trace propagation.
+func (c *Client) PushDeleteTraced(source string, tuple types.Tuple) (string, error) {
+	ctx := trace.FormatContext(trace.NewTraceID(), trace.FlagSampled)
+	return ctx, c.push(source, datasource.OpDelete, tuple, nil, ctx)
+}
+
+// PushUpdateTraced is PushUpdate with trace propagation.
+func (c *Client) PushUpdateTraced(source string, old, new types.Tuple) (string, error) {
+	ctx := trace.FormatContext(trace.NewTraceID(), trace.FlagSampled)
+	return ctx, c.push(source, datasource.OpUpdate, old, new, ctx)
+}
+
+func (c *Client) push(source string, op datasource.Op, old, new types.Tuple, traceCtx string) error {
 	req := &wire.Request{
 		Op:      "push",
 		Source:  source,
 		TokenOp: op.String(),
 		Old:     wire.FromTuple(old),
 		New:     wire.FromTuple(new),
+		Trace:   traceCtx,
 	}
 	_, err := c.roundTrip(req)
 	return err

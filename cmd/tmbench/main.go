@@ -34,10 +34,12 @@ import (
 	"triggerman/internal/datasource"
 	"triggerman/internal/discrim"
 	"triggerman/internal/expr"
+	"triggerman/internal/metrics"
 	"triggerman/internal/minisql"
 	"triggerman/internal/parser"
 	"triggerman/internal/predindex"
 	"triggerman/internal/profile"
+	"triggerman/internal/slo"
 	"triggerman/internal/storage"
 	"triggerman/internal/types"
 	"triggerman/internal/workload"
@@ -155,7 +157,7 @@ func main() {
 	experiments := map[string]func(int){
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
 		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
-		"e13": e13, "scaling": scaling, "latency": latency,
+		"e13": e13, "scaling": scaling, "latency": latency, "slo": sloSmoke,
 	}
 	if *exp == "all" {
 		keys := make([]string, 0, len(experiments))
@@ -862,16 +864,40 @@ func scaling(scale int) {
 	}
 }
 
+// latClass is one priority class's latency summary within a latRow.
+type latClass struct {
+	Fired  int   `json:"fired"`
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	P999Ns int64 `json:"p999_ns"`
+}
+
 // latRow is one open-loop latency observation for BENCH_latency.json.
+// The aggregate percentiles cover both classes; the per-class blocks
+// separate the interactive contract from batch background work.
 type latRow struct {
-	RatePerSec float64 `json:"rate_per_s"`
-	Sent       int     `json:"sent"`
-	Fired      int     `json:"fired"`
-	Rejected   int     `json:"rejected"`
-	Shed       int64   `json:"shed"`
-	P50Ns      int64   `json:"p50_ns"`
-	P99Ns      int64   `json:"p99_ns"`
-	P999Ns     int64   `json:"p999_ns"`
+	RatePerSec  float64  `json:"rate_per_s"`
+	Sent        int      `json:"sent"`
+	Fired       int      `json:"fired"`
+	Rejected    int      `json:"rejected"`
+	Shed        int64    `json:"shed"`
+	P50Ns       int64    `json:"p50_ns"`
+	P99Ns       int64    `json:"p99_ns"`
+	P999Ns      int64    `json:"p999_ns"`
+	Interactive latClass `json:"interactive"`
+	Batch       latClass `json:"batch"`
+}
+
+// classSummary sorts one class's samples and reduces them to a
+// latClass block.
+func classSummary(lats []time.Duration) latClass {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return latClass{
+		Fired:  len(lats),
+		P50Ns:  percentile(lats, 0.50).Nanoseconds(),
+		P99Ns:  percentile(lats, 0.99).Nanoseconds(),
+		P999Ns: percentile(lats, 0.999).Nanoseconds(),
+	}
 }
 
 // percentile reads the q-quantile from a sorted duration slice.
@@ -890,7 +916,10 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 // protocol) drives one stream source while a FireHook timestamps each
 // firing against the capture time carried in the tuple's salary column.
 // Admission control is on, so overload shows up as rejected sends
-// rather than unbounded queues.
+// rather than unbounded queues. A second batch-class source runs at a
+// quarter of the interactive rate so the report separates the
+// interactive latency contract from background work (the two-class
+// split /sloz monitors in production).
 func latency(scale int) {
 	header("latency", "open-loop arrival latency under admission control")
 	var rates []float64
@@ -908,9 +937,9 @@ func latency(scale int) {
 	if len(rates) == 0 {
 		log.Fatal("tmbench: -arrival lists no rates")
 	}
-	fmt.Printf("open loop: %v per rate, drivers: 4, soft/hard watermarks 4096/16384\n", openLoopDur)
-	fmt.Printf("%-12s %8s %8s %8s %12s %12s %12s\n",
-		"rate/s", "sent", "fired", "rejected", "p50", "p99", "p999")
+	fmt.Printf("open loop: %v per rate, drivers: 4, soft/hard watermarks 4096/16384, batch at rate/4\n", openLoopDur)
+	fmt.Printf("%-12s %8s %8s %8s %12s %12s %12s %12s %12s\n",
+		"rate/s", "sent", "fired", "rejected", "p50", "p99", "p999", "inter-p99", "batch-p99")
 	var rows []latRow
 	for _, rate := range rates {
 		sys := sysWith(triggerman.Options{
@@ -920,21 +949,45 @@ func latency(scale int) {
 		if _, err := sys.DefineStreamSource("emp", workload.EmpSchema.Columns...); err != nil {
 			log.Fatal(err)
 		}
+		if _, err := sys.DefineStreamSource("bat",
+			types.Column{Name: "v", Kind: types.KindInt}); err != nil {
+			log.Fatal(err)
+		}
 		load(sys, workload.EqualityTriggers(1, 1))
+		load(sys, []string{
+			"create trigger lat_batch batch from bat when bat.v >= 0 do raise event LB(bat.v)",
+		})
+		batID, _ := sys.Catalog().TriggerByName("lat_batch")
 		var (
-			latMu sync.Mutex
-			lats  []time.Duration
+			latMu    sync.Mutex
+			interLat []time.Duration
+			batchLat []time.Duration
 		)
 		sys.FireHook = func(id uint64, tuples []types.Tuple) {
-			if len(tuples) == 0 || len(tuples[0]) < 2 {
+			if len(tuples) == 0 {
 				return
 			}
-			d := time.Duration(time.Now().UnixNano() - tuples[0][1].Int())
+			// Both sources carry the capture instant in a tuple column:
+			// bat.v for the batch trigger, emp's salary column otherwise.
+			var capture int64
+			if id == batID {
+				capture = tuples[0][0].Int()
+			} else if len(tuples[0]) >= 2 {
+				capture = tuples[0][1].Int()
+			} else {
+				return
+			}
+			d := time.Duration(time.Now().UnixNano() - capture)
 			latMu.Lock()
-			lats = append(lats, d)
+			if id == batID {
+				batchLat = append(batchLat, d)
+			} else {
+				interLat = append(interLat, d)
+			}
 			latMu.Unlock()
 		}
 		src := mustSource(sys, "emp")
+		bat := mustSource(sys, "bat")
 		interval := time.Duration(float64(time.Second) / rate)
 		n := int(rate * openLoopDur.Seconds())
 		rejected := 0
@@ -949,26 +1002,38 @@ func latency(scale int) {
 			if err != nil {
 				if errors.Is(err, admission.ErrOverload) {
 					rejected++
-					continue
+				} else {
+					log.Fatal(err)
 				}
-				log.Fatal(err)
+			}
+			if i%4 == 0 {
+				err := bat.Push(datasource.Token{Op: datasource.OpInsert,
+					New: types.Tuple{types.NewInt(time.Now().UnixNano())}})
+				if err != nil && !errors.Is(err, admission.ErrOverload) {
+					log.Fatal(err)
+				}
 			}
 		}
 		sys.Drain()
 		shed := sys.Stats().TokensShed
 		latMu.Lock()
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		p50 := percentile(lats, 0.50)
-		p99 := percentile(lats, 0.99)
-		p999 := percentile(lats, 0.999)
-		fired := len(lats)
+		all := append(append([]time.Duration(nil), interLat...), batchLat...)
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		p50 := percentile(all, 0.50)
+		p99 := percentile(all, 0.99)
+		p999 := percentile(all, 0.999)
+		fired := len(all)
+		inter := classSummary(interLat)
+		batch := classSummary(batchLat)
 		latMu.Unlock()
-		fmt.Printf("%-12.0f %8d %8d %8d %12s %12s %12s\n",
-			rate, n, fired, rejected, p50, p99, p999)
+		fmt.Printf("%-12.0f %8d %8d %8d %12s %12s %12s %12s %12s\n",
+			rate, n, fired, rejected, p50, p99, p999,
+			time.Duration(inter.P99Ns), time.Duration(batch.P99Ns))
 		if jsonMode {
 			rows = append(rows, latRow{
 				RatePerSec: rate, Sent: n, Fired: fired, Rejected: rejected, Shed: shed,
 				P50Ns: p50.Nanoseconds(), P99Ns: p99.Nanoseconds(), P999Ns: p999.Nanoseconds(),
+				Interactive: inter, Batch: batch,
 			})
 		}
 		sys.Close()
@@ -982,5 +1047,80 @@ func latency(scale int) {
 			log.Fatalf("tmbench: %v", err)
 		}
 		fmt.Printf("wrote BENCH_latency.json (%d rows)\n", len(rows))
+	}
+}
+
+// sloRow is the SLO-evaluation smoke artifact (BENCH_slo.json): one
+// synthetic objective with a known bad fraction and the engine's
+// verdict on it.
+type sloRow struct {
+	Objective     string `json:"objective"`
+	Total         int64  `json:"total"`
+	Good          int64  `json:"good"`
+	FastBurnMilli int64  `json:"fast_burn_milli"`
+	Burning       bool   `json:"burning"`
+	ExpectedMilli int64  `json:"expected_milli"`
+}
+
+// sloSmoke checks the burn-rate math end to end with a synthetic
+// histogram: 5% of observations blow a 50ms cutoff against a 99%
+// target, so the burn rate must come out at 0.05/0.01 = 5x and the
+// fast window (threshold 2x here) must fire. A wrong verdict is a
+// fatal error — this experiment is the CI guard for the SLO engine,
+// not a measurement.
+func sloSmoke(scale int) {
+	header("slo", "SLO burn-rate evaluation smoke (synthetic histogram)")
+	ms := int64(time.Millisecond)
+	h := metrics.NewHistogram([]int64{1 * ms, 5 * ms, 10 * ms, 50 * ms, 100 * ms, 500 * ms})
+	n := 100 * scale
+	for i := 0; i < n; i++ {
+		if i%20 == 19 { // 5% bad
+			h.Observe(200 * time.Millisecond)
+		} else {
+			h.Observe(2 * time.Millisecond)
+		}
+	}
+	clock := time.Unix(1_000_000, 0)
+	eng := slo.New(slo.Config{
+		Tick:    time.Second,
+		Windows: []slo.WindowPair{{Name: "fast", Short: 10 * time.Second, Long: time.Minute, Burn: 2.0}},
+		Now:     func() time.Time { return clock },
+	})
+	if err := eng.Add(slo.Objective{
+		Name:      "smoke-p99",
+		Target:    0.99,
+		Threshold: 50 * time.Millisecond,
+		Source:    slo.HistogramSource{H: h, Cutoff: 50 * time.Millisecond},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	// Two ticks: a baseline snapshot, then one a tick later so the
+	// window has a delta to evaluate.
+	eng.Tick()
+	clock = clock.Add(time.Second)
+	eng.Tick()
+	st := eng.Snapshot()[0]
+	fast := st.Windows[0]
+	fmt.Printf("%-12s %8s %8s %12s %8s\n", "objective", "total", "good", "fast-burn", "burning")
+	fmt.Printf("%-12s %8d %8d %11.2fx %8v\n",
+		st.Name, st.Total, st.Good, float64(fast.ShortBurnMilli)/1000, st.Burning)
+	const expect = 5000 // 5% bad / 1% budget, milli
+	if fast.ShortBurnMilli < expect-100 || fast.ShortBurnMilli > expect+100 {
+		log.Fatalf("tmbench: slo smoke: fast burn %d milli, want ~%d", fast.ShortBurnMilli, expect)
+	}
+	if !st.Burning {
+		log.Fatal("tmbench: slo smoke: objective not burning at 5x over a 2x threshold")
+	}
+	if jsonMode {
+		row := sloRow{Objective: st.Name, Total: st.Total, Good: st.Good,
+			FastBurnMilli: fast.ShortBurnMilli, Burning: st.Burning, ExpectedMilli: expect}
+		body, err := json.MarshalIndent([]sloRow{row}, "", "  ")
+		if err != nil {
+			log.Fatalf("tmbench: marshal slo: %v", err)
+		}
+		if err := os.WriteFile("BENCH_slo.json", append(body, '\n'), 0o644); err != nil {
+			log.Fatalf("tmbench: %v", err)
+		}
+		fmt.Println("wrote BENCH_slo.json (1 row)")
 	}
 }

@@ -398,7 +398,7 @@ func TestClosedGuards(t *testing.T) {
 	if err := src.Insert(types.Tuple{types.NewInt(1)}); err != errClosed {
 		t.Errorf("Insert after close = %v", err)
 	}
-	if err := sys.PushToken("s", 0, nil, nil); err != errClosed {
+	if err := sys.PushToken("s", 0, nil, nil, ""); err != errClosed {
 		t.Errorf("PushToken after close = %v", err)
 	}
 	if err := sys.CreateTrigger(`create trigger x from s when s.v >= 0 do raise event X(s.v)`); err != errClosed {

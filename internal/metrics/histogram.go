@@ -35,6 +35,29 @@ var DefaultLatencyBounds = []int64{
 	int64(10 * time.Second),
 }
 
+// Exemplar links one histogram bucket to a concrete recent
+// observation: the trace sequence number that produced it, the
+// observed value, and when it landed. A p999 bucket in /statusz is an
+// abstract count; its exemplar is a trace you can actually open.
+type Exemplar struct {
+	Seq     uint64        `json:"seq"`
+	Value   time.Duration `json:"value_ns"`
+	At      int64         `json:"at_unix_ns"`
+	UpperNs int64         `json:"bucket_upper_ns"` // bucket edge; 0 for +Inf
+}
+
+// exemplarCell is one bucket's lock-free exemplar slot. Fields are
+// written independently (three atomic stores), so a reader racing a
+// writer may see fields from two different observations — each field
+// is still a real recent observation in this bucket, which is all a
+// debugging pointer needs. A seqlock would buy exactness the use case
+// does not require at the price of hot-path fencing.
+type exemplarCell struct {
+	seq atomic.Uint64
+	ns  atomic.Int64
+	at  atomic.Int64
+}
+
 // Histogram is a fixed-bucket latency histogram. Observations are
 // durations in nanoseconds; buckets hold counts of observations at or
 // below each upper bound, with one implicit overflow bucket (+Inf).
@@ -45,6 +68,10 @@ type Histogram struct {
 	buckets []atomic.Int64
 	sum     atomic.Int64
 	count   atomic.Int64
+	// exemplars holds one recent traced observation per bucket
+	// (including +Inf), populated only by ObserveEx so plain Observe
+	// stays three atomic adds.
+	exemplars []exemplarCell
 }
 
 // NewHistogram builds a histogram with the given sorted upper bounds in
@@ -54,8 +81,9 @@ func NewHistogram(bounds []int64) *Histogram {
 		bounds = DefaultLatencyBounds
 	}
 	return &Histogram{
-		bounds:  bounds,
-		buckets: make([]atomic.Int64, len(bounds)+1), // +1 = +Inf overflow
+		bounds:    bounds,
+		buckets:   make([]atomic.Int64, len(bounds)+1), // +1 = +Inf overflow
+		exemplars: make([]exemplarCell, len(bounds)+1),
 	}
 }
 
@@ -68,6 +96,112 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[h.bucketOf(ns)].Add(1)
 	h.sum.Add(ns)
 	h.count.Add(1)
+}
+
+// ObserveEx records one duration and stamps the landing bucket's
+// exemplar with the trace sequence number that produced it. Seq 0
+// (an untraced observation) degrades to a plain Observe.
+func (h *Histogram) ObserveEx(d time.Duration, seq uint64) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	b := h.bucketOf(ns)
+	h.buckets[b].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+	if seq != 0 {
+		ex := &h.exemplars[b]
+		ex.seq.Store(seq)
+		ex.ns.Store(ns)
+		ex.at.Store(time.Now().UnixNano())
+	}
+}
+
+// exemplarAt reads one bucket's exemplar; ok is false when the bucket
+// never received a traced observation.
+func (h *Histogram) exemplarAt(b int) (Exemplar, bool) {
+	ex := &h.exemplars[b]
+	seq := ex.seq.Load()
+	if seq == 0 {
+		return Exemplar{}, false
+	}
+	e := Exemplar{Seq: seq, Value: time.Duration(ex.ns.Load()), At: ex.at.Load()}
+	if b < len(h.bounds) {
+		e.UpperNs = h.bounds[b]
+	}
+	return e, true
+}
+
+// Exemplars returns every populated bucket exemplar, lowest bucket
+// first.
+func (h *Histogram) Exemplars() []Exemplar {
+	var out []Exemplar
+	for b := range h.exemplars {
+		if e, ok := h.exemplarAt(b); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// QuantileExemplar resolves the q-quantile to the exemplar of the
+// bucket holding that order statistic — the concrete recent trace
+// behind an abstract percentile. When the quantile bucket itself holds
+// no traced observation, it falls back to the nearest populated bucket
+// at or above it (tail quantiles care about "at least this slow"), and
+// failing that the nearest below. ok is false when the histogram has
+// no exemplars at all.
+func (h *Histogram) QuantileExemplar(q float64) (Exemplar, bool) {
+	cum, total := h.snapshot()
+	if total == 0 {
+		return Exemplar{}, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	target := 0
+	for i, c := range cum {
+		if c >= rank {
+			target = i
+			break
+		}
+	}
+	for b := target; b < len(h.exemplars); b++ {
+		if e, ok := h.exemplarAt(b); ok {
+			return e, true
+		}
+	}
+	for b := target - 1; b >= 0; b-- {
+		if e, ok := h.exemplarAt(b); ok {
+			return e, true
+		}
+	}
+	return Exemplar{}, false
+}
+
+// CountAtOrBelow reports how many observations landed in buckets whose
+// upper bound is <= d — the "good" count for a latency SLO with
+// threshold d. The bucket edge rounds the threshold down, so the count
+// is conservative: an observation is only counted good when its whole
+// bucket is provably under the threshold.
+func (h *Histogram) CountAtOrBelow(d time.Duration) int64 {
+	ns := int64(d)
+	var good int64
+	for i, bound := range h.bounds {
+		if bound > ns {
+			break
+		}
+		good += h.buckets[i].Load()
+	}
+	return good
 }
 
 // bucketOf binary-searches the bucket index whose upper bound is the

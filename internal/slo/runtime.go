@@ -1,0 +1,166 @@
+package slo
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"triggerman/internal/metrics"
+)
+
+// RuntimeConfig tunes a RuntimeSampler.
+type RuntimeConfig struct {
+	// Registry receives the tman_runtime_* instruments; nil disables
+	// metric export (Snapshot still works).
+	Registry *metrics.Registry
+	// Interval between samples (default 5s).
+	Interval time.Duration
+	// Tokens, when set, reports cumulative tokens processed so the
+	// sampler can derive allocations per token — the baseline for
+	// ROADMAP item 5's allocation attack. Nil leaves that gauge at 0.
+	Tokens func() int64
+}
+
+// RuntimeStats is one sampled view of the Go runtime, JSON-shaped for
+// /statusz.
+type RuntimeStats struct {
+	HeapAllocBytes      int64 `json:"heap_alloc_bytes"`
+	HeapSysBytes        int64 `json:"heap_sys_bytes"`
+	Goroutines          int64 `json:"goroutines"`
+	NumGC               int64 `json:"gc_total"`
+	GCPauseTotalNs      int64 `json:"gc_pause_total_ns"`
+	LastGCPauseNs       int64 `json:"gc_pause_last_ns"`
+	MallocsTotal        int64 `json:"mallocs_total"`
+	AllocsPerTokenMilli int64 `json:"allocs_per_token_milli"`
+	SampledAtUnixNs     int64 `json:"sampled_at_unix_ns"`
+}
+
+// RuntimeSampler periodically reads runtime memory statistics into
+// atomic cells, feeding /statusz and the registry without putting
+// ReadMemStats (a stop-the-world-ish call) on any request path.
+type RuntimeSampler struct {
+	cfg RuntimeConfig
+
+	heapAlloc   atomic.Int64
+	heapSys     atomic.Int64
+	goroutines  atomic.Int64
+	numGC       atomic.Int64
+	pauseTotal  atomic.Int64
+	pauseLast   atomic.Int64
+	mallocs     atomic.Int64
+	perTokMilli atomic.Int64
+	sampledAt   atomic.Int64
+
+	mu       sync.Mutex
+	started  bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewRuntimeSampler builds a sampler and registers its instruments. It
+// takes one immediate sample so gauges are never zero-before-first-tick.
+func NewRuntimeSampler(cfg RuntimeConfig) *RuntimeSampler {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Second
+	}
+	r := &RuntimeSampler{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	if reg := cfg.Registry; reg != nil {
+		reg.GaugeFunc("tman_runtime_heap_alloc_bytes", "live heap bytes at last sample",
+			r.heapAlloc.Load)
+		reg.GaugeFunc("tman_runtime_heap_sys_bytes", "heap bytes obtained from the OS",
+			r.heapSys.Load)
+		reg.GaugeFunc("tman_runtime_goroutines", "goroutines at last sample",
+			r.goroutines.Load)
+		reg.CounterFunc("tman_runtime_gc_total", "completed GC cycles",
+			r.numGC.Load)
+		reg.CounterFunc("tman_runtime_gc_pause_total_ns", "cumulative GC stop-the-world pause",
+			r.pauseTotal.Load)
+		reg.GaugeFunc("tman_runtime_gc_pause_last_ns", "most recent GC pause",
+			r.pauseLast.Load)
+		reg.GaugeFunc("tman_runtime_allocs_per_token_milli",
+			"cumulative heap allocations per processed token, in thousandths",
+			r.perTokMilli.Load)
+	}
+	r.Sample()
+	return r
+}
+
+// Sample takes one reading now.
+func (r *RuntimeSampler) Sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.heapAlloc.Store(int64(ms.HeapAlloc))
+	r.heapSys.Store(int64(ms.HeapSys))
+	r.goroutines.Store(int64(runtime.NumGoroutine()))
+	r.numGC.Store(int64(ms.NumGC))
+	r.pauseTotal.Store(int64(ms.PauseTotalNs))
+	if ms.NumGC > 0 {
+		r.pauseLast.Store(int64(ms.PauseNs[(ms.NumGC+255)%256]))
+	}
+	r.mallocs.Store(int64(ms.Mallocs))
+	if r.cfg.Tokens != nil {
+		if n := r.cfg.Tokens(); n > 0 {
+			r.perTokMilli.Store(int64(ms.Mallocs) * 1000 / n)
+		}
+	}
+	r.sampledAt.Store(time.Now().UnixNano())
+}
+
+// Snapshot returns the latest sampled values.
+func (r *RuntimeSampler) Snapshot() RuntimeStats {
+	if r == nil {
+		return RuntimeStats{}
+	}
+	return RuntimeStats{
+		HeapAllocBytes:      r.heapAlloc.Load(),
+		HeapSysBytes:        r.heapSys.Load(),
+		Goroutines:          r.goroutines.Load(),
+		NumGC:               r.numGC.Load(),
+		GCPauseTotalNs:      r.pauseTotal.Load(),
+		LastGCPauseNs:       r.pauseLast.Load(),
+		MallocsTotal:        r.mallocs.Load(),
+		AllocsPerTokenMilli: r.perTokMilli.Load(),
+		SampledAtUnixNs:     r.sampledAt.Load(),
+	}
+}
+
+// Start launches the sampling loop.
+func (r *RuntimeSampler) Start() {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.mu.Unlock()
+	go func() {
+		defer close(r.done)
+		tk := time.NewTicker(r.cfg.Interval)
+		defer tk.Stop()
+		for {
+			select {
+			case <-tk.C:
+				r.Sample()
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the sampling loop and waits for it (idempotent; a no-op
+// when Start never ran).
+func (r *RuntimeSampler) Stop() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	started := r.started
+	r.mu.Unlock()
+	r.stopOnce.Do(func() { close(r.stop) })
+	if started {
+		<-r.done
+	}
+}

@@ -1,0 +1,210 @@
+package slo
+
+import (
+	"testing"
+	"time"
+
+	"triggerman/internal/metrics"
+)
+
+// fakeSource is a hand-cranked cumulative counter pair.
+type fakeSource struct{ total, good int64 }
+
+func (f *fakeSource) Totals() (int64, int64) { return f.total, f.good }
+
+// burnEvent captures one OnEvent invocation's key fields.
+type burnEvent struct {
+	objective, window, state string
+}
+
+func parseEvent(t *testing.T, event string, args []any) burnEvent {
+	t.Helper()
+	if event != "slo.burn" {
+		t.Fatalf("unexpected event %q", event)
+	}
+	ev := burnEvent{}
+	for i := 0; i+1 < len(args); i += 2 {
+		switch args[i] {
+		case "objective":
+			ev.objective = args[i+1].(string)
+		case "window":
+			ev.window = args[i+1].(string)
+		case "state":
+			ev.state = args[i+1].(string)
+		}
+	}
+	return ev
+}
+
+// TestBurnRateLifecycle drives a synthetic objective through healthy →
+// burning → recovered and checks verdicts, events, gauges, and budget.
+func TestBurnRateLifecycle(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	clock := func() time.Time { return now }
+	var events []burnEvent
+	reg := metrics.NewRegistry()
+	eng := New(Config{
+		Registry: reg,
+		Tick:     10 * time.Second,
+		Windows: []WindowPair{
+			{Name: "fast", Short: time.Minute, Long: 5 * time.Minute, Burn: 2},
+		},
+		Now: clock,
+		OnEvent: func(event string, args ...any) {
+			events = append(events, parseEvent(t, event, args))
+		},
+	})
+	src := &fakeSource{}
+	if err := eng.Add(Objective{Name: "p99", Class: "interactive", Target: 0.9, Threshold: 10 * time.Millisecond, Source: src}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Add(Objective{Name: "p99", Target: 0.9, Source: src}); err == nil {
+		t.Fatal("duplicate objective accepted")
+	}
+
+	tick := func(total, good int64) {
+		src.total += total
+		src.good += good
+		now = now.Add(10 * time.Second)
+		eng.Tick()
+	}
+
+	// Healthy: 10 ticks of all-good traffic.
+	for i := 0; i < 10; i++ {
+		tick(100, 100)
+	}
+	st := eng.Snapshot()[0]
+	if st.Burning || st.Windows[0].ShortBurnMilli != 0 {
+		t.Fatalf("healthy status = %+v", st)
+	}
+	if st.BudgetRemainingMilli != 1000 {
+		t.Fatalf("healthy budget = %d, want 1000", st.BudgetRemainingMilli)
+	}
+
+	// Burn: 50% bad (5× the 10%% budget) until both windows exceed 2×.
+	for i := 0; i < 8; i++ {
+		tick(100, 50)
+	}
+	st = eng.Snapshot()[0]
+	if !st.Burning || !st.Windows[0].Burning {
+		t.Fatalf("burning status = %+v", st)
+	}
+	// Short window now sees only bad ticks: burn 0.5/0.1 = 5×.
+	if got := st.Windows[0].ShortBurnMilli; got < 4500 || got > 5500 {
+		t.Fatalf("short burn = %d milli, want ≈5000", got)
+	}
+	if st.BudgetRemainingMilli >= 1000 {
+		t.Fatalf("burning budget = %d, want < 1000", st.BudgetRemainingMilli)
+	}
+	if len(events) != 1 || events[0] != (burnEvent{"p99", "fast", "firing"}) {
+		t.Fatalf("events = %+v, want one firing", events)
+	}
+	if v, ok := reg.Value("tman_slo_burning", metrics.L("objective", "p99")); !ok || v != 1 {
+		t.Fatalf("tman_slo_burning = %d ok=%v, want 1", v, ok)
+	}
+
+	// Recover: all-good ticks push the short window back under.
+	for i := 0; i < 8; i++ {
+		tick(100, 100)
+	}
+	st = eng.Snapshot()[0]
+	if st.Burning {
+		t.Fatalf("recovered status = %+v", st)
+	}
+	if len(events) != 2 || events[1] != (burnEvent{"p99", "fast", "resolved"}) {
+		t.Fatalf("events = %+v, want firing then resolved", events)
+	}
+	if v, _ := reg.Value("tman_slo_burning", metrics.L("objective", "p99")); v != 0 {
+		t.Fatalf("tman_slo_burning = %d after recovery, want 0", v)
+	}
+}
+
+// TestHistogramSource checks the histogram adapter's conservative good
+// count drives the expected burn verdict (the CI smoke's logic).
+func TestHistogramSource(t *testing.T) {
+	h := metrics.NewHistogram(nil)
+	for i := 0; i < 95; i++ {
+		h.Observe(2 * time.Millisecond) // good
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(200 * time.Millisecond) // bad
+	}
+	src := HistogramSource{H: h, Cutoff: 10 * time.Millisecond}
+	total, good := src.Totals()
+	if total != 100 || good != 95 {
+		t.Fatalf("totals = (%d, %d), want (100, 95)", total, good)
+	}
+
+	// 5%% bad against a 99%% target = burn 5× — over threshold 2 on
+	// every window once history exists.
+	now := time.Unix(0, 0)
+	eng := New(Config{
+		Tick:    time.Second,
+		Windows: []WindowPair{{Name: "fast", Short: 5 * time.Second, Long: 30 * time.Second, Burn: 2}},
+		Now:     func() time.Time { return now },
+	})
+	if err := eng.Add(Objective{Name: "hist", Target: 0.99, Threshold: 10 * time.Millisecond, Source: src}); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(time.Second)
+	eng.Tick()
+	st := eng.Snapshot()[0]
+	if !st.Burning {
+		t.Fatalf("synthetic histogram did not burn: %+v", st)
+	}
+	if got := st.Windows[0].ShortBurnMilli; got < 4990 || got > 5010 {
+		t.Fatalf("burn = %d milli, want ≈5000", got)
+	}
+}
+
+// TestSnapshotBeforeTick checks never-evaluated objectives report a
+// sane zero state.
+func TestSnapshotBeforeTick(t *testing.T) {
+	eng := New(Config{})
+	if err := eng.Add(Objective{Name: "idle", Target: 0.99, Source: &fakeSource{}}); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Snapshot()[0]
+	if st.Name != "idle" || st.Burning || st.BudgetRemainingMilli != 1000 {
+		t.Fatalf("pre-tick status = %+v", st)
+	}
+	// Stop without Start must not hang.
+	eng.Stop()
+}
+
+// TestAddValidation checks objective validation.
+func TestAddValidation(t *testing.T) {
+	eng := New(Config{})
+	if err := eng.Add(Objective{Name: "", Target: 0.9, Source: &fakeSource{}}); err == nil {
+		t.Fatal("nameless objective accepted")
+	}
+	if err := eng.Add(Objective{Name: "x", Target: 0.9}); err == nil {
+		t.Fatal("sourceless objective accepted")
+	}
+	if err := eng.Add(Objective{Name: "x", Target: 1.5, Source: &fakeSource{}}); err == nil {
+		t.Fatal("target outside (0,1) accepted")
+	}
+}
+
+// TestRuntimeSampler checks sampling populates the snapshot and the
+// registry instruments.
+func TestRuntimeSampler(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tokens := int64(1000)
+	rs := NewRuntimeSampler(RuntimeConfig{
+		Registry: reg,
+		Tokens:   func() int64 { return tokens },
+	})
+	defer rs.Stop()
+	rs.Sample()
+	st := rs.Snapshot()
+	if st.HeapAllocBytes <= 0 || st.Goroutines <= 0 || st.MallocsTotal <= 0 {
+		t.Fatalf("snapshot = %+v", st)
+	}
+	if st.AllocsPerTokenMilli <= 0 {
+		t.Fatalf("allocs per token = %d, want > 0", st.AllocsPerTokenMilli)
+	}
+	if v, ok := reg.Value("tman_runtime_heap_alloc_bytes"); !ok || v <= 0 {
+		t.Fatalf("heap gauge = %d ok=%v", v, ok)
+	}
+}

@@ -130,6 +130,12 @@ type Task struct {
 
 	// attempt counts completed runs of this task (retry bookkeeping).
 	attempt int
+	// submitted is stamped by push so runTask can measure how long the
+	// task waited in the run queue before a driver picked it up — the
+	// scheduler-wait half of the queue-wait/service decomposition. A
+	// requeued retry is re-stamped: each incarnation's wait is its own
+	// observation.
+	submitted time.Time
 }
 
 // Config tunes the driver pool.
@@ -273,6 +279,9 @@ type Pool struct {
 	// Registry-backed instruments (nil without Config.Metrics).
 	kindCounters [4]*metrics.Counter
 	taskHist     *metrics.Histogram
+	// waitHists record submit→run wait per priority queue, indexed by
+	// Priority (High, Low).
+	waitHists [2]*metrics.Histogram
 }
 
 // waiter is one parked driver's wake-up channel (capacity 1 so a wake
@@ -297,6 +306,11 @@ func New(cfg Config) *Pool {
 		}
 		p.taskHist = reg.Histogram("tman_task_duration_seconds",
 			"task execution time (one attempt)", nil)
+		for pr := High; pr <= Low; pr++ {
+			p.waitHists[pr] = reg.Histogram("tman_task_wait_seconds",
+				"task wait in the run queue, submit to first run",
+				nil, metrics.L("pri", pr.String()))
+		}
 		reg.GaugeFunc("tman_task_queue_depth", "tasks queued, not yet running",
 			func() int64 { return int64(p.QueueLen()) })
 		reg.CounterFunc("tman_task_steals_total", "tasks taken from another driver's shard",
@@ -356,6 +370,7 @@ func (p *Pool) shardFor(t Task) *shard {
 // push enqueues t on its shard and wakes one parked driver. Callers
 // handle closed-state and pending accounting.
 func (p *Pool) push(t Task) {
+	t.submitted = time.Now()
 	s := p.shardFor(t)
 	s.mu.Lock()
 	s.queueFor(t).Push(t)
@@ -622,8 +637,15 @@ func (p *Pool) runTask(t Task, s *shard) {
 		}
 	}
 	var begin time.Time
-	if p.taskHist != nil {
+	if p.taskHist != nil || p.waitHists[0] != nil {
 		begin = time.Now()
+		idx := High
+		if t.Pri == Low {
+			idx = Low
+		}
+		if h := p.waitHists[idx]; h != nil && !t.submitted.IsZero() {
+			h.Observe(begin.Sub(t.submitted))
+		}
 	}
 	err := p.invoke(t)
 	if t.Serial {

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"fmt"
+	mrand "math/rand/v2"
+	"strconv"
+	"strings"
+)
+
+// Wire-level trace context: a compact traceparent-style header that
+// lets a span begun in a client application continue through
+// capture→action on the server — and, when the catalog is sharded
+// across nodes, across forwarded tokens too. The format is
+//
+//	tm1-<16 hex id>-<2 hex flags>
+//
+// mirroring W3C traceparent's version-id-flags shape without the 16
+// byte trace ID (one processor, 64 bits of id is plenty) or the
+// parent-span field (the queue sequence number plays that role once
+// the token is enqueued).
+
+// FlagSampled marks a context whose originator wants the token traced
+// regardless of the server's sampling rate: the client paid for the
+// header, the server honors it.
+const FlagSampled = 0x01
+
+// contextVersion is the header prefix; unknown versions are rejected
+// so a future format change cannot be silently misparsed.
+const contextVersion = "tm1"
+
+// NewTraceID draws a nonzero 64-bit trace identifier.
+func NewTraceID() uint64 {
+	for {
+		if id := mrand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// FormatContext renders a trace context header.
+func FormatContext(id uint64, flags byte) string {
+	return fmt.Sprintf("%s-%016x-%02x", contextVersion, id, flags)
+}
+
+// ParseContext parses a trace context header. An empty string is not
+// an error — it parses to id 0 (no context), so call sites can pass
+// the wire field through unconditionally.
+func ParseContext(s string) (id uint64, flags byte, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	parts := strings.Split(s, "-")
+	if len(parts) != 3 || len(parts[1]) != 16 || len(parts[2]) != 2 {
+		return 0, 0, fmt.Errorf("trace: malformed context %q", s)
+	}
+	if parts[0] != contextVersion {
+		return 0, 0, fmt.Errorf("trace: unsupported context version %q", parts[0])
+	}
+	id, err = strconv.ParseUint(parts[1], 16, 64)
+	if err != nil || id == 0 {
+		return 0, 0, fmt.Errorf("trace: bad trace id in %q", s)
+	}
+	f, err := strconv.ParseUint(parts[2], 16, 8)
+	if err != nil {
+		return 0, 0, fmt.Errorf("trace: bad flags in %q", s)
+	}
+	return id, byte(f), nil
+}

@@ -1,0 +1,41 @@
+package trace
+
+import "testing"
+
+// TestContextRoundTrip checks Format/Parse are inverses.
+func TestContextRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	s := FormatContext(id, FlagSampled)
+	gotID, gotFlags, err := ParseContext(s)
+	if err != nil || gotID != id || gotFlags != FlagSampled {
+		t.Fatalf("round trip %q → id=%x flags=%x err=%v", s, gotID, gotFlags, err)
+	}
+}
+
+// TestParseContextEmpty checks the no-context fast path is not an error.
+func TestParseContextEmpty(t *testing.T) {
+	id, flags, err := ParseContext("")
+	if id != 0 || flags != 0 || err != nil {
+		t.Fatalf("empty context → id=%d flags=%d err=%v", id, flags, err)
+	}
+}
+
+// TestParseContextRejects checks malformed headers fail loudly rather
+// than misparse.
+func TestParseContextRejects(t *testing.T) {
+	bad := []string{
+		"tm1",                        // too few parts
+		"tm2-0000000000000001-01",    // unknown version
+		"tm1-0001-01",                // short id
+		"tm1-0000000000000000-01",    // zero id
+		"tm1-000000000000000g-01",    // non-hex id
+		"tm1-0000000000000001-1",     // short flags
+		"tm1-0000000000000001-zz",    // non-hex flags
+		"tm1-0000000000000001-01-xx", // too many parts
+	}
+	for _, s := range bad {
+		if _, _, err := ParseContext(s); err == nil {
+			t.Errorf("ParseContext(%q) accepted malformed header", s)
+		}
+	}
+}

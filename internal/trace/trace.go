@@ -29,9 +29,17 @@ const (
 	// StageCapture is apply-entry → token durably enqueued (includes
 	// the persistent queue write).
 	StageCapture Stage = iota
-	// StageDequeue is enqueued → dequeued by a driver: queue residence
-	// plus the dequeue operation itself.
+	// StageDequeue is enqueued → dequeued by a driver: the token's
+	// queue-wait. It is pure residence time — the work between capture
+	// and dequeue is the queue, nothing else — so a trace whose dequeue
+	// stage dominates was delayed by backlog, not by slow processing.
+	// Record.QueueWaitNs is derived from it.
 	StageDequeue
+	// StageTaskWait is time a per-token task (a SourceFIFO serial
+	// dispatch, a condition partition, a spawned rule action) sat in
+	// the driver pool's run queue between submit and first run —
+	// scheduler wait, distinct from the token queue's StageDequeue.
+	StageTaskWait
 	// StageMatch is the predicate-index probe (§5.4's match pass).
 	StageMatch
 	// StagePropagate is alpha-memory maintenance plus incremental
@@ -55,6 +63,8 @@ func (s Stage) String() string {
 		return "capture"
 	case StageDequeue:
 		return "dequeue"
+	case StageTaskWait:
+		return "taskwait"
 	case StageMatch:
 		return "match"
 	case StagePropagate:
@@ -89,6 +99,10 @@ type Span struct {
 	seq    uint64
 	source int32
 	op     string
+	class  string
+	// parent is the wire-propagated trace id for a token that began
+	// life in a client application (0 for locally originated tokens).
+	parent uint64
 	start  time.Time
 	// lastEvent is the previous sequential stamp (ns offset from
 	// start), used by Mark to compute capture/dequeue durations.
@@ -128,6 +142,24 @@ func (sp *Span) observe(st Stage, d time.Duration) {
 	}
 }
 
+// Context renders the span's wire context for onward propagation (to a
+// forwarded token, or echoed back to the client): the parent id when
+// the span was begun remotely, otherwise the span's own seq. Nil spans
+// render empty. Nil-safe.
+func (sp *Span) Context() string {
+	if sp == nil {
+		return ""
+	}
+	id := sp.parent
+	if id == 0 {
+		id = sp.seq
+	}
+	if id == 0 {
+		return ""
+	}
+	return FormatContext(id, FlagSampled)
+}
+
 // Retain adds a reference for a concurrent consumer (a partition task
 // holding the span). Nil-safe.
 func (sp *Span) Retain() {
@@ -157,12 +189,24 @@ type StageStat struct {
 
 // Record is one completed token trace, JSON-friendly for /statusz.
 type Record struct {
-	Seq    uint64        `json:"seq"`
-	Source int32         `json:"source"`
-	Op     string        `json:"op"`
-	Start  time.Time     `json:"start"`
-	Total  time.Duration `json:"total_ns"`
-	Stages []StageStat   `json:"stages"`
+	Seq    uint64    `json:"seq"`
+	Source int32     `json:"source"`
+	Op     string    `json:"op"`
+	Class  string    `json:"class,omitempty"`
+	Start  time.Time `json:"start"`
+	// TraceParent is the wire-propagated context for a client-
+	// originated token (empty otherwise): the same id the client put
+	// on its push request, so one trace crosses the wire boundary.
+	TraceParent string        `json:"traceparent,omitempty"`
+	Total       time.Duration `json:"total_ns"`
+	// QueueWaitNs and ServiceNs decompose Total: wait is time spent
+	// sitting in queues (token queue residence + driver-pool run-queue
+	// wait), service is everything else (capture, match, propagate,
+	// action, deliver). A slow trace whose wait dominates was a backlog
+	// victim; one whose service dominates was itself expensive.
+	QueueWaitNs int64       `json:"queue_wait_ns"`
+	ServiceNs   int64       `json:"service_ns"`
+	Stages      []StageStat `json:"stages"`
 }
 
 // HasStage reports whether the trace recorded the named stage.
@@ -198,6 +242,12 @@ type Config struct {
 	// without the sweep each occurrence would pin a slot forever.
 	// Default 1 minute.
 	StaleAfter time.Duration
+	// ClassOf, when set, labels each span with its source's priority
+	// class ("interactive"/"batch"), and end-to-end durations are
+	// additionally recorded into per-class histograms
+	// (tman_token_duration_seconds{class=...}) — the series the SLO
+	// engine evaluates objectives against.
+	ClassOf func(source int32) string
 }
 
 // Tracer samples tokens and tracks their spans across the queue
@@ -207,13 +257,24 @@ type Tracer struct {
 	stageHists [numStages]*metrics.Histogram
 	totalHist  *metrics.Histogram
 	started    *metrics.Counter
-	dropped    *metrics.Counter
+
+	// droppedN and sweptN are kept as plain atomics (not registry
+	// counters) so /statusz can report them with or without a registry;
+	// the registry exports them as callback views.
+	droppedN atomic.Int64
+	sweptN   atomic.Int64
 
 	tick atomic.Uint64 // sampling clock
 
 	mu      sync.Mutex
 	active  map[uint64]*Span
 	nActive atomic.Int32 // fast-path skip when nothing is traced
+
+	// classHists interns per-class end-to-end histograms lazily (the
+	// class vocabulary is tiny: interactive, batch). Guarded by mu —
+	// only complete() and ClassHistogram touch it, never the stamp
+	// hot path.
+	classHists map[string]*metrics.Histogram
 
 	ring  []Record
 	next  int
@@ -235,9 +296,10 @@ func New(cfg Config) *Tracer {
 		cfg.SampleEvery = 1
 	}
 	t := &Tracer{
-		cfg:    cfg,
-		active: make(map[uint64]*Span),
-		ring:   make([]Record, cfg.RingSize),
+		cfg:        cfg,
+		active:     make(map[uint64]*Span),
+		classHists: make(map[string]*metrics.Histogram),
+		ring:       make([]Record, cfg.RingSize),
 	}
 	if reg := cfg.Registry; reg != nil {
 		for _, st := range Stages() {
@@ -247,8 +309,12 @@ func New(cfg Config) *Tracer {
 		t.totalHist = reg.Histogram("tman_token_duration_seconds",
 			"end-to-end token processing time, capture to completion", nil)
 		t.started = reg.Counter("tman_traces_started_total", "tokens sampled for tracing")
-		t.dropped = reg.Counter("tman_traces_dropped_total",
-			"tokens not traced because the active-span table was full")
+		reg.CounterFunc("tman_traces_dropped_total",
+			"tokens not traced because the active-span table was full",
+			t.droppedN.Load)
+		reg.CounterFunc("tman_traces_swept_total",
+			"orphaned spans evicted from the full active-span table",
+			t.sweptN.Load)
 	}
 	return t
 }
@@ -268,13 +334,42 @@ func (t *Tracer) Begin(source int32, op string) *Span {
 	}
 	if int(t.nActive.Load()) >= t.cfg.MaxActive {
 		if t.sweepStale() == 0 {
-			if t.dropped != nil {
-				t.dropped.Inc()
-			}
+			t.droppedN.Add(1)
 			return nil
 		}
 	}
+	sp := t.newSpan(source, op)
+	return sp
+}
+
+// BeginRemote starts a span for a token that arrived over the wire
+// carrying a trace context. A sampled parent forces tracing — the
+// client paid for the header, the server honors it regardless of
+// SampleEvery (though fully-disabled tracing still wins). An unsampled
+// or absent parent (id 0) falls back to Begin's normal sampling.
+func (t *Tracer) BeginRemote(source int32, op string, parent uint64, flags byte) *Span {
+	if parent == 0 || flags&FlagSampled == 0 {
+		return t.Begin(source, op)
+	}
+	if t == nil || t.cfg.SampleEvery <= 0 {
+		return nil
+	}
+	if int(t.nActive.Load()) >= t.cfg.MaxActive {
+		if t.sweepStale() == 0 {
+			t.droppedN.Add(1)
+			return nil
+		}
+	}
+	sp := t.newSpan(source, op)
+	sp.parent = parent
+	return sp
+}
+
+func (t *Tracer) newSpan(source int32, op string) *Span {
 	sp := &Span{tracer: t, source: source, op: op, start: time.Now()}
+	if fn := t.cfg.ClassOf; fn != nil {
+		sp.class = fn(source)
+	}
 	sp.refs.Store(1)
 	if t.started != nil {
 		t.started.Inc()
@@ -313,6 +408,9 @@ func (t *Tracer) sweepStale() int {
 		}
 	}
 	t.mu.Unlock()
+	if freed > 0 {
+		t.sweptN.Add(int64(freed))
+	}
 	return freed
 }
 
@@ -334,24 +432,38 @@ func (t *Tracer) Dequeued(seq uint64) *Span {
 func (t *Tracer) complete(sp *Span) {
 	total := time.Since(sp.start)
 	if t.totalHist != nil {
-		t.totalHist.Observe(total)
+		t.totalHist.ObserveEx(total, sp.seq)
 	}
 	rec := Record{
 		Seq:    sp.seq,
 		Source: sp.source,
 		Op:     sp.op,
+		Class:  sp.class,
 		Start:  sp.start,
 		Total:  total,
+	}
+	if sp.parent != 0 {
+		rec.TraceParent = FormatContext(sp.parent, FlagSampled)
 	}
 	for _, st := range Stages() {
 		c := sp.stages[st].count.Load()
 		if c == 0 {
 			continue
 		}
+		ns := sp.stages[st].total.Load()
+		// Queue-wait vs service decomposition: dequeue (token-queue
+		// residence) and taskwait (driver-pool run-queue wait) are
+		// waiting; every other stage is work.
+		switch st {
+		case StageDequeue, StageTaskWait:
+			rec.QueueWaitNs += ns
+		default:
+			rec.ServiceNs += ns
+		}
 		rec.Stages = append(rec.Stages, StageStat{
 			Stage: st.String(),
 			Count: c,
-			Total: time.Duration(sp.stages[st].total.Load()),
+			Total: time.Duration(ns),
 		})
 	}
 	t.mu.Lock()
@@ -359,12 +471,90 @@ func (t *Tracer) complete(sp *Span) {
 		delete(t.active, sp.seq)
 		t.nActive.Add(-1)
 	}
+	if sp.class != "" {
+		if h := t.classHistLocked(sp.class); h != nil {
+			h.ObserveEx(total, sp.seq)
+		}
+	}
 	t.ring[t.next] = rec
 	t.next = (t.next + 1) % len(t.ring)
 	if t.count < len(t.ring) {
 		t.count++
 	}
 	t.mu.Unlock()
+}
+
+// classHistLocked interns the per-class end-to-end histogram; caller
+// holds t.mu. Returns nil without a registry.
+func (t *Tracer) classHistLocked(class string) *metrics.Histogram {
+	if h, ok := t.classHists[class]; ok {
+		return h
+	}
+	if t.cfg.Registry == nil {
+		return nil
+	}
+	h := t.cfg.Registry.Histogram("tman_token_duration_seconds",
+		"end-to-end token processing time, capture to completion", nil,
+		metrics.L("class", class))
+	t.classHists[class] = h
+	return h
+}
+
+// ClassHistogram returns the end-to-end duration histogram for a
+// priority class — the series SLO objectives evaluate against. It
+// interns on first use so an objective can be wired before the first
+// token of its class completes. Nil when the tracer has no registry.
+func (t *Tracer) ClassHistogram(class string) *metrics.Histogram {
+	if t == nil || t.cfg.Registry == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.classHistLocked(class)
+}
+
+// TotalHistogram returns the aggregate end-to-end duration histogram
+// (nil without a registry) — the exemplar source for /statusz.
+func (t *Tracer) TotalHistogram() *metrics.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.totalHist
+}
+
+// Dropped reports tokens not traced because the active table was full.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.droppedN.Load()
+}
+
+// Swept reports orphaned spans evicted by the stale sweep.
+func (t *Tracer) Swept() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.sweptN.Load()
+}
+
+// RecordBySeq finds the completed trace for a sequence number in the
+// ring (most recent wins). ok is false when the trace has been evicted
+// or never existed — exemplars outlive the ring, so callers must
+// tolerate a miss.
+func (t *Tracer) RecordBySeq(seq uint64) (Record, bool) {
+	if t == nil || seq == 0 {
+		return Record{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 0; i < t.count; i++ {
+		idx := (t.next - 1 - i + len(t.ring)) % len(t.ring)
+		if t.ring[idx].Seq == seq {
+			return t.ring[idx], true
+		}
+	}
+	return Record{}, false
 }
 
 // Recent returns the completed traces retained in the ring, oldest

@@ -23,6 +23,7 @@ func TestSpanLifecycle(t *testing.T) {
 	if got != sp {
 		t.Fatalf("Dequeued returned %p, want %p", got, sp)
 	}
+	sp.Observe(StageTaskWait, 3*time.Microsecond)
 	sp.Observe(StageMatch, 5*time.Microsecond)
 	sp.Observe(StagePropagate, time.Microsecond)
 	sp.Observe(StageAction, 10*time.Microsecond)
@@ -50,6 +51,91 @@ func TestSpanLifecycle(t *testing.T) {
 	}
 	if v, ok := reg.Value("tman_traces_started_total"); !ok || v != 1 {
 		t.Fatalf("traces started = %d ok=%v", v, ok)
+	}
+	// Decomposition: dequeue+taskwait are wait, everything else service.
+	if rec.QueueWaitNs <= 0 || rec.ServiceNs <= 0 {
+		t.Fatalf("decomposition wait=%d service=%d, want both > 0", rec.QueueWaitNs, rec.ServiceNs)
+	}
+	var wantWait, wantSvc int64
+	for _, st := range rec.Stages {
+		if st.Stage == "dequeue" || st.Stage == "taskwait" {
+			wantWait += int64(st.Total)
+		} else {
+			wantSvc += int64(st.Total)
+		}
+	}
+	if rec.QueueWaitNs != wantWait || rec.ServiceNs != wantSvc {
+		t.Fatalf("decomposition wait=%d/%d service=%d/%d", rec.QueueWaitNs, wantWait, rec.ServiceNs, wantSvc)
+	}
+	// The end-to-end histogram carries an exemplar pointing back at the
+	// span's seq.
+	exs := tr.TotalHistogram().Exemplars()
+	if len(exs) != 1 || exs[0].Seq != 42 {
+		t.Fatalf("exemplars = %+v, want one with seq 42", exs)
+	}
+	if r, ok := tr.RecordBySeq(42); !ok || r.Seq != 42 {
+		t.Fatalf("RecordBySeq(42) = %+v ok=%v", r, ok)
+	}
+}
+
+// TestClassHistogram checks ClassOf labels records and routes durations
+// into per-class histograms.
+func TestClassHistogram(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(Config{Registry: reg, ClassOf: func(src int32) string {
+		if src == 1 {
+			return "interactive"
+		}
+		return "batch"
+	}})
+	for seq, src := range map[uint64]int32{10: 1, 11: 2, 12: 1} {
+		sp := tr.Begin(src, "insert")
+		tr.Attach(seq, sp)
+		sp.Finish()
+	}
+	if n := tr.ClassHistogram("interactive").Count(); n != 2 {
+		t.Fatalf("interactive count = %d, want 2", n)
+	}
+	if n := tr.ClassHistogram("batch").Count(); n != 1 {
+		t.Fatalf("batch count = %d, want 1", n)
+	}
+	for _, rec := range tr.Recent() {
+		want := "batch"
+		if rec.Source == 1 {
+			want = "interactive"
+		}
+		if rec.Class != want {
+			t.Fatalf("seq %d class = %q, want %q", rec.Seq, rec.Class, want)
+		}
+	}
+}
+
+// TestBeginRemote checks a sampled wire context forces tracing and the
+// parent id survives into the record and onward context.
+func TestBeginRemote(t *testing.T) {
+	tr := New(Config{SampleEvery: 1000}) // would sample almost nothing locally
+	id := NewTraceID()
+	sp := tr.BeginRemote(1, "insert", id, FlagSampled)
+	if sp == nil {
+		t.Fatal("sampled remote parent did not force a span")
+	}
+	tr.Attach(7, sp)
+	if got, want := sp.Context(), FormatContext(id, FlagSampled); got != want {
+		t.Fatalf("Context() = %q, want %q", got, want)
+	}
+	sp.Finish()
+	rec, ok := tr.RecordBySeq(7)
+	if !ok || rec.TraceParent != FormatContext(id, FlagSampled) {
+		t.Fatalf("record = %+v ok=%v, want traceparent %s", rec, ok, FormatContext(id, FlagSampled))
+	}
+	// Unsampled parent falls back to normal sampling (1-in-1000 → nil).
+	if sp := tr.BeginRemote(1, "insert", id, 0); sp != nil {
+		t.Fatal("unsampled parent bypassed sampling")
+	}
+	// Disabled tracing wins over a sampled parent.
+	off := New(Config{SampleEvery: -1})
+	if sp := off.BeginRemote(1, "insert", id, FlagSampled); sp != nil {
+		t.Fatal("disabled tracer produced a remote span")
 	}
 }
 

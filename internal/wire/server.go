@@ -18,8 +18,9 @@ type Backend interface {
 	// Subscribe registers for events.
 	Subscribe(name string, buffer int) (*event.Subscription, error)
 	// PushToken delivers an update descriptor from a data source
-	// program.
-	PushToken(source string, op datasource.Op, old, new []Value) error
+	// program. trace carries the request's optional trace context
+	// header ("" for untraced pushes).
+	PushToken(source string, op datasource.Op, old, new []Value, trace string) error
 	// StatsText renders a stats summary.
 	StatsText() string
 }
@@ -177,7 +178,7 @@ func (s *Server) dispatch(sess *session, req *Request) *Response {
 		if err != nil {
 			return fail(err)
 		}
-		if err := s.backend.PushToken(req.Source, op, req.Old, req.New); err != nil {
+		if err := s.backend.PushToken(req.Source, op, req.Old, req.New, req.Trace); err != nil {
 			return fail(err)
 		}
 		resp.OK = true

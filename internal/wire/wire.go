@@ -38,6 +38,10 @@ type Request struct {
 	// Old and New carry the tuple images for "push".
 	Old []Value `json:"old,omitempty"`
 	New []Value `json:"new,omitempty"`
+	// Trace is an optional trace context header for "push"
+	// (trace.FormatContext form, "tm1-<id>-<flags>"): a span begun in
+	// the client continues through capture→action on the server.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Response is a server-to-client message. Unsolicited event

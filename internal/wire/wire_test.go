@@ -94,7 +94,7 @@ func (f *fakeBackend) Command(text string) (string, error) { return "ran: " + te
 func (f *fakeBackend) Subscribe(name string, buffer int) (*event.Subscription, error) {
 	return f.bus.Subscribe(name, buffer)
 }
-func (f *fakeBackend) PushToken(source string, op datasource.Op, old, new []Value) error {
+func (f *fakeBackend) PushToken(source string, op datasource.Op, old, new []Value, trace string) error {
 	f.bus.Raise("pushed", types.Tuple{types.NewString(source)}, 0)
 	return nil
 }

@@ -365,6 +365,12 @@ func TestChaosTelemetry(t *testing.T) {
 	// Stage p99s must exist and be sane (well under the histogram's
 	// 10s overflow bound for a microsecond-scale pipeline).
 	for _, st := range trace.Stages() {
+		if st == trace.StageTaskWait {
+			// Only stamped by per-token task fan-out (SourceFIFO,
+			// partitions, ActionTasks); this config batches tokens
+			// through one task, so the stage is legitimately empty.
+			continue
+		}
 		p99, ok := sys.Tracer().StageQuantile(st, 0.99)
 		if !ok {
 			t.Errorf("stage %s has no recorded durations", st)

@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"triggerman/internal/eventlog"
+	"triggerman/internal/metrics"
+	"triggerman/internal/slo"
 	"triggerman/internal/trace"
 )
 
@@ -51,6 +53,7 @@ func (s *System) ListenOps(addr string) (string, error) {
 	mux.HandleFunc("/triggerz", s.handleTriggerz)
 	mux.HandleFunc("/eventz", s.handleEventz)
 	mux.HandleFunc("/loadz", s.handleLoadz)
+	mux.HandleFunc("/sloz", s.handleSloz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -111,7 +114,26 @@ type statuszPayload struct {
 	Errors          int64          `json:"errors"`
 	RecentErrors    []string       `json:"recent_errors"`
 	ActiveTraces    int            `json:"active_traces"`
+	TracesDropped   int64          `json:"traces_dropped"`
+	TracesSwept     int64          `json:"traces_swept"`
 	RecentTraces    []trace.Record `json:"recent_traces"`
+	// Exemplars links end-to-end latency buckets to concrete recent
+	// traces: each entry is one populated histogram bucket's most recent
+	// traced observation, with the full trace record when it is still in
+	// the ring.
+	Exemplars []exemplarView `json:"exemplars"`
+	// Runtime is the latest runtime telemetry sample (zero when the
+	// sampler is disabled).
+	Runtime slo.RuntimeStats `json:"runtime"`
+}
+
+// exemplarView is one histogram bucket's exemplar resolved against the
+// trace ring: a p999 bucket becomes a trace you can actually read.
+type exemplarView struct {
+	metrics.Exemplar
+	// Trace is the exemplar's full record when seq is still in the
+	// ring (exemplars outlive the ring, so it can be absent).
+	Trace *trace.Record `json:"trace,omitempty"`
 }
 
 // Default /statusz bounds: scrapes want a glance, not a dump. Larger
@@ -169,12 +191,57 @@ func (s *System) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Errors:          st.Errors,
 		RecentErrors:    make([]string, 0, len(recentErrs)),
 		ActiveTraces:    s.tracer.ActiveCount(),
+		TracesDropped:   s.tracer.Dropped(),
+		TracesSwept:     s.tracer.Swept(),
 		RecentTraces:    traces,
+		Exemplars:       []exemplarView{},
+		Runtime:         s.rts.Snapshot(),
 	}
 	for _, rec := range recentErrs {
 		p.RecentErrors = append(p.RecentErrors, rec.String())
 	}
+	if h := s.tracer.TotalHistogram(); h != nil {
+		for _, ex := range h.Exemplars() {
+			v := exemplarView{Exemplar: ex}
+			if rec, ok := s.tracer.RecordBySeq(ex.Seq); ok {
+				rec := rec
+				v.Trace = &rec
+			}
+			p.Exemplars = append(p.Exemplars, v)
+		}
+	}
 	writeJSON(w, p)
+}
+
+// slozPayload is the /sloz JSON shape: the engine's window pairs and
+// one verdict per objective.
+type slozPayload struct {
+	Enabled    bool                  `json:"enabled"`
+	Windows    []slo.WindowPair      `json:"windows"`
+	Objectives []slo.ObjectiveStatus `json:"objectives"`
+}
+
+// handleSloz reports each objective's burn-rate verdict. With the SLO
+// engine disabled it returns {"enabled": false} so dashboards can
+// probe unconditionally.
+func (s *System) handleSloz(w http.ResponseWriter, r *http.Request) {
+	if s.isClosed() {
+		http.Error(w, errClosed.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if s.sloEng == nil {
+		writeJSON(w, slozPayload{Windows: []slo.WindowPair{}, Objectives: []slo.ObjectiveStatus{}})
+		return
+	}
+	// Evaluate on demand so a scrape never reads a verdict staler than
+	// the request (the tick loop still drives event transitions between
+	// scrapes).
+	s.sloEng.Tick()
+	writeJSON(w, slozPayload{
+		Enabled:    true,
+		Windows:    s.sloEng.Windows(),
+		Objectives: s.sloEng.Snapshot(),
+	})
 }
 
 // writeJSON renders one indented JSON payload.

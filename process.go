@@ -72,7 +72,16 @@ func (s *System) taskPri(src int32) taskq.Priority {
 // tokens cascaded by in-flight actions must still be accepted during
 // that drain or they would be lost mid-shutdown.
 func (s *System) apply(tok datasource.Token) error {
-	sp := s.tracer.Begin(tok.SourceID, tok.Op.String())
+	return s.applyTraced(tok, 0, 0)
+}
+
+// applyTraced is apply with an optional wire-propagated trace context:
+// a nonzero sampled parent continues the client's trace through
+// capture→action (the span's record carries the client's id, its
+// metrics land under the server's seq — one trace, both sides of the
+// wire).
+func (s *System) applyTraced(tok datasource.Token, parent uint64, flags byte) error {
+	sp := s.tracer.BeginRemote(tok.SourceID, tok.Op.String(), parent, flags)
 	// Enqueue under the queue retry policy: a transient page fault must
 	// not lose a captured update. A retried enqueue whose first attempt
 	// partially succeeded can duplicate the token — delivery is
@@ -179,10 +188,23 @@ func (s *System) dispatchOrdered() error {
 		for _, tok := range batch {
 			tok := tok
 			sp := s.tracer.Dequeued(tok.Seq)
+			// Traced tokens time their serial task's run-queue wait — the
+			// scheduler half of the queue-wait decomposition (StageDequeue
+			// covered the token-queue half).
+			var submitAt time.Time
+			if sp != nil {
+				submitAt = time.Now()
+			}
 			serr := s.pool.Submit(taskq.Task{
 				Kind: taskq.ProcessToken, Key: sourceKey(tok.SourceID), Serial: true,
 				Pri: s.taskPri(tok.SourceID),
-				Run: func() error { s.handleToken(tok, -1, sp); return nil },
+				Run: func() error {
+					if sp != nil {
+						sp.Observe(trace.StageTaskWait, time.Since(submitAt))
+					}
+					s.handleToken(tok, -1, sp)
+					return nil
+				},
 			})
 			if serr != nil {
 				s.quarantine(catalog.DeadToken, 0, tok, serr, 1)
@@ -233,12 +255,21 @@ func (s *System) submitPartitionedToken() error {
 		return nil
 	}
 	pri := s.taskPri(tok.SourceID)
+	var submitAt time.Time
+	if sp != nil {
+		submitAt = time.Now()
+	}
 	for p := 0; p < s.partitions; p++ {
 		part := p
 		sp.Retain()
 		if err := s.pool.Submit(taskq.Task{
 			Kind: taskq.TokenConditions, Retry: &s.queueRetry, Pri: pri,
-			Run:    func() error { return s.fireMatches(tok, part, sp) },
+			Run: func() error {
+				if sp != nil {
+					sp.Observe(trace.StageTaskWait, time.Since(submitAt))
+				}
+				return s.fireMatches(tok, part, sp)
+			},
 			OnDone: func(error) { sp.Finish() },
 		}); err != nil {
 			sp.Finish() // the retain for the failed submission
@@ -630,8 +661,18 @@ func (s *System) runCombo(lt catalog.LoadedTrigger, tok datasource.Token, tuples
 		pri = taskq.Low
 	}
 	sp.Retain()
+	var submitAt time.Time
+	if sp != nil {
+		submitAt = time.Now()
+	}
 	err := s.pool.Submit(taskq.Task{
-		Kind: taskq.RunAction, Run: run, Pri: pri,
+		Kind: taskq.RunAction, Pri: pri,
+		Run: func() error {
+			if sp != nil {
+				sp.Observe(trace.StageTaskWait, time.Since(submitAt))
+			}
+			return run()
+		},
 		OnDone: func(error) { sp.Finish() },
 	})
 	if err != nil {

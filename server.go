@@ -5,18 +5,26 @@ import (
 	"net"
 
 	"triggerman/internal/datasource"
+	"triggerman/internal/trace"
 	"triggerman/internal/wire"
 )
 
 // PushToken implements the data source API over the wire: a data source
-// program delivers an update descriptor for a registered source.
-func (s *System) PushToken(source string, op datasource.Op, old, new []wire.Value) error {
+// program delivers an update descriptor for a registered source. A
+// trace context header ("tm1-<id>-<flags>") continues the client's
+// span through capture→action; malformed headers fail the push rather
+// than silently dropping the trace.
+func (s *System) PushToken(source string, op datasource.Op, old, new []wire.Value, traceCtx string) error {
 	if s.isClosed() {
 		return errClosed
 	}
 	src, ok := s.reg.ByName(source)
 	if !ok {
 		return fmt.Errorf("triggerman: unknown data source %q", source)
+	}
+	parent, flags, err := trace.ParseContext(traceCtx)
+	if err != nil {
+		return err
 	}
 	oldT, err := wire.ToTuple(old)
 	if err != nil {
@@ -26,7 +34,7 @@ func (s *System) PushToken(source string, op datasource.Op, old, new []wire.Valu
 	if err != nil {
 		return err
 	}
-	return s.apply(datasource.Token{SourceID: src.ID, Op: op, Old: oldT, New: newT})
+	return s.applyTraced(datasource.Token{SourceID: src.ID, Op: op, Old: oldT, New: newT}, parent, flags)
 }
 
 // StatsText renders a human-readable stats summary for the console's

@@ -43,6 +43,7 @@ import (
 	"triggerman/internal/predindex"
 	"triggerman/internal/profile"
 	"triggerman/internal/retry"
+	"triggerman/internal/slo"
 	"triggerman/internal/storage"
 	"triggerman/internal/taskq"
 	"triggerman/internal/trace"
@@ -178,6 +179,48 @@ type Options struct {
 	EventLogOut io.Writer
 	// EventLogRing bounds the in-memory event ring (default 256).
 	EventLogRing int
+	// DisableSLO turns off the SLO engine and the runtime telemetry
+	// sampler. Both are on by default: one goroutine each, a few
+	// histogram scans per tick.
+	DisableSLO bool
+	// SLOObjectives declares the latency contracts the SLO engine
+	// evaluates (/sloz, tman_slo_* metrics, slo.burn events). Nil takes
+	// the defaults: interactive p99 < 50ms and batch p95 < 500ms,
+	// end-to-end capture→completion per token.
+	SLOObjectives []SLOObjective
+	// SLOTick is the SLO engine's snapshot resolution (default 10s).
+	SLOTick time.Duration
+	// SLOWindows overrides the multi-window burn-rate pairs (default
+	// fast 5m/1h at 14.4× and slow 6h/3d at 1×).
+	SLOWindows []slo.WindowPair
+	// RuntimeSampleEvery is the runtime telemetry sampling interval
+	// (GC pause, heap, allocs per token; default 5s).
+	RuntimeSampleEvery time.Duration
+}
+
+// SLOObjective is one declarative latency contract: "Target fraction
+// of Class-priority tokens complete within Threshold". The engine
+// evaluates it against the per-class end-to-end histogram
+// (tman_token_duration_seconds{class=...}).
+type SLOObjective struct {
+	// Name identifies the objective in /sloz, metrics, and slo.burn
+	// events (e.g. "interactive-p99").
+	Name string
+	// Class is the priority class whose tokens the objective covers:
+	// "interactive" or "batch".
+	Class string
+	// Target is the promised good fraction, e.g. 0.99.
+	Target float64
+	// Threshold is the capture→completion latency cutoff.
+	Threshold time.Duration
+}
+
+// defaultSLOObjectives are the out-of-the-box contracts.
+func defaultSLOObjectives() []SLOObjective {
+	return []SLOObjective{
+		{Name: "interactive-p99", Class: admission.Interactive.String(), Target: 0.99, Threshold: 50 * time.Millisecond},
+		{Name: "batch-p95", Class: admission.Batch.String(), Target: 0.95, Threshold: 500 * time.Millisecond},
+	}
 }
 
 // Stats aggregates subsystem counters.
@@ -249,6 +292,8 @@ type System struct {
 	tracer        *trace.Tracer
 	prof          *profile.Profiler
 	elog          *eventlog.Log
+	sloEng        *slo.Engine
+	rts           *slo.RuntimeSampler
 	cTokensIn     *metrics.Counter
 	cTokensMatch  *metrics.Counter
 	cActionsRun   *metrics.Counter
@@ -357,7 +402,6 @@ func Open(opts Options) (*System, error) {
 		cat:             cat,
 		bus:             event.NewBus(),
 		met:             met,
-		tracer:          trace.New(trace.Config{Registry: met, SampleEvery: sampleEvery}),
 		prof:            prof,
 		elog:            elog,
 		multiVarSources: make(map[int32]int),
@@ -370,6 +414,14 @@ func Open(opts Options) (*System, error) {
 	if sys.tokenBatch <= 0 {
 		sys.tokenBatch = 16
 	}
+	// The tracer resolves each token's priority class at Begin so
+	// end-to-end durations land in per-class histograms — the series the
+	// SLO objectives read.
+	sys.tracer = trace.New(trace.Config{
+		Registry:    met,
+		SampleEvery: sampleEvery,
+		ClassOf:     func(src int32) string { return sys.sourceClass(src).String() },
+	})
 	sys.cTokensIn = met.Counter("tman_tokens_total", "update descriptors captured into the queue")
 	sys.cTokensMatch = met.Counter("tman_matches_total", "token-trigger matches that fired or fed a network")
 	sys.cActionsRun = met.Counter("tman_actions_total", "rule-action executions started")
@@ -430,6 +482,38 @@ func Open(opts Options) (*System, error) {
 	sys.registerViews()
 	// Rebuild the multi-var bookkeeping for recovered triggers.
 	sys.rebuildMultiVar()
+	if !opts.DisableSLO {
+		eng := slo.New(slo.Config{
+			Registry: met,
+			Tick:     opts.SLOTick,
+			Windows:  opts.SLOWindows,
+			OnEvent:  elog.Emit,
+		})
+		objs := opts.SLOObjectives
+		if len(objs) == 0 {
+			objs = defaultSLOObjectives()
+		}
+		for _, o := range objs {
+			if err := eng.Add(slo.Objective{
+				Name:      o.Name,
+				Class:     o.Class,
+				Target:    o.Target,
+				Threshold: o.Threshold,
+				Source:    slo.HistogramSource{H: sys.tracer.ClassHistogram(o.Class), Cutoff: o.Threshold},
+			}); err != nil {
+				return nil, err
+			}
+		}
+		eng.Start()
+		sys.sloEng = eng
+		rts := slo.NewRuntimeSampler(slo.RuntimeConfig{
+			Registry: met,
+			Interval: opts.RuntimeSampleEvery,
+			Tokens:   sys.cTokensIn.Value,
+		})
+		rts.Start()
+		sys.rts = rts
+	}
 	if opts.MetricsAddr != "" {
 		if _, err := sys.ListenOps(opts.MetricsAddr); err != nil {
 			sys.Close()
@@ -702,6 +786,14 @@ func (s *System) Metrics() *metrics.Registry { return s.met }
 // Tracer exposes the token-lifecycle tracer.
 func (s *System) Tracer() *trace.Tracer { return s.tracer }
 
+// SLO exposes the SLO engine (nil when Options.DisableSLO is set; the
+// engine's Snapshot is nil-receiver safe).
+func (s *System) SLO() *slo.Engine { return s.sloEng }
+
+// Runtime exposes the runtime telemetry sampler (nil when
+// Options.DisableSLO is set; Snapshot is nil-receiver safe).
+func (s *System) Runtime() *slo.RuntimeSampler { return s.rts }
+
 // Profile exposes the per-trigger cost-attribution profiler (nil when
 // Options.DisableProfiling is set; profile.Profiler methods are
 // nil-receiver safe).
@@ -851,6 +943,8 @@ func (s *System) Close() error {
 		ops.shutdown()
 		s.elog.Emit("ops.shutdown", "addr", addr)
 	}
+	s.sloEng.Stop()
+	s.rts.Stop()
 	if s.pool != nil {
 		s.pool.Close()
 	}
