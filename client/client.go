@@ -2,14 +2,25 @@
 // (Figure 1): it connects to a trigger processor daemon (cmd/tmand),
 // issues commands, registers for events, receives notifications, and
 // pushes update descriptors through the data source API.
+//
+// Every connection begins with a wire hello handshake (protocol
+// version + node-id exchange), so a client talking to an incompatible
+// server fails fast with a typed *wire.VersionError instead of
+// misparsing frames. With Options.Reconnect the client survives a
+// server restart: a broken connection is redialed under an
+// internal/retry backoff policy on the next call, and event
+// subscriptions are re-established on the new connection.
 package client
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"triggerman/internal/datasource"
+	"triggerman/internal/retry"
 	"triggerman/internal/trace"
 	"triggerman/internal/types"
 	"triggerman/internal/wire"
@@ -23,46 +34,127 @@ type Notification struct {
 	Seq       uint64
 }
 
+// Options tunes a client connection.
+type Options struct {
+	// EventBuffer bounds the local notification queue (default 256).
+	EventBuffer int
+	// Reconnect makes a broken connection redial with backoff instead
+	// of failing every subsequent call. Subscriptions are replayed on
+	// the new connection; in-flight calls at the moment of the break
+	// are retried under Redial. Events() stays open until Close.
+	Reconnect bool
+	// Redial is the backoff policy for reconnect attempts and for the
+	// calls that ride them; nil takes a default of 8 attempts from
+	// 10ms to 1s.
+	Redial *retry.Policy
+	// Node is this endpoint's node id, sent in the hello handshake
+	// ("" for a plain client).
+	Node string
+}
+
+// errClosed reports use of a client after Close.
+var errClosed = errors.New("client: closed")
+
 // Client is one connection to a TriggerMan daemon. Methods are safe for
 // concurrent use.
 type Client struct {
-	conn net.Conn
+	addr string
+	opts Options
 
-	writeMu sync.Mutex
-	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]chan *wire.Response
-	events  chan Notification
-	readErr error
-	closed  chan struct{}
+	writeMu sync.Mutex // serializes frame writes on the current conn
+
+	mu         sync.Mutex // guards the fields below
+	conn       net.Conn   // nil between a break and the next redial
+	gen        uint64     // bumped per connection; readLoop identity
+	nextID     uint64
+	pending    map[uint64]chan *wire.Response
+	subs       map[string]struct{} // replayed after a redial
+	serverNode string
+	readErr    error
+	closed     bool
+
+	redialMu sync.Mutex // single-flights concurrent redials
+
+	events    chan Notification
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
 // Dial connects to a daemon at addr (host:port). eventBuffer bounds the
 // local notification queue.
 func Dial(addr string, eventBuffer int) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWith(addr, Options{EventBuffer: eventBuffer})
+}
+
+// DialWith is Dial with explicit Options.
+func DialWith(addr string, opts Options) (*Client, error) {
+	if opts.EventBuffer < 1 {
+		opts.EventBuffer = 256
+	}
+	c := &Client{
+		addr:    addr,
+		opts:    opts,
+		pending: make(map[uint64]chan *wire.Response),
+		subs:    make(map[string]struct{}),
+		events:  make(chan Notification, opts.EventBuffer),
+		done:    make(chan struct{}),
+	}
+	conn, node, err := connect(addr, opts.Node)
 	if err != nil {
 		return nil, err
 	}
-	if eventBuffer < 1 {
-		eventBuffer = 256
-	}
-	c := &Client{
-		conn:    conn,
-		pending: make(map[uint64]chan *wire.Response),
-		events:  make(chan Notification, eventBuffer),
-		closed:  make(chan struct{}),
-	}
-	go c.readLoop()
+	c.conn = conn
+	c.gen = 1
+	c.serverNode = node
+	go c.readLoop(conn, 1)
 	return c, nil
 }
 
-// Events returns the notification stream. It is closed when the
-// connection drops or Close is called.
+// connect dials addr and performs the hello handshake on the raw
+// stream before any concurrent traffic exists.
+func connect(addr, node string) (net.Conn, string, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	hello := &wire.Request{ID: 1, Op: wire.ReqHello, Version: wire.ProtocolVersion, Node: node}
+	if err := wire.WriteMsg(conn, hello); err != nil {
+		conn.Close()
+		return nil, "", err
+	}
+	var resp wire.Response
+	if err := wire.ReadMsg(conn, &resp); err != nil {
+		conn.Close()
+		return nil, "", err
+	}
+	if !resp.OK {
+		conn.Close()
+		if resp.Version != 0 && resp.Version != wire.ProtocolVersion {
+			return nil, "", &wire.VersionError{Local: wire.ProtocolVersion, Remote: resp.Version}
+		}
+		return nil, "", fmt.Errorf("client: handshake refused: %s", resp.Error)
+	}
+	return conn, resp.Node, nil
+}
+
+// ServerNode returns the node id the server reported in its hello
+// ("" for a standalone server).
+func (c *Client) ServerNode() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serverNode
+}
+
+// Events returns the notification stream. It is closed when Close is
+// called, or — for non-reconnecting clients — when the connection
+// drops.
 func (c *Client) Events() <-chan Notification { return c.events }
 
 // Close disconnects.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.terminate(errClosed)
+	return nil
+}
 
 // Err reports the terminal read error, if the connection has failed.
 func (c *Client) Err() error {
@@ -71,11 +163,36 @@ func (c *Client) Err() error {
 	return c.readErr
 }
 
-func (c *Client) readLoop() {
+// terminate ends the client for good: fails pendings, closes the
+// connection and the events stream. Idempotent.
+func (c *Client) terminate(cause error) {
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		c.closed = true
+		if c.readErr == nil && cause != errClosed {
+			c.readErr = cause
+		}
+		conn := c.conn
+		c.conn = nil
+		for id, ch := range c.pending {
+			close(ch)
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if conn != nil {
+			conn.Close()
+		}
+		close(c.events)
+		close(c.done)
+	})
+}
+
+// readLoop serves one connection (identified by gen) until it breaks.
+func (c *Client) readLoop(conn net.Conn, gen uint64) {
 	var err error
 	for {
 		var resp wire.Response
-		if err = wire.ReadMsg(c.conn, &resp); err != nil {
+		if err = wire.ReadMsg(conn, &resp); err != nil {
 			break
 		}
 		if resp.Event != nil {
@@ -104,52 +221,177 @@ func (c *Client) readLoop() {
 			ch <- &r
 		}
 	}
+	conn.Close()
 	c.mu.Lock()
-	c.readErr = err
-	for id, ch := range c.pending {
-		close(ch)
-		delete(c.pending, id)
+	if c.gen == gen && c.conn == conn {
+		// This is still the live connection: record the break and fail
+		// every in-flight call so reconnecting callers can retry on a
+		// fresh connection.
+		c.conn = nil
+		c.readErr = err
+		for id, ch := range c.pending {
+			close(ch)
+			delete(c.pending, id)
+		}
 	}
 	c.mu.Unlock()
-	close(c.events)
-	close(c.closed)
+	if !c.opts.Reconnect {
+		c.terminate(err)
+	}
 }
 
-// roundTrip sends a request and waits for its response.
+// redialPolicy returns the effective reconnect backoff policy.
+func (c *Client) redialPolicy() retry.Policy {
+	if c.opts.Redial != nil {
+		return *c.opts.Redial
+	}
+	return retry.Policy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second}
+}
+
+// ensureConn returns the live connection, redialing (single-flight)
+// when reconnect is enabled and the previous one broke. Errors come
+// back retry-classified: dial failures transient, version mismatches
+// and use-after-Close permanent.
+func (c *Client) ensureConn() (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, retry.Permanent(errClosed)
+	}
+	if c.conn != nil {
+		conn := c.conn
+		c.mu.Unlock()
+		return conn, nil
+	}
+	if !c.opts.Reconnect {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("client: connection closed")
+		}
+		return nil, retry.Permanent(err)
+	}
+	c.mu.Unlock()
+
+	c.redialMu.Lock()
+	defer c.redialMu.Unlock()
+	// Another caller may have redialed while we waited.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, retry.Permanent(errClosed)
+	}
+	if c.conn != nil {
+		conn := c.conn
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+
+	conn, node, err := connect(c.addr, c.opts.Node)
+	if err != nil {
+		var verr *wire.VersionError
+		if errors.As(err, &verr) {
+			return nil, retry.Permanent(err)
+		}
+		return nil, retry.Transient(err)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return nil, retry.Permanent(errClosed)
+	}
+	c.gen++
+	gen := c.gen
+	c.conn = conn
+	c.serverNode = node
+	resub := make([]string, 0, len(c.subs))
+	for name := range c.subs {
+		resub = append(resub, name)
+	}
+	c.mu.Unlock()
+	go c.readLoop(conn, gen)
+	// Replay subscriptions on the new connection (best effort: a
+	// failure here surfaces on the next Subscribe-dependent call).
+	for _, name := range resub {
+		c.roundTripOnce(&wire.Request{Op: wire.ReqSubscribe, Event: name})
+	}
+	return conn, nil
+}
+
+// roundTrip sends a request and waits for its response. With
+// Options.Reconnect, connection-level failures redial and retry under
+// the backoff policy; server-side error responses never retry.
 func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
+	if !c.opts.Reconnect {
+		return c.roundTripOnce(req)
+	}
+	var resp *wire.Response
+	_, err := c.redialPolicy().Do(func() error {
+		r, err := c.roundTripOnce(req)
+		if err != nil {
+			return err
+		}
+		resp = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// roundTripOnce runs one attempt on the current (or freshly redialed)
+// connection. Errors are retry-classified for the redial loop.
+func (c *Client) roundTripOnce(req *wire.Request) (*wire.Response, error) {
+	conn, err := c.ensureConn()
+	if err != nil {
+		return nil, err
+	}
 	ch := make(chan *wire.Response, 1)
 	c.mu.Lock()
+	if c.conn != conn {
+		// The connection broke between ensureConn and registration.
+		c.mu.Unlock()
+		return nil, retry.Transient(errors.New("client: connection lost"))
+	}
 	c.nextID++
 	req.ID = c.nextID
 	c.pending[req.ID] = ch
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := wire.WriteMsg(c.conn, req)
+	werr := wire.WriteMsg(conn, req)
 	c.writeMu.Unlock()
-	if err != nil {
+	if werr != nil {
 		c.mu.Lock()
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
-		return nil, err
+		// Kick the readLoop off the dead stream so the next attempt
+		// redials instead of racing a half-broken connection.
+		conn.Close()
+		return nil, retry.Transient(werr)
 	}
 	select {
 	case resp, ok := <-ch:
 		if !ok {
-			return nil, fmt.Errorf("client: connection closed")
+			return nil, retry.Transient(errors.New("client: connection lost"))
 		}
 		if !resp.OK {
-			return resp, fmt.Errorf("client: %s", resp.Error)
+			// The server answered: the request reached it and was
+			// refused. Retrying would duplicate work, not fix it.
+			return resp, retry.Permanent(fmt.Errorf("client: %s", resp.Error))
 		}
 		return resp, nil
-	case <-c.closed:
-		return nil, fmt.Errorf("client: connection closed")
+	case <-c.done:
+		return nil, retry.Permanent(errClosed)
 	}
 }
 
 // Command executes one command-language statement remotely.
 func (c *Client) Command(text string) (string, error) {
-	resp, err := c.roundTrip(&wire.Request{Op: "command", Text: text})
+	resp, err := c.roundTrip(&wire.Request{Op: wire.ReqCommand, Text: text})
 	if err != nil {
 		return "", err
 	}
@@ -158,13 +400,13 @@ func (c *Client) Command(text string) (string, error) {
 
 // Ping checks liveness.
 func (c *Client) Ping() error {
-	_, err := c.roundTrip(&wire.Request{Op: "ping"})
+	_, err := c.roundTrip(&wire.Request{Op: wire.ReqPing})
 	return err
 }
 
 // Stats fetches the server's stats summary.
 func (c *Client) Stats() (string, error) {
-	resp, err := c.roundTrip(&wire.Request{Op: "stats"})
+	resp, err := c.roundTrip(&wire.Request{Op: wire.ReqStats})
 	if err != nil {
 		return "", err
 	}
@@ -174,7 +416,7 @@ func (c *Client) Stats() (string, error) {
 // Metrics fetches the server's instrument registry in Prometheus text
 // exposition format.
 func (c *Client) Metrics() (string, error) {
-	resp, err := c.roundTrip(&wire.Request{Op: "metrics"})
+	resp, err := c.roundTrip(&wire.Request{Op: wire.ReqMetrics})
 	if err != nil {
 		return "", err
 	}
@@ -185,7 +427,7 @@ func (c *Client) Metrics() (string, error) {
 // for one trigger; an empty name explains the whole predicate index
 // (every signature's constant-set organization and counters).
 func (c *Client) Explain(trigger string) (string, error) {
-	resp, err := c.roundTrip(&wire.Request{Op: "explain", Text: trigger})
+	resp, err := c.roundTrip(&wire.Request{Op: wire.ReqExplain, Text: trigger})
 	if err != nil {
 		return "", err
 	}
@@ -193,15 +435,56 @@ func (c *Client) Explain(trigger string) (string, error) {
 }
 
 // Subscribe registers for an event by name ("" or "*" = all). Matching
-// notifications arrive on Events().
+// notifications arrive on Events(). Reconnecting clients replay the
+// registration after a redial.
 func (c *Client) Subscribe(name string) error {
-	_, err := c.roundTrip(&wire.Request{Op: "subscribe", Event: name})
+	_, err := c.roundTrip(&wire.Request{Op: wire.ReqSubscribe, Event: name})
+	if err == nil {
+		c.mu.Lock()
+		c.subs[name] = struct{}{}
+		c.mu.Unlock()
+	}
 	return err
 }
 
 // Unsubscribe cancels a registration.
 func (c *Client) Unsubscribe(name string) error {
-	_, err := c.roundTrip(&wire.Request{Op: "unsubscribe", Event: name})
+	_, err := c.roundTrip(&wire.Request{Op: wire.ReqUnsubscribe, Event: name})
+	if err == nil {
+		c.mu.Lock()
+		delete(c.subs, name)
+		c.mu.Unlock()
+	}
+	return err
+}
+
+// DDL ships one catalog statement to the server's cluster layer
+// (wire.ReqDDL): the receiver applies it locally without
+// re-broadcasting. origin names the node that originated the
+// statement.
+func (c *Client) DDL(text, origin string) (string, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.ReqDDL, Text: text, Origin: origin})
+	if err != nil {
+		return "", err
+	}
+	return resp.Output, nil
+}
+
+// Forward ships a token to its owner node (wire.ReqForward): the
+// receiver applies it locally without consulting its own placement
+// ring. traceCtx carries the tm1- trace header across the node
+// boundary ("" for untraced tokens); origin names the sending node.
+func (c *Client) Forward(source string, op datasource.Op, old, new types.Tuple, traceCtx, origin string) error {
+	req := &wire.Request{
+		Op:      wire.ReqForward,
+		Source:  source,
+		TokenOp: op.String(),
+		Old:     wire.FromTuple(old),
+		New:     wire.FromTuple(new),
+		Trace:   traceCtx,
+		Origin:  origin,
+	}
+	_, err := c.roundTrip(req)
 	return err
 }
 
@@ -244,7 +527,7 @@ func (c *Client) PushUpdateTraced(source string, old, new types.Tuple) (string, 
 
 func (c *Client) push(source string, op datasource.Op, old, new types.Tuple, traceCtx string) error {
 	req := &wire.Request{
-		Op:      "push",
+		Op:      wire.ReqPush,
 		Source:  source,
 		TokenOp: op.String(),
 		Old:     wire.FromTuple(old),

@@ -6,6 +6,7 @@ import (
 
 	"triggerman"
 	"triggerman/client"
+	"triggerman/internal/retry"
 	"triggerman/internal/types"
 )
 
@@ -186,6 +187,107 @@ func TestServerSurvivesClientDisconnect(t *testing.T) {
 	}
 	if err := c2.PushInsert("s", types.Tuple{types.NewInt(1)}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// bootServer starts a system + wire server on addr ("127.0.0.1:0" for
+// a fresh port) with a small catalog, returning the bound address and
+// a shutdown func. Used by the restart test to bring the "same" server
+// back on the same port.
+func bootServer(t *testing.T, addr string) (string, func()) {
+	t.Helper()
+	sys, err := triggerman.Open(triggerman.Options{Synchronous: true, Queue: triggerman.MemoryQueue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := sys.Listen(addr)
+	if err != nil {
+		sys.Close()
+		t.Fatal(err)
+	}
+	if _, err := sys.Command("define data source s(x int)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CreateTrigger(`create trigger t from s when s.x > 0 do raise event Tick(s.x)`); err != nil {
+		t.Fatal(err)
+	}
+	return srv.Addr().String(), func() {
+		srv.Close()
+		sys.Close()
+	}
+}
+
+// TestReconnectAcrossServerRestart kills the server mid-session and
+// brings it back on the same port: a reconnecting client's next push
+// must redial under backoff and succeed, and its event subscription
+// must be replayed on the new connection.
+func TestReconnectAcrossServerRestart(t *testing.T) {
+	addr, stop := bootServer(t, "127.0.0.1:0")
+	c, err := client.DialWith(addr, client.Options{
+		EventBuffer: 64,
+		Reconnect:   true,
+		Redial:      &retry.Policy{MaxAttempts: 40, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Subscribe("Tick"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PushInsert("s", types.Tuple{types.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if n := waitEvent(t, c); n.Args[0].Int() != 1 {
+		t.Fatalf("pre-restart event = %+v", n)
+	}
+
+	stop() // server goes away; the client's connection breaks
+	addr2, stop2 := bootServer(t, addr)
+	defer stop2()
+	if addr2 != addr {
+		t.Fatalf("restarted server bound %s, want %s", addr2, addr)
+	}
+
+	// The next push rides the redial: no error surfaces to the caller.
+	if err := c.PushInsert("s", types.Tuple{types.NewInt(2)}); err != nil {
+		t.Fatalf("push across restart: %v", err)
+	}
+	if n := waitEvent(t, c); n.Args[0].Int() != 2 {
+		t.Fatalf("post-restart event = %+v (subscription not replayed?)", n)
+	}
+	// Server-side errors still never retry or mask.
+	if err := c.PushInsert("ghost", types.Tuple{types.NewInt(1)}); err == nil {
+		t.Error("push to unknown source should fail")
+	}
+}
+
+// TestNonReconnectClientFailsFast pins the legacy contract: without
+// Options.Reconnect a broken connection terminates the client.
+func TestNonReconnectClientFailsFast(t *testing.T) {
+	addr, stop := bootServer(t, "127.0.0.1:0")
+	c := dial(t, addr)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := c.Ping(); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ping kept succeeding after server shutdown")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case _, ok := <-c.Events():
+		if ok {
+			t.Error("unexpected event")
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("events channel not closed after connection loss")
 	}
 }
 

@@ -7,30 +7,40 @@
 //
 //	tmand [-listen :7654] [-db path.db] [-drivers N] [-level 0.5]
 //	      [-memqueue] [-partitions N] [-metrics :9090]
+//	      [-cluster.self id@host:port] [-cluster.peers id@h:p,id@h:p]
+//
+// With -cluster.self the daemon becomes one member of a multi-node
+// cluster: DDL replicates to every peer, tokens route to their
+// source's owner node, and -listen is ignored in favor of the self
+// address.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"triggerman"
+	"triggerman/internal/cluster"
 )
 
 func main() {
 	var (
-		listen     = flag.String("listen", ":7654", "listen address")
-		dbPath     = flag.String("db", "", "database file (empty = in-memory)")
-		drivers    = flag.Int("drivers", 0, "driver count N (0 = from CPUs and -level)")
-		level      = flag.Float64("level", 1.0, "TMAN_CONCURRENCY_LEVEL in (0,1]")
-		memQueue   = flag.Bool("memqueue", false, "use the main-memory token queue (faster, not crash-safe)")
-		partitions = flag.Int("partitions", 0, "condition-level partitions (Figure 5); 0 = off")
-		cacheSize  = flag.Int("cache", 0, "trigger cache capacity (0 = 16384)")
-		metrics    = flag.String("metrics", "", "ops HTTP address (/metrics, /statusz, /debug/pprof); empty = off")
-		traceEvery = flag.Int("trace-every", 0, "trace every Nth token (0 = 64, 1 = all, negative = off)")
+		listen       = flag.String("listen", ":7654", "listen address (ignored when clustered)")
+		dbPath       = flag.String("db", "", "database file (empty = in-memory)")
+		drivers      = flag.Int("drivers", 0, "driver count N (0 = from CPUs and -level)")
+		level        = flag.Float64("level", 1.0, "TMAN_CONCURRENCY_LEVEL in (0,1]")
+		memQueue     = flag.Bool("memqueue", false, "use the main-memory token queue (faster, not crash-safe)")
+		partitions   = flag.Int("partitions", 0, "condition-level partitions (Figure 5); 0 = off")
+		cacheSize    = flag.Int("cache", 0, "trigger cache capacity (0 = 16384)")
+		metrics      = flag.String("metrics", "", "ops HTTP address (/metrics, /statusz, /debug/pprof); empty = off")
+		traceEvery   = flag.Int("trace-every", 0, "trace every Nth token (0 = 64, 1 = all, negative = off)")
+		clusterSelf  = flag.String("cluster.self", "", "this node's cluster identity, id@host:port (empty = single-node)")
+		clusterPeers = flag.String("cluster.peers", "", "comma-separated peer list, id@host:port,... (self entries are skipped)")
 	)
 	flag.Parse()
 
@@ -46,25 +56,64 @@ func main() {
 	if *memQueue {
 		opts.Queue = triggerman.MemoryQueue
 	}
+
+	var (
+		self  cluster.Member
+		peers []cluster.Member
+		err   error
+	)
+	if *clusterSelf != "" {
+		if self, err = cluster.ParseMember(*clusterSelf); err != nil {
+			log.Fatalf("tmand: %v", err)
+		}
+		if peers, err = cluster.ParseMembers(*clusterPeers); err != nil {
+			log.Fatalf("tmand: %v", err)
+		}
+		opts.NodeID = self.ID
+	}
+
 	sys, err := triggerman.Open(opts)
 	if err != nil {
 		log.Fatalf("tmand: %v", err)
 	}
-	srv, err := sys.Listen(*listen)
-	if err != nil {
-		log.Fatalf("tmand: %v", err)
+
+	var closeServing func()
+	if *clusterSelf != "" {
+		node, err := cluster.New(sys, cluster.Config{Self: self, Peers: peers})
+		if err != nil {
+			log.Fatalf("tmand: %v", err)
+		}
+		ln, err := net.Listen("tcp", self.Addr)
+		if err != nil {
+			log.Fatalf("tmand: %v", err)
+		}
+		srv := node.Serve(ln)
+		node.Start()
+		fmt.Printf("tmand: node %s listening on %s (%d peer(s), db=%q, triggers=%d)\n",
+			self.ID, srv.Addr(), len(node.Ring().Members())-1, *dbPath, sys.Stats().Triggers)
+		closeServing = func() { node.Close() }
+	} else {
+		srv, err := sys.Listen(*listen)
+		if err != nil {
+			log.Fatalf("tmand: %v", err)
+		}
+		fmt.Printf("tmand: listening on %s (db=%q, triggers=%d)\n",
+			srv.Addr(), *dbPath, sys.Stats().Triggers)
+		closeServing = func() { srv.Close() }
 	}
-	fmt.Printf("tmand: listening on %s (db=%q, triggers=%d)\n",
-		srv.Addr(), *dbPath, sys.Stats().Triggers)
 	if addr := sys.OpsAddr(); addr != "" {
-		fmt.Printf("tmand: ops endpoint on http://%s (/metrics /statusz /debug/pprof)\n", addr)
+		pages := "/metrics /statusz /debug/pprof"
+		if *clusterSelf != "" {
+			pages += " /clusterz"
+		}
+		fmt.Printf("tmand: ops endpoint on http://%s (%s)\n", addr, pages)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("tmand: shutting down")
-	srv.Close()
+	closeServing()
 	if err := sys.Close(); err != nil {
 		log.Fatalf("tmand: close: %v", err)
 	}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"triggerman"
+	"triggerman/client"
+	"triggerman/internal/cluster"
+	"triggerman/internal/storage"
+	"triggerman/internal/types"
+)
+
+// clusterExp measures the cluster's scaling claim: the same trigger
+// workload served by one node versus a 3-node source-sharded cluster,
+// each node ingesting its owned sources through its own wire
+// connection into its own durable token queue. Durability is the
+// modelled -synclat commit stall (as in the scaling sweep): ingest
+// capacity is commit-latency-bound per node, so sharding sources
+// across nodes overlaps the stalls — the aggregate 3-node rate must
+// beat the single-node rate from the same run.
+func clusterExp(scale int) {
+	header("cluster", "source-sharded 3-node scaling (durable wire ingest, tokens/s)")
+	const nSources = 6
+	triggersPer := popCap(8 * scale)
+	tokens := popCap(200 * scale)
+	fmt.Printf("sources: %d, triggers/source: %d, tokens/producer: %d, %s commit latency\n",
+		nSources, triggersPer, tokens, syncLat)
+
+	single := runClusterTrial(1, nSources, triggersPer, tokens)
+	multi := runClusterTrial(3, nSources, triggersPer, tokens)
+
+	fmt.Printf("%-22s %12s %14s\n", "topology", "tokens", "tokens/s")
+	fmt.Printf("%-22s %12d %14.0f\n", "single-node", single.tokens, single.rate)
+	fmt.Printf("%-22s %12d %14.0f   (aggregate)\n", "cluster-3node", multi.tokens, multi.rate)
+	if multi.rate > single.rate {
+		fmt.Printf("3-node aggregate beats single-node by %.2fx\n", multi.rate/single.rate)
+	} else {
+		fmt.Printf("WARNING: 3-node aggregate (%.0f/s) did not beat single-node (%.0f/s)\n",
+			multi.rate, single.rate)
+	}
+}
+
+type clusterTrialResult struct {
+	tokens int
+	rate   float64
+}
+
+// runClusterTrial boots an in-process n-member cluster, loads
+// nSources sources each carrying triggersPer equality triggers, and
+// pushes `tokens` tokens per member concurrently — every producer
+// attached to the node that owns its sources, the deployment the
+// placement ring is for.
+func runClusterTrial(n, nSources, triggersPer, tokens int) clusterTrialResult {
+	members := make([]cluster.Member, n)
+	lns := make([]net.Listener, n)
+	for i := range members {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("tmbench: listen: %v", err)
+		}
+		lns[i] = ln
+		members[i] = cluster.Member{ID: fmt.Sprintf("n%d", i+1), Addr: ln.Addr().String()}
+	}
+	dir, err := os.MkdirTemp("", "tmcluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	nodes := make([]*cluster.Node, n)
+	systems := make([]*triggerman.System, n)
+	for i, m := range members {
+		disk, err := storage.OpenFile(filepath.Join(dir, m.ID+".db"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := triggerman.Open(triggerman.Options{
+			NodeID:       m.ID,
+			Disk:         commitLatDisk{DiskManager: disk, lat: syncLat},
+			Queue:        triggerman.PersistentQueue,
+			DurableQueue: true,
+		})
+		if err != nil {
+			log.Fatalf("tmbench: open: %v", err)
+		}
+		node, err := cluster.New(sys, cluster.Config{Self: m, Peers: members})
+		if err != nil {
+			log.Fatalf("tmbench: cluster: %v", err)
+		}
+		node.Serve(lns[i])
+		nodes[i] = node
+		systems[i] = sys
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	defer func() {
+		for i := range nodes {
+			systems[i].Drain()
+			nodes[i].Close()
+			systems[i].Close()
+		}
+	}()
+
+	// DDL through member 1 replicates everywhere.
+	admin, err := client.Dial(members[0].Addr, 4)
+	if err != nil {
+		log.Fatalf("tmbench: dial: %v", err)
+	}
+	defer admin.Close()
+	sources := make([]string, nSources)
+	for i := range sources {
+		src := fmt.Sprintf("feed%d", i)
+		sources[i] = src
+		if _, err := admin.Command(fmt.Sprintf("define data source %s(x int)", src)); err != nil {
+			log.Fatalf("tmbench: ddl: %v", err)
+		}
+		for j := 0; j < triggersPer; j++ {
+			stmt := fmt.Sprintf(
+				"create trigger t_%s_%d from %s when %s.x = %d do raise event Hit_%s_%d(%s.x)",
+				src, j, src, src, j, src, j, src)
+			if _, err := admin.Command(stmt); err != nil {
+				log.Fatalf("tmbench: trigger: %v", err)
+			}
+		}
+	}
+
+	// Each member ingests its own sources (every source has exactly one
+	// owner; a 1-member ring owns them all).
+	ring := nodes[0].Ring()
+	owned := make(map[string][]string, n)
+	for _, src := range sources {
+		o := ring.Owner(src)
+		owned[o] = append(owned[o], src)
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	total := 0
+	for i, m := range members {
+		mine := owned[m.ID]
+		if len(mine) == 0 {
+			continue
+		}
+		total += tokens
+		wg.Add(1)
+		go func(addr string, srcs []string) {
+			defer wg.Done()
+			cli, err := client.Dial(addr, 4)
+			if err != nil {
+				log.Fatalf("tmbench: dial: %v", err)
+			}
+			defer cli.Close()
+			for k := 0; k < tokens; k++ {
+				src := srcs[k%len(srcs)]
+				tu := types.Tuple{types.NewInt(int64(k % triggersPer))}
+				if err := cli.PushInsert(src, tu); err != nil {
+					log.Fatalf("tmbench: push: %v", err)
+				}
+			}
+		}(members[i].Addr, mine)
+	}
+	wg.Wait()
+	el := time.Since(start)
+
+	name := fmt.Sprintf("cluster/%dnode", n)
+	measureRecord("cluster", name, nSources*triggersPer, total, el)
+	return clusterTrialResult{tokens: total, rate: float64(total) / el.Seconds()}
+}
+
+// measureRecord records an externally-timed run in the same artifact
+// shape measure produces (the cluster trial times concurrent pushers
+// itself, so it cannot run inside measure's callback).
+func measureRecord(exp, name string, population, ops int, el time.Duration) {
+	if !jsonMode {
+		return
+	}
+	benchRows[exp] = append(benchRows[exp], benchRow{
+		Name:       name,
+		NsPerOp:    float64(el.Nanoseconds()) / float64(ops),
+		Population: population,
+	})
+}

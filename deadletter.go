@@ -92,6 +92,14 @@ func (s *System) shedToken(tok datasource.Token) {
 	s.cDeadLettered.Inc()
 }
 
+// QuarantineToken parks a whole token in the dead-letter table under
+// the given kind. internal/cluster uses it with catalog.DeadForward
+// for tokens whose owner node is unreachable — accounted and
+// requeueable, never silently lost.
+func (s *System) QuarantineToken(kind string, tok datasource.Token, cause error, attempts int) {
+	s.quarantine(kind, 0, tok, cause, attempts)
+}
+
 // deadLetterCommand implements the console's deadletter command:
 //
 //	deadletter [list]        list quarantined entries

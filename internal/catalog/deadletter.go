@@ -27,6 +27,11 @@ const (
 	// Shed entries carry no failure, only deferral — requeue them once
 	// the source recovers.
 	DeadShed = "shed"
+	// DeadForward is a token that belonged on another cluster node but
+	// could not be forwarded there within the retry budget. Like shed
+	// entries it carries deferral, not failure: requeue it once the
+	// owner node returns and it ships again.
+	DeadForward = "forward"
 )
 
 // DeadLetter is one quarantined work item.

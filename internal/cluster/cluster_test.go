@@ -1,0 +1,497 @@
+// Package cluster_test boots real multi-node clusters — separate
+// Systems, real TCP listeners, the production wire protocol — and
+// exercises the paper's scaling story one level up: catalog
+// replication, owner-directed token forwarding, and zero-loss behavior
+// through a node restart.
+package cluster_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"triggerman"
+	"triggerman/client"
+	"triggerman/internal/catalog"
+	"triggerman/internal/cluster"
+	"triggerman/internal/retry"
+	"triggerman/internal/types"
+)
+
+// firedLog records the first column of every firing on one node, in
+// order (per-source FIFO assertions read it back).
+type firedLog struct {
+	mu   sync.Mutex
+	vals []int64
+}
+
+func (f *firedLog) hook(_ uint64, combo []types.Tuple) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(combo) > 0 && len(combo[0]) > 0 {
+		f.vals = append(f.vals, combo[0].Get(0).Int())
+	}
+}
+
+func (f *firedLog) snapshot() []int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int64(nil), f.vals...)
+}
+
+func (f *firedLog) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.vals)
+}
+
+// tnode is one booted cluster member.
+type tnode struct {
+	id    string
+	addr  string
+	sys   *triggerman.System
+	node  *cluster.Node
+	fired *firedLog
+}
+
+func (n *tnode) stop() {
+	n.node.Close()
+	n.sys.Close()
+}
+
+// testRetry keeps forwarding/dial backoff short so down-node paths
+// resolve in milliseconds, not seconds.
+func testRetry() *retry.Policy {
+	return &retry.Policy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond}
+}
+
+// bootNode opens a System, wraps it in a cluster Node, and serves it
+// on ln. diskPath == "" keeps the catalog in memory.
+func bootNode(t *testing.T, self cluster.Member, members []cluster.Member, ln net.Listener, diskPath string, fired *firedLog) *tnode {
+	t.Helper()
+	sys, err := triggerman.Open(triggerman.Options{
+		Queue:            triggerman.MemoryQueue,
+		Synchronous:      true,
+		NodeID:           self.ID,
+		DiskPath:         diskPath,
+		TraceSampleEvery: 1,
+	})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", self.ID, err)
+	}
+	sys.FireHook = fired.hook
+	node, err := cluster.New(sys, cluster.Config{
+		Self:         self,
+		Peers:        members,
+		PingEvery:    50 * time.Millisecond,
+		ForwardRetry: testRetry(),
+	})
+	if err != nil {
+		t.Fatalf("cluster.New(%s): %v", self.ID, err)
+	}
+	node.Serve(ln)
+	return &tnode{id: self.ID, addr: self.Addr, sys: sys, node: node, fired: fired}
+}
+
+// startCluster boots a 3-node cluster A/B/C: listeners first (so the
+// member table is complete before any node dials), then systems, then
+// health checks.
+func startCluster(t *testing.T) map[string]*tnode {
+	t.Helper()
+	ids := []string{"A", "B", "C"}
+	lns := make([]net.Listener, len(ids))
+	members := make([]cluster.Member, len(ids))
+	for i, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		members[i] = cluster.Member{ID: id, Addr: ln.Addr().String()}
+	}
+	nodes := make(map[string]*tnode, len(ids))
+	for i, id := range ids {
+		n := bootNode(t, members[i], members, lns[i], "", &firedLog{})
+		nodes[id] = n
+		t.Cleanup(n.stop)
+	}
+	for _, n := range nodes {
+		n.node.Start()
+	}
+	return nodes
+}
+
+// sourceOwnedBy scans generated names for one the ring places on
+// owner; the tests then aim traffic at a node they chose.
+func sourceOwnedBy(t *testing.T, r *cluster.Ring, owner string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		name := fmt.Sprintf("src%d", i)
+		if r.Owner(name) == owner {
+			return name
+		}
+	}
+	t.Fatalf("no generated source owned by %s", owner)
+	return ""
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func mustCommand(t *testing.T, c *client.Client, text string) {
+	t.Helper()
+	if _, err := c.Command(text); err != nil {
+		t.Fatalf("command %q: %v", text, err)
+	}
+}
+
+func defineAndTrigger(t *testing.T, c *client.Client, src string) {
+	t.Helper()
+	mustCommand(t, c, fmt.Sprintf("define data source %s(x int)", src))
+	mustCommand(t, c, fmt.Sprintf(
+		"create trigger t_%s from %s when %s.x >= 0 do raise event Fired_%s(%s.x)",
+		src, src, src, src, src))
+}
+
+// TestClusterReplicationForwardingFIFO is the tentpole system test:
+// DDL issued on node A materializes on every node; tokens pushed to
+// non-owner nodes fire on their owners; per-source FIFO order survives
+// the forwarding hop; trace context crosses the wire; /clusterz and
+// the node-stamped /statusz report it all.
+func TestClusterReplicationForwardingFIFO(t *testing.T) {
+	nodes := startCluster(t)
+	a, b, c := nodes["A"], nodes["B"], nodes["C"]
+	ring := a.node.Ring()
+
+	cliA, err := client.Dial(a.addr, 4)
+	if err != nil {
+		t.Fatalf("dial A: %v", err)
+	}
+	defer cliA.Close()
+	if got := cliA.ServerNode(); got != "A" {
+		t.Fatalf("handshake: ServerNode = %q, want A", got)
+	}
+
+	// All DDL goes to A; the cluster must replicate it everywhere.
+	srcA := sourceOwnedBy(t, ring, "A")
+	srcB := sourceOwnedBy(t, ring, "B")
+	for _, src := range []string{srcA, srcB} {
+		defineAndTrigger(t, cliA, src)
+	}
+	for _, n := range nodes {
+		have := map[string]bool{}
+		for _, s := range n.sys.DataSources() {
+			have[s] = true
+		}
+		if !have[srcA] || !have[srcB] {
+			t.Fatalf("node %s is missing replicated sources: %v", n.id, n.sys.DataSources())
+		}
+	}
+
+	// Per-source FIFO through forwarding: C pushes a numbered stream
+	// for a source owned by B. Forwards are synchronous in the capture
+	// path, so order must survive the hop exactly.
+	cliC, err := client.Dial(c.addr, 4)
+	if err != nil {
+		t.Fatalf("dial C: %v", err)
+	}
+	defer cliC.Close()
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := cliC.PushInsert(srcB, types.Tuple{types.NewInt(int64(i))}); err != nil {
+			t.Fatalf("push %d to C: %v", i, err)
+		}
+	}
+	got := b.fired.snapshot()
+	if len(got) != n {
+		t.Fatalf("node B fired %d times, want %d (fired on wrong node? A=%d C=%d)",
+			len(got), n, a.fired.count(), c.fired.count())
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("FIFO violated through forwarding: position %d fired value %d (%v)", i, v, got)
+		}
+	}
+	if cnt := c.fired.count(); cnt != 0 {
+		t.Fatalf("non-owner C fired %d times for %s", cnt, srcB)
+	}
+
+	// Trace context crosses the wire: a traced push to the non-owner
+	// must surface on the owner with the propagated parent.
+	traceCtx, err := cliC.PushInsertTraced(srcB, types.Tuple{types.NewInt(int64(n))})
+	if err != nil {
+		t.Fatalf("traced push: %v", err)
+	}
+	if traceCtx == "" {
+		t.Fatal("traced push returned empty trace context")
+	}
+	foundTrace := false
+	for _, rec := range b.sys.Tracer().Recent() {
+		if rec.TraceParent != "" {
+			foundTrace = true
+		}
+	}
+	if !foundTrace {
+		t.Fatalf("no trace on owner B carries a propagated parent (pushed %s)", traceCtx)
+	}
+
+	// A push to the owner itself stays local (no self-forwarding).
+	cliB, err := client.Dial(b.addr, 4)
+	if err != nil {
+		t.Fatalf("dial B: %v", err)
+	}
+	defer cliB.Close()
+	if err := cliB.PushInsert(srcB, types.Tuple{types.NewInt(999)}); err != nil {
+		t.Fatalf("local push to owner: %v", err)
+	}
+	if got := b.fired.count(); got != n+2 {
+		t.Fatalf("owner B fired %d times, want %d", got, n+2)
+	}
+
+	// Ops surfaces: /clusterz on the forwarding node and the node stamp
+	// on /statusz.
+	opsAddr, err := c.sys.ListenOps("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenOps: %v", err)
+	}
+	var cz struct {
+		Node      string `json:"node"`
+		Members   []string
+		Forwarded int64 `json:"forwarded"`
+		Sources   []struct {
+			Name  string `json:"name"`
+			Owner string `json:"owner"`
+			Local bool   `json:"local"`
+		} `json:"sources"`
+	}
+	getJSON(t, "http://"+opsAddr+"/clusterz", &cz)
+	if cz.Node != "C" || len(cz.Members) != 3 {
+		t.Fatalf("clusterz identity: %+v", cz)
+	}
+	if cz.Forwarded < n {
+		t.Fatalf("clusterz forwarded = %d, want >= %d", cz.Forwarded, n)
+	}
+	sawB := false
+	for _, s := range cz.Sources {
+		if s.Name == srcB {
+			sawB = true
+			if s.Owner != "B" || s.Local {
+				t.Fatalf("clusterz ownership for %s: %+v", srcB, s)
+			}
+		}
+	}
+	if !sawB {
+		t.Fatalf("clusterz sources missing %s: %+v", srcB, cz.Sources)
+	}
+	var st struct {
+		Node string `json:"node"`
+	}
+	getJSON(t, "http://"+opsAddr+"/statusz", &st)
+	if st.Node != "C" {
+		t.Fatalf("/statusz node = %q, want C", st.Node)
+	}
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}
+
+// TestClusterRestartZeroLoss kills the owner mid-stream and checks the
+// zero-loss ledger: every attempted token is either fired or sitting
+// in the dead-letter table as a DeadForward entry, and after the owner
+// returns, requeueing delivers the rest — nothing vanishes.
+func TestClusterRestartZeroLoss(t *testing.T) {
+	ids := []string{"A", "B", "C"}
+	lns := make([]net.Listener, len(ids))
+	members := make([]cluster.Member, len(ids))
+	for i, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		members[i] = cluster.Member{ID: id, Addr: ln.Addr().String()}
+	}
+	// C persists its catalog so the restart recovers sources, triggers,
+	// and nothing else needs re-declaring.
+	cDisk := filepath.Join(t.TempDir(), "nodec.db")
+	cFired := &firedLog{} // shared across C's two lives
+
+	var nodes [3]*tnode
+	for i := range ids {
+		fl := &firedLog{}
+		disk := ""
+		if ids[i] == "C" {
+			fl, disk = cFired, cDisk
+		}
+		nodes[i] = bootNode(t, members[i], members, lns[i], disk, fl)
+	}
+	a, b, c := nodes[0], nodes[1], nodes[2]
+	defer a.stop()
+	defer b.stop()
+	for _, n := range nodes {
+		n.node.Start()
+	}
+
+	src := sourceOwnedBy(t, a.node.Ring(), "C")
+	cliA, err := client.Dial(a.addr, 4)
+	if err != nil {
+		t.Fatalf("dial A: %v", err)
+	}
+	defer cliA.Close()
+	defineAndTrigger(t, cliA, src)
+
+	// Phase 1: B forwards a stream to the healthy owner C.
+	cliB, err := client.Dial(b.addr, 4)
+	if err != nil {
+		t.Fatalf("dial B: %v", err)
+	}
+	defer cliB.Close()
+	const before, after = 30, 20
+	for i := 0; i < before; i++ {
+		if err := cliB.PushInsert(src, types.Tuple{types.NewInt(int64(i))}); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if got := cFired.count(); got != before {
+		t.Fatalf("owner fired %d, want %d", got, before)
+	}
+
+	// Phase 2: the owner dies mid-storm. Pushes keep succeeding — every
+	// unforwardable token lands in B's dead-letter table as
+	// DeadForward.
+	c.stop()
+	for i := before; i < before+after; i++ {
+		if err := cliB.PushInsert(src, types.Tuple{types.NewInt(int64(i))}); err != nil {
+			t.Fatalf("push %d with owner down: %v", i, err)
+		}
+	}
+	dead, err := b.sys.DeadLetters()
+	if err != nil {
+		t.Fatalf("DeadLetters: %v", err)
+	}
+	var forwardDead []uint64
+	for _, d := range dead {
+		if d.Kind == catalog.DeadForward {
+			forwardDead = append(forwardDead, d.ID)
+		}
+	}
+	// The ledger: fired + dead-lettered == attempted. Zero silent loss.
+	if got, want := cFired.count()+len(forwardDead), before+after; got != want {
+		t.Fatalf("ledger broken: fired %d + dead-lettered %d != attempted %d",
+			cFired.count(), len(forwardDead), want)
+	}
+	waitUntil(t, "B to mark C down", func() bool { return !b.node.PeerUp("C") })
+	if !hasPeerEvent(b, "C", "down") {
+		t.Fatal("no cluster.peer down event for C on B")
+	}
+
+	// Phase 3: C returns on the same address and catalog. The pinger
+	// notices, and requeueing the DeadForward entries delivers every
+	// parked token to the recovered owner.
+	ln, err := net.Listen("tcp", c.addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", c.addr, err)
+	}
+	c2 := bootNode(t, members[2], members, ln, cDisk, cFired)
+	defer c2.stop()
+	c2.node.Start()
+	waitUntil(t, "B to see C up again", func() bool { return b.node.PeerUp("C") })
+	if !hasPeerEvent(b, "C", "up") {
+		t.Fatal("no cluster.peer up event for C on B")
+	}
+
+	for _, id := range forwardDead {
+		if err := b.sys.RequeueDeadLetter(id); err != nil {
+			t.Fatalf("requeue %d: %v", id, err)
+		}
+	}
+	if got, want := cFired.count(), before+after; got != want {
+		t.Fatalf("after recovery owner fired %d, want %d", got, want)
+	}
+	if got := b.sys.DeadLetterCount(); got != 0 {
+		t.Fatalf("B still holds %d dead letters after requeue", got)
+	}
+	// Every pushed value arrived exactly once in this controlled
+	// sequence (pushes paused around the crash, so at-least-once
+	// degenerates to exactly-once).
+	seen := map[int64]bool{}
+	for _, v := range cFired.snapshot() {
+		if seen[v] {
+			t.Fatalf("value %d fired twice", v)
+		}
+		seen[v] = true
+	}
+	for i := 0; i < before+after; i++ {
+		if !seen[int64(i)] {
+			t.Fatalf("value %d lost", i)
+		}
+	}
+}
+
+// hasPeerEvent scans a node's event log for a cluster.peer transition.
+func hasPeerEvent(n *tnode, peer, state string) bool {
+	for _, rec := range n.sys.EventLog().Recent() {
+		if rec.Event != "cluster.peer" {
+			continue
+		}
+		if fmt.Sprint(rec.Attrs["peer"]) == peer && fmt.Sprint(rec.Attrs["state"]) == state {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClusterDDLReplicationError pins the contract that a replication
+// failure is loud: the statement applies locally but the command
+// reports which peer missed it.
+func TestClusterDDLReplicationError(t *testing.T) {
+	nodes := startCluster(t)
+	a, c := nodes["A"], nodes["C"]
+	c.stop()
+	waitUntil(t, "A to mark C down", func() bool { return !a.node.PeerUp("C") })
+
+	cliA, err := client.Dial(a.addr, 4)
+	if err != nil {
+		t.Fatalf("dial A: %v", err)
+	}
+	defer cliA.Close()
+	_, err = cliA.Command("define data source orphaned(x int)")
+	if err == nil {
+		t.Fatal("DDL with a dead peer should surface the replication failure")
+	}
+	// The statement did apply locally and on the healthy peer.
+	for _, n := range []*tnode{a, nodes["B"]} {
+		found := false
+		for _, s := range n.sys.DataSources() {
+			if s == "orphaned" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %s missing locally-applied DDL after partial replication", n.id)
+		}
+	}
+}

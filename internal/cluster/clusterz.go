@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// clusterzPayload is the /clusterz JSON shape: this node's identity,
+// the membership with per-peer health, per-source ownership, and the
+// forwarding/replication counters.
+type clusterzPayload struct {
+	Node    string       `json:"node"`
+	Addr    string       `json:"addr"`
+	Members []string     `json:"members"`
+	Peers   []peerView   `json:"peers"`
+	Sources []sourceView `json:"sources"`
+	// Forwarded/ForwardDeadLettered/Received mirror
+	// tman_cluster_forward_total: sent to an owner, quarantined because
+	// the owner was unreachable, and accepted from a peer.
+	Forwarded           int64 `json:"forwarded"`
+	ForwardDeadLettered int64 `json:"forward_dead_lettered"`
+	Received            int64 `json:"received"`
+}
+
+// peerView is one peer's health row.
+type peerView struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	Up   bool   `json:"up"`
+	// LastSeenAgoNs is the time since the last successful round-trip
+	// (-1 when the peer has never answered).
+	LastSeenAgoNs int64 `json:"last_seen_ago_ns"`
+}
+
+// sourceView maps one data source to its owner.
+type sourceView struct {
+	Name  string `json:"name"`
+	Owner string `json:"owner"`
+	Local bool   `json:"local"`
+}
+
+// handleClusterz serves the cluster diagnosis endpoint.
+func (n *Node) handleClusterz(w http.ResponseWriter, r *http.Request) {
+	p := clusterzPayload{
+		Node:                n.cfg.Self.ID,
+		Addr:                n.cfg.Self.Addr,
+		Members:             n.ring.Members(),
+		Peers:               []peerView{},
+		Sources:             []sourceView{},
+		Forwarded:           n.cForwarded.Value(),
+		ForwardDeadLettered: n.cForwardDead.Value(),
+		Received:            n.cReceived.Value(),
+	}
+	now := time.Now().UnixNano()
+	for _, id := range n.order {
+		ps := n.peers[id]
+		v := peerView{ID: id, Addr: ps.member.Addr, Up: ps.up.Load(), LastSeenAgoNs: -1}
+		if seen := ps.lastSeen.Load(); seen > 0 {
+			v.LastSeenAgoNs = now - seen
+		}
+		p.Peers = append(p.Peers, v)
+	}
+	for _, name := range n.sys.DataSources() {
+		owner := n.ring.Owner(name)
+		p.Sources = append(p.Sources, sourceView{
+			Name: name, Owner: owner, Local: owner == n.cfg.Self.ID,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p)
+}

@@ -25,9 +25,34 @@ type Backend interface {
 	StatsText() string
 }
 
+// DDLBackend is implemented by clustered backends that accept
+// replicated catalog statements (ReqDDL). origin names the node that
+// broadcast the statement; the receiver applies it locally without
+// re-broadcasting.
+type DDLBackend interface {
+	ApplyDDL(text, origin string) (string, error)
+}
+
+// ForwardBackend is implemented by clustered backends that accept
+// tokens forwarded from a peer node (ReqForward). Unlike a push, a
+// forwarded token is applied locally without consulting the
+// receiver's own placement ring, so a stale ring on the sender cannot
+// bounce a token between nodes forever.
+type ForwardBackend interface {
+	ForwardToken(source string, op datasource.Op, old, new []Value, trace, origin string) error
+}
+
+// Config tunes a Server beyond its backend.
+type Config struct {
+	// NodeID is this endpoint's identity, returned in the hello
+	// handshake ("" for a standalone server).
+	NodeID string
+}
+
 // Server accepts TriggerMan client and data-source connections.
 type Server struct {
 	backend Backend
+	cfg     Config
 	ln      net.Listener
 
 	mu    sync.Mutex
@@ -37,7 +62,12 @@ type Server struct {
 
 // Serve starts accepting on ln; it returns when the listener closes.
 func Serve(ln net.Listener, backend Backend) *Server {
-	s := &Server{backend: backend, ln: ln, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+	return ServeWith(ln, backend, Config{})
+}
+
+// ServeWith is Serve with an explicit Config.
+func ServeWith(ln net.Listener, backend Backend, cfg Config) *Server {
+	s := &Server{backend: backend, cfg: cfg, ln: ln, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
 	go s.acceptLoop()
 	return s
 }
@@ -83,6 +113,12 @@ type session struct {
 	writeMu sync.Mutex
 	subs    map[string]*event.Subscription
 	stop    chan struct{}
+	// peer is the connected endpoint's node id from its hello ("" for
+	// plain clients).
+	peer string
+	// fatal, set by dispatch, ends the session after the response is
+	// written (a refused handshake must not leave the stream open).
+	fatal bool
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -106,7 +142,7 @@ func (s *Server) handle(conn net.Conn) {
 		sess.writeMu.Lock()
 		err := WriteMsg(conn, resp)
 		sess.writeMu.Unlock()
-		if err != nil {
+		if err != nil || sess.fatal {
 			return
 		}
 	}
@@ -120,13 +156,28 @@ func (s *Server) dispatch(sess *session, req *Request) *Response {
 		return resp
 	}
 	switch req.Op {
-	case "ping":
+	case ReqHello:
+		// Version + node-id exchange. A mismatch is refused with the
+		// server's version in the response (the client builds a typed
+		// *VersionError from it) and the session ends: two
+		// incompatible nodes must not keep talking.
+		if req.Version != ProtocolVersion {
+			sess.fatal = true
+			resp.Version = ProtocolVersion
+			resp.Node = s.cfg.NodeID
+			return fail(&VersionError{Local: ProtocolVersion, Remote: req.Version})
+		}
+		sess.peer = req.Node
+		resp.OK = true
+		resp.Version = ProtocolVersion
+		resp.Node = s.cfg.NodeID
+	case ReqPing:
 		resp.OK = true
 		resp.Output = "pong"
-	case "stats":
+	case ReqStats:
 		resp.OK = true
 		resp.Output = s.backend.StatsText()
-	case "metrics":
+	case ReqMetrics:
 		// Dispatched through Command so Backend needs no new method;
 		// the system intercepts the metrics verb before its parser.
 		out, err := s.backend.Command("metrics")
@@ -135,7 +186,7 @@ func (s *Server) dispatch(sess *session, req *Request) *Response {
 		}
 		resp.OK = true
 		resp.Output = out
-	case "explain":
+	case ReqExplain:
 		// Same Command dispatch as "metrics": the system intercepts
 		// the explain verb. Text names the trigger ("" = index table).
 		out, err := s.backend.Command(strings.TrimSpace("explain " + req.Text))
@@ -144,14 +195,14 @@ func (s *Server) dispatch(sess *session, req *Request) *Response {
 		}
 		resp.OK = true
 		resp.Output = out
-	case "command":
+	case ReqCommand:
 		out, err := s.backend.Command(req.Text)
 		if err != nil {
 			return fail(err)
 		}
 		resp.OK = true
 		resp.Output = out
-	case "subscribe":
+	case ReqSubscribe:
 		key := req.Event
 		if _, dup := sess.subs[key]; dup {
 			return fail(fmt.Errorf("wire: already subscribed to %q", key))
@@ -164,7 +215,7 @@ func (s *Server) dispatch(sess *session, req *Request) *Response {
 		go sess.pump(sub)
 		resp.OK = true
 		resp.Output = "subscribed"
-	case "unsubscribe":
+	case ReqUnsubscribe:
 		sub, ok := sess.subs[req.Event]
 		if !ok {
 			return fail(fmt.Errorf("wire: not subscribed to %q", req.Event))
@@ -173,12 +224,36 @@ func (s *Server) dispatch(sess *session, req *Request) *Response {
 		delete(sess.subs, req.Event)
 		resp.OK = true
 		resp.Output = "unsubscribed"
-	case "push":
+	case ReqPush:
 		op, err := ParseTokenOp(req.TokenOp)
 		if err != nil {
 			return fail(err)
 		}
 		if err := s.backend.PushToken(req.Source, op, req.Old, req.New, req.Trace); err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+	case ReqDDL:
+		db, ok := s.backend.(DDLBackend)
+		if !ok {
+			return fail(fmt.Errorf("wire: this server is not clustered (no ddl backend)"))
+		}
+		out, err := db.ApplyDDL(req.Text, req.Origin)
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Output = out
+	case ReqForward:
+		fb, ok := s.backend.(ForwardBackend)
+		if !ok {
+			return fail(fmt.Errorf("wire: this server is not clustered (no forward backend)"))
+		}
+		op, err := ParseTokenOp(req.TokenOp)
+		if err != nil {
+			return fail(err)
+		}
+		if err := fb.ForwardToken(req.Source, op, req.Old, req.New, req.Trace, req.Origin); err != nil {
 			return fail(err)
 		}
 		resp.OK = true

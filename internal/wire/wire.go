@@ -18,12 +18,50 @@ import (
 // MaxMessageSize bounds a single frame (16 MiB).
 const MaxMessageSize = 16 << 20
 
+// ProtocolVersion is the wire protocol revision. Endpoints exchange it
+// in the hello handshake (ReqHello) before any other traffic, so two
+// incompatible nodes fail fast with a *VersionError instead of
+// misparsing each other's frames mid-stream. Bump it whenever a
+// message shape changes incompatibly.
+const ProtocolVersion = 1
+
+// Request op names. The Req* cluster verbs (hello, ddl, forward) are
+// how nodes talk to each other: hello is the version + node-id
+// handshake, ddl replicates a catalog statement, and forward ships a
+// token to its owner node.
+const (
+	ReqHello       = "hello"
+	ReqCommand     = "command"
+	ReqSubscribe   = "subscribe"
+	ReqUnsubscribe = "unsubscribe"
+	ReqPush        = "push"
+	ReqStats       = "stats"
+	ReqMetrics     = "metrics"
+	ReqExplain     = "explain"
+	ReqPing        = "ping"
+	ReqDDL         = "ddl"
+	ReqForward     = "forward"
+)
+
+// VersionError reports a protocol version mismatch discovered during
+// the hello handshake.
+type VersionError struct {
+	// Local is this endpoint's ProtocolVersion; Remote is the peer's.
+	Local, Remote int
+}
+
+// Error implements error.
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("wire: protocol version mismatch (local %d, remote %d)", e.Local, e.Remote)
+}
+
 // Request is a client-to-server message.
 type Request struct {
 	// ID correlates the response; client-chosen, nonzero.
 	ID uint64 `json:"id"`
-	// Op is one of "command", "subscribe", "unsubscribe", "push",
-	// "stats", "metrics", "explain", "ping".
+	// Op is one of the Req* verbs ("command", "subscribe",
+	// "unsubscribe", "push", "stats", "metrics", "explain", "ping",
+	// "hello", "ddl", "forward").
 	Op string `json:"op"`
 	// Text is the command text for "command", or the trigger name for
 	// "explain" ("" explains the whole predicate index).
@@ -38,10 +76,20 @@ type Request struct {
 	// Old and New carry the tuple images for "push".
 	Old []Value `json:"old,omitempty"`
 	New []Value `json:"new,omitempty"`
-	// Trace is an optional trace context header for "push"
-	// (trace.FormatContext form, "tm1-<id>-<flags>"): a span begun in
-	// the client continues through capture→action on the server.
+	// Trace is an optional trace context header for "push" and
+	// "forward" (trace.FormatContext form, "tm1-<id>-<flags>"): a span
+	// begun in the client continues through capture→action on the
+	// server, and across node boundaries when the token is forwarded.
 	Trace string `json:"trace,omitempty"`
+	// Version is the sender's ProtocolVersion ("hello" only).
+	Version int `json:"version,omitempty"`
+	// Node is the sender's node id ("hello" only; "" for plain
+	// clients).
+	Node string `json:"node,omitempty"`
+	// Origin names the node that originated a "ddl" or "forward"
+	// message, so the receiver applies it locally without
+	// re-broadcasting or re-forwarding (no replication loops).
+	Origin string `json:"origin,omitempty"`
 }
 
 // Response is a server-to-client message. Unsolicited event
@@ -51,6 +99,11 @@ type Response struct {
 	OK     bool   `json:"ok"`
 	Error  string `json:"error,omitempty"`
 	Output string `json:"output,omitempty"`
+	// Version and Node answer a "hello": the server's ProtocolVersion
+	// and node id. A mismatched hello is refused with both set, so the
+	// client can build a typed *VersionError.
+	Version int    `json:"version,omitempty"`
+	Node    string `json:"node,omitempty"`
 	// Event delivers a notification (ID == 0).
 	Event *EventMsg `json:"event,omitempty"`
 }

@@ -172,4 +172,87 @@ func TestServerDispatch(t *testing.T) {
 	if r := roundtrip(&Request{ID: 9, Op: "push", TokenOp: "upsert"}); r.OK {
 		t.Error("bad token op should fail")
 	}
+	// ddl/forward against a non-clustered backend fail cleanly.
+	if r := roundtrip(&Request{ID: 10, Op: ReqDDL, Text: "create trigger t ..."}); r.OK {
+		t.Error("ddl without DDLBackend should fail")
+	}
+	if r := roundtrip(&Request{ID: 11, Op: ReqForward, Source: "s", TokenOp: "insert"}); r.OK {
+		t.Error("forward without ForwardBackend should fail")
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := &fakeBackend{bus: event.NewBus()}
+	srv := ServeWith(ln, be, Config{NodeID: "n1"})
+	defer srv.Close()
+	defer be.bus.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello := &Request{ID: 1, Op: ReqHello, Version: ProtocolVersion, Node: "peer"}
+	if err := WriteMsg(conn, hello); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := ReadMsg(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Version != ProtocolVersion || resp.Node != "n1" {
+		t.Fatalf("hello = %+v", resp)
+	}
+	// The session stays usable after a good hello.
+	if err := WriteMsg(conn, &Request{ID: 2, Op: ReqPing}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadMsg(conn, &resp); err != nil || !resp.OK || resp.Output != "pong" {
+		t.Fatalf("ping after hello = %+v, %v", resp, err)
+	}
+}
+
+func TestHandshakeVersionMismatch(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := &fakeBackend{bus: event.NewBus()}
+	srv := ServeWith(ln, be, Config{NodeID: "n1"})
+	defer srv.Close()
+	defer be.bus.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteMsg(conn, &Request{ID: 1, Op: ReqHello, Version: ProtocolVersion + 99, Node: "bad"}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := ReadMsg(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Fatalf("mismatched hello accepted: %+v", resp)
+	}
+	if resp.Version != ProtocolVersion || resp.Node != "n1" {
+		t.Errorf("refusal should carry server identity, got %+v", resp)
+	}
+	verr := &VersionError{Local: ProtocolVersion, Remote: ProtocolVersion + 99}
+	if resp.Error != verr.Error() {
+		t.Errorf("error = %q, want %q", resp.Error, verr.Error())
+	}
+	// The server must have hung up: the next read fails.
+	if err := WriteMsg(conn, &Request{ID: 2, Op: ReqPing}); err == nil {
+		var r2 Response
+		if err := ReadMsg(conn, &r2); err == nil {
+			t.Error("session survived a refused handshake")
+		}
+	}
 }

@@ -22,6 +22,7 @@ import (
 type opsServer struct {
 	ln  net.Listener
 	srv *http.Server
+	mux *http.ServeMux
 }
 
 func (o *opsServer) shutdown() {
@@ -54,16 +55,36 @@ func (s *System) ListenOps(addr string) (string, error) {
 	mux.HandleFunc("/eventz", s.handleEventz)
 	mux.HandleFunc("/loadz", s.handleLoadz)
 	mux.HandleFunc("/sloz", s.handleSloz)
+	for pattern, h := range s.extraOps {
+		mux.HandleFunc(pattern, h)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	s.ops = &opsServer{ln: ln, srv: srv}
+	s.ops = &opsServer{ln: ln, srv: srv, mux: mux}
 	go srv.Serve(ln)
 	s.elog.Emit("ops.listen", "addr", ln.Addr().String())
 	return ln.Addr().String(), nil
+}
+
+// RegisterOpsHandler mounts an additional handler on the ops listener
+// (internal/cluster mounts /clusterz here). Handlers registered before
+// ListenOps are picked up at listen time; registering after the
+// listener is up adds the route live.
+func (s *System) RegisterOpsHandler(pattern string, h http.HandlerFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.extraOps == nil {
+		s.extraOps = make(map[string]http.HandlerFunc)
+	}
+	s.extraOps[pattern] = h
+	if s.ops != nil {
+		// ServeMux registration is mutex-safe even while serving.
+		s.ops.mux.HandleFunc(pattern, h)
+	}
 }
 
 // OpsAddr reports the ops listener's bound address, or "" when it is
@@ -102,6 +123,9 @@ func (s *System) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // statuszPayload is the /statusz JSON shape.
 type statuszPayload struct {
+	// Node identifies which instance answered: multi-node scrapes of
+	// /statusz must be attributable ("local" for standalone systems).
+	Node            string         `json:"node"`
 	Triggers        int            `json:"triggers"`
 	TokensIn        int64          `json:"tokens_in"`
 	TokensMatched   int64          `json:"tokens_matched"`
@@ -179,6 +203,7 @@ func (s *System) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		traces = traces[len(traces)-maxTraces:]
 	}
 	p := statuszPayload{
+		Node:            s.NodeID(),
 		Triggers:        st.Triggers,
 		TokensIn:        st.TokensIn,
 		TokensMatched:   st.TokensMatched,
@@ -279,6 +304,8 @@ func (s *System) handleTriggerz(w http.ResponseWriter, r *http.Request) {
 // configuration, global verdict totals, and one row per data source
 // that has seen traffic.
 type loadzPayload struct {
+	// Node identifies the answering instance (see statuszPayload.Node).
+	Node      string        `json:"node"`
 	Enabled   bool          `json:"enabled"`
 	SoftDepth int           `json:"soft_depth"`
 	HardDepth int           `json:"hard_depth"`
@@ -313,11 +340,12 @@ func (s *System) handleLoadz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.adm == nil {
-		writeJSON(w, loadzPayload{Sources: []loadzSource{}})
+		writeJSON(w, loadzPayload{Node: s.NodeID(), Sources: []loadzSource{}})
 		return
 	}
 	cfg := s.adm.Config()
 	p := loadzPayload{
+		Node:      s.NodeID(),
 		Enabled:   true,
 		SoftDepth: cfg.SoftDepth,
 		HardDepth: cfg.HardDepth,

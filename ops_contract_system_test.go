@@ -84,7 +84,7 @@ func TestOpsContract(t *testing.T) {
 		var raw json.RawMessage
 		getJSON(t, base+"/loadz", &raw)
 		wantFields(t, "/loadz", raw, []string{
-			"enabled", "soft_depth", "hard_depth", "rate", "burst",
+			"node", "enabled", "soft_depth", "hard_depth", "rate", "burst",
 			"admitted", "shed", "rejected", "sources",
 		})
 		var p struct {
@@ -149,7 +149,7 @@ func TestOpsContract(t *testing.T) {
 		var raw json.RawMessage
 		getJSON(t, base+"/statusz?traces=16", &raw)
 		wantFields(t, "/statusz", raw, []string{
-			"triggers", "tokens_in", "tokens_matched", "actions_run",
+			"node", "triggers", "tokens_in", "tokens_matched", "actions_run",
 			"queue_depth", "dead_letters", "dead_lettered",
 			"events_raised", "events_delivered", "errors", "recent_errors",
 			"active_traces", "traces_dropped", "traces_swept",

@@ -42,6 +42,18 @@ func (s *System) capture(tok datasource.Token) error {
 //   - Reject: the hard watermark or rate limit is breached; the caller
 //     gets a retryable *admission.OverloadError and keeps the token.
 func (s *System) admit(tok datasource.Token) error {
+	// Clustered deployments route before admission: the overload verdict
+	// for a source belongs to the node that owns it. This covers every
+	// local entry point — producers, cascaded execSQL updates, and
+	// dead-letter requeue — so a cross-source cascade whose target lives
+	// elsewhere ships to its owner instead of entering this pipeline.
+	if r := s.router(); r != nil {
+		if src, ok := s.reg.ByID(tok.SourceID); ok {
+			if handled, err := r.Route(src.Name, tok, ""); handled {
+				return err
+			}
+		}
+	}
 	if s.adm != nil {
 		verdict, err := s.adm.Admit(tok.SourceID, s.sourceClass(tok.SourceID))
 		switch verdict {

@@ -18,23 +18,60 @@ func (s *System) PushToken(source string, op datasource.Op, old, new []wire.Valu
 	if s.isClosed() {
 		return errClosed
 	}
-	src, ok := s.reg.ByName(source)
-	if !ok {
-		return fmt.Errorf("triggerman: unknown data source %q", source)
+	tok, err := s.decodeWireToken(source, op, old, new)
+	if err != nil {
+		return err
 	}
 	parent, flags, err := trace.ParseContext(traceCtx)
 	if err != nil {
 		return err
 	}
-	oldT, err := wire.ToTuple(old)
+	// Clustered deployments: a token whose source is owned elsewhere is
+	// shipped to the owner (or dead-lettered if unreachable) instead of
+	// entering the local pipeline.
+	if r := s.router(); r != nil {
+		if handled, rerr := r.Route(source, tok, traceCtx); handled {
+			return rerr
+		}
+	}
+	return s.applyTraced(tok, parent, flags)
+}
+
+// ApplyForwarded is PushToken for tokens arriving from a peer node
+// (wire.ReqForward): it applies locally without consulting the router,
+// so a stale placement ring on the sender cannot bounce a token
+// between nodes forever.
+func (s *System) ApplyForwarded(source string, op datasource.Op, old, new []wire.Value, traceCtx string) error {
+	if s.isClosed() {
+		return errClosed
+	}
+	tok, err := s.decodeWireToken(source, op, old, new)
 	if err != nil {
 		return err
+	}
+	parent, flags, err := trace.ParseContext(traceCtx)
+	if err != nil {
+		return err
+	}
+	return s.applyTraced(tok, parent, flags)
+}
+
+// decodeWireToken resolves the source name and converts wire tuples
+// into a datasource.Token.
+func (s *System) decodeWireToken(source string, op datasource.Op, old, new []wire.Value) (datasource.Token, error) {
+	src, ok := s.reg.ByName(source)
+	if !ok {
+		return datasource.Token{}, fmt.Errorf("triggerman: unknown data source %q", source)
+	}
+	oldT, err := wire.ToTuple(old)
+	if err != nil {
+		return datasource.Token{}, err
 	}
 	newT, err := wire.ToTuple(new)
 	if err != nil {
-		return err
+		return datasource.Token{}, err
 	}
-	return s.applyTraced(datasource.Token{SourceID: src.ID, Op: op, Old: oldT, New: newT}, parent, flags)
+	return datasource.Token{SourceID: src.ID, Op: op, Old: oldT, New: newT}, nil
 }
 
 // StatsText renders a human-readable stats summary for the console's
@@ -78,5 +115,5 @@ func (s *System) Listen(addr string) (*wire.Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return wire.Serve(ln, s), nil
+	return wire.ServeWith(ln, s, wire.Config{NodeID: s.NodeID()}), nil
 }

@@ -255,6 +255,10 @@ func (s *System) StreamSourceByName(name string) (*StreamSource, error) {
 	return &StreamSource{sys: s, src: src}, nil
 }
 
+// DataSources lists the registered data source names (internal/cluster
+// renders per-source ownership from it).
+func (s *System) DataSources() []string { return s.reg.Names() }
+
 // SignatureCountFor reports the number of distinct expression signatures
 // registered on a data source.
 func (s *System) SignatureCountFor(source string) int {

@@ -28,7 +28,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"triggerman/internal/admission"
@@ -196,7 +198,28 @@ type Options struct {
 	// RuntimeSampleEvery is the runtime telemetry sampling interval
 	// (GC pause, heap, allocs per token; default 5s).
 	RuntimeSampleEvery time.Duration
+	// NodeID names this system instance in a multi-node deployment: it
+	// stamps /statusz and /loadz, is exchanged in the wire handshake,
+	// and marks the origin of forwarded tokens and replicated DDL.
+	// Empty means a standalone node ("local" in ops output).
+	NodeID string
 }
+
+// TokenRouter decides, at the capture point, whether a token belongs
+// on this node. internal/cluster installs one via SetRouter; a nil
+// router (the default) keeps every token local. Route returns
+// handled=true when it took responsibility for the token (forwarded to
+// the owner node, or dead-lettered when the owner is unreachable) —
+// the local pipeline then skips it entirely. handled=false means "mine,
+// process locally". The contract is zero silent loss: a handled token
+// was either delivered to its owner or durably quarantined.
+type TokenRouter interface {
+	Route(source string, tok datasource.Token, traceCtx string) (handled bool, err error)
+}
+
+// routerBox wraps a TokenRouter for atomic.Value (which needs a
+// consistent concrete type, including the nil "no router" state).
+type routerBox struct{ r TokenRouter }
 
 // SLOObjective is one declarative latency contract: "Target fraction
 // of Class-priority tokens complete within Threshold". The engine
@@ -313,7 +336,36 @@ type System struct {
 	// FireHook, when set, observes every firing (tests and benchmarks).
 	FireHook func(triggerID uint64, combo []types.Tuple)
 
+	// routerV holds the installed TokenRouter as a routerBox; read on
+	// every capture, so it is an atomic.Value rather than a mutex.
+	routerV atomic.Value
+
+	// extraOps are additional ops-endpoint handlers (RegisterOpsHandler)
+	// picked up by ListenOps; internal/cluster mounts /clusterz here.
+	extraOps map[string]http.HandlerFunc
+
 	closed bool
+}
+
+// SetRouter installs (or, with nil, removes) the capture-point token
+// router. Safe to call while traffic flows.
+func (s *System) SetRouter(r TokenRouter) { s.routerV.Store(routerBox{r: r}) }
+
+// router returns the installed TokenRouter, or nil.
+func (s *System) router() TokenRouter {
+	if b, ok := s.routerV.Load().(routerBox); ok {
+		return b.r
+	}
+	return nil
+}
+
+// NodeID reports this instance's node identity ("local" when
+// Options.NodeID is unset).
+func (s *System) NodeID() string {
+	if s.opts.NodeID != "" {
+		return s.opts.NodeID
+	}
+	return "local"
 }
 
 // Open creates (or reopens, when DiskPath names an existing file) a
