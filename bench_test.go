@@ -12,6 +12,7 @@ import (
 
 	"triggerman/internal/datasource"
 	"triggerman/internal/expr"
+	"triggerman/internal/metrics"
 	"triggerman/internal/minisql"
 	"triggerman/internal/predindex"
 	"triggerman/internal/profile"
@@ -650,20 +651,45 @@ func BenchmarkE12_AdaptiveOrganization(b *testing.B) {
 // costs one counter increment; trace=all prices the full stamp-every-
 // stage mode a debugging session would switch on.
 func BenchmarkTelemetryOverhead(b *testing.B) {
-	for _, mode := range []string{"telemetry=off", "telemetry=default", "telemetry=all"} {
+	for _, mode := range []string{"telemetry=off", "telemetry=default", "telemetry=all", "telemetry=federation"} {
 		b.Run(mode, func(b *testing.B) {
 			opts := Options{Synchronous: true, Queue: MemoryQueue}
 			switch mode {
 			case "telemetry=off":
 				opts.TraceSampleEvery = -1
 				opts.DisableSLO = true
-			case "telemetry=default":
+			case "telemetry=default", "telemetry=federation":
 				// Zero values: SampleEvery 64, SLO engine on defaults.
 			case "telemetry=all":
 				opts.TraceSampleEvery = 1
 				opts.SLOTick = 100 * time.Millisecond
 			}
 			sys := benchSystem(b, opts)
+			if mode == "telemetry=federation" {
+				// Defaults plus an aggressive federation scrape loop
+				// (registry snapshot + merge + render every 2ms — far
+				// hotter than the fleet's 2s default) contending with the
+				// token path. The leg should match telemetry=default:
+				// scrapes only read atomics.
+				sys.SetFederation(benchFederation{sys: sys})
+				stopScrape := make(chan struct{})
+				scrapeDone := make(chan struct{})
+				go func() {
+					defer close(scrapeDone)
+					tick := time.NewTicker(2 * time.Millisecond)
+					defer tick.Stop()
+					for {
+						select {
+						case <-stopScrape:
+							return
+						case <-tick.C:
+							snaps := map[string]*metrics.Snapshot{"self": sys.met.Snapshot()}
+							_ = metrics.Merge(snaps).Render()
+						}
+					}
+				}()
+				b.Cleanup(func() { close(stopScrape); <-scrapeDone })
+			}
 			if _, err := sys.DefineStreamSource("emp",
 				workload.EmpSchema.Columns...); err != nil {
 				b.Fatal(err)

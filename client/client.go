@@ -423,6 +423,28 @@ func (c *Client) Metrics() (string, error) {
 	return resp.Output, nil
 }
 
+// TraceFetch fetches the server's node-local trace records for a
+// tm1- trace id, as a JSON array of trace.Record. The fleet layer
+// calls this on every peer to assemble a cross-node timeline.
+func (c *Client) TraceFetch(id string) (string, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.ReqTraceFetch, Text: id})
+	if err != nil {
+		return "", err
+	}
+	return resp.Output, nil
+}
+
+// MetricsSnapshot fetches the server's metrics registry as a JSON
+// metrics.Snapshot — the mergeable form federation needs, unlike the
+// rendered text Metrics returns.
+func (c *Client) MetricsSnapshot() (string, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.ReqSnapshot})
+	if err != nil {
+		return "", err
+	}
+	return resp.Output, nil
+}
+
 // Explain fetches the server's placement and cost-attribution report
 // for one trigger; an empty name explains the whole predicate index
 // (every signature's constant-set organization and counters).

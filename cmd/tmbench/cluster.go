@@ -12,6 +12,7 @@ import (
 	"triggerman"
 	"triggerman/client"
 	"triggerman/internal/cluster"
+	"triggerman/internal/metrics"
 	"triggerman/internal/storage"
 	"triggerman/internal/types"
 )
@@ -170,7 +171,32 @@ func runClusterTrial(n, nSources, triggersPer, tokens int) clusterTrialResult {
 
 	name := fmt.Sprintf("cluster/%dnode", n)
 	measureRecord("cluster", name, nSources*triggersPer, total, el)
+	recordClusterNodes(name, nSources*triggersPer, members, systems)
 	return clusterTrialResult{tokens: total, rate: float64(total) / el.Seconds()}
+}
+
+// recordClusterNodes appends one breakdown row per member to the
+// cluster artifact: how the trial's tokens actually distributed across
+// the ring (ingested, forwarded to an owner, received from a peer,
+// dead-lettered). The aggregate row reports the rate; these rows
+// explain it.
+func recordClusterNodes(trial string, population int, members []cluster.Member, systems []*triggerman.System) {
+	if !jsonMode {
+		return
+	}
+	for i, m := range members {
+		met := systems[i].Metrics()
+		counters := map[string]int64{"tokens_in": systems[i].Stats().TokensIn}
+		for _, result := range []string{"forwarded", "received", "dead_lettered"} {
+			v, _ := met.Value("tman_cluster_forward_total", metrics.L("result", result))
+			counters["forward_"+result] = v
+		}
+		benchRows["cluster"] = append(benchRows["cluster"], benchRow{
+			Name:       fmt.Sprintf("%s/%s", trial, m.ID),
+			Population: population,
+			Counters:   counters,
+		})
+	}
 }
 
 // measureRecord records an externally-timed run in the same artifact

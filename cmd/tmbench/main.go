@@ -52,6 +52,10 @@ type benchRow struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	Population  int     `json:"population"`
+	// Counters carries named absolute counts for rows that are a
+	// breakdown rather than a rate (the cluster experiment's per-node
+	// rows: tokens in, forwards, dead letters).
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 var (

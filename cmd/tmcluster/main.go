@@ -9,24 +9,33 @@
 //	tmcluster -nodes 5 -base 9000  five nodes on :9001..:9005
 //	tmcluster -ops-base 7800       per-node ops HTTP on :7801..
 //	tmcluster -demo                preload a demo schema and traffic
+//	tmcluster -smoke               3-node federation smoke test, then exit
 //
 // Every node serves the full wire protocol: point tmconsole or a
 // client at any member; DDL replicates everywhere and tokens route to
-// their source's owner.
+// their source's owner. Every node also runs the fleet observability
+// layer, so any member's ops listener answers /tracez, /fleetz,
+// /debugz/bundle, and ?scope=cluster on /metrics and /sloz.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"triggerman"
 	"triggerman/client"
 	"triggerman/internal/cluster"
+	"triggerman/internal/fleet"
+	"triggerman/internal/metrics"
 	"triggerman/internal/types"
 )
 
@@ -37,8 +46,13 @@ func main() {
 		opsBase  = flag.Int("ops-base", 0, "ops HTTP ports are ops-base+1.. (0 = off)")
 		memQueue = flag.Bool("memqueue", true, "use the main-memory token queue")
 		demo     = flag.Bool("demo", false, "preload a demo schema and push sample tokens")
+		smoke    = flag.Bool("smoke", false, "boot an ephemeral 3-node cluster, scrape /metrics?scope=cluster from every node, validate, exit")
 	)
 	flag.Parse()
+	if *smoke {
+		runSmoke()
+		return
+	}
 	if *nodes < 1 {
 		log.Fatal("tmcluster: -nodes must be >= 1")
 	}
@@ -80,6 +94,10 @@ func main() {
 	for _, n := range booted {
 		n.Start()
 	}
+	fleets := make([]*fleet.Fleet, len(booted))
+	for i, n := range booted {
+		fleets[i] = fleet.New(systems[i], n, fleet.Config{})
+	}
 
 	fmt.Printf("tmcluster: %d-node cluster up\n", *nodes)
 	ring := booted[0].Ring()
@@ -102,9 +120,91 @@ func main() {
 	<-sig
 	fmt.Println("tmcluster: shutting down")
 	for i, n := range booted {
+		fleets[i].Close()
 		n.Close()
 		systems[i].Close()
 	}
+}
+
+// runSmoke is the CI federation check: an ephemeral 3-node cluster
+// with ops listeners, demo traffic pushed through the last node (so
+// forwards cross the ring), then a /metrics?scope=cluster scrape from
+// EVERY node's HTTP surface, validated against the exposition format.
+// Exits nonzero on any parse error or a missing fleet-summed counter.
+func runSmoke() {
+	const n = 3
+	members := make([]cluster.Member, n)
+	lns := make([]net.Listener, n)
+	for i := range members {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("tmcluster: smoke listen: %v", err)
+		}
+		lns[i] = ln
+		members[i] = cluster.Member{ID: fmt.Sprintf("n%d", i+1), Addr: ln.Addr().String()}
+	}
+	nodes := make([]*cluster.Node, n)
+	systems := make([]*triggerman.System, n)
+	fleets := make([]*fleet.Fleet, n)
+	for i, m := range members {
+		sys, err := triggerman.Open(triggerman.Options{
+			NodeID:      m.ID,
+			Synchronous: true,
+			Queue:       triggerman.MemoryQueue,
+			MetricsAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			log.Fatalf("tmcluster: smoke open %s: %v", m.ID, err)
+		}
+		node, err := cluster.New(sys, cluster.Config{Self: m, Peers: members})
+		if err != nil {
+			log.Fatalf("tmcluster: smoke %s: %v", m.ID, err)
+		}
+		node.Serve(lns[i])
+		nodes[i] = node
+		systems[i] = sys
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	for i, nd := range nodes {
+		fleets[i] = fleet.New(systems[i], nd, fleet.Config{})
+	}
+	defer func() {
+		for i := range nodes {
+			fleets[i].Close()
+			nodes[i].Close()
+			systems[i].Close()
+		}
+	}()
+
+	runDemo(members, nodes[0].Ring())
+	for _, sys := range systems {
+		sys.Drain()
+	}
+
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	for i, sys := range systems {
+		url := fmt.Sprintf("http://%s/metrics?scope=cluster", sys.OpsAddr())
+		resp, err := httpc.Get(url)
+		if err != nil {
+			log.Fatalf("tmcluster: smoke scrape %s: %v", members[i].ID, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			log.Fatalf("tmcluster: smoke scrape %s: status %d err %v", members[i].ID, resp.StatusCode, err)
+		}
+		text := string(body)
+		if err := metrics.CheckExposition(text); err != nil {
+			log.Fatalf("tmcluster: smoke %s: exposition invalid: %v", members[i].ID, err)
+		}
+		if !strings.Contains(text, "tman_tokens_total") {
+			log.Fatalf("tmcluster: smoke %s: merged output lacks tman_tokens_total", members[i].ID)
+		}
+		fmt.Printf("tmcluster: smoke %s ok (%d bytes of valid cluster-scope exposition)\n", members[i].ID, len(body))
+	}
+	fmt.Println("tmcluster: federation smoke passed")
 }
 
 // runDemo creates a few sharded sources through node 1 and pushes a

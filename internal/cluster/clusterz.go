@@ -21,6 +21,11 @@ type clusterzPayload struct {
 	Forwarded           int64 `json:"forwarded"`
 	ForwardDeadLettered int64 `json:"forward_dead_lettered"`
 	Received            int64 `json:"received"`
+	// Forward-hop wire latency from tman_cluster_forward_seconds
+	// (successful ships only; quantiles 0 until the first forward).
+	ForwardCount int64 `json:"forward_count"`
+	ForwardP50Ns int64 `json:"forward_p50_ns"`
+	ForwardP99Ns int64 `json:"forward_p99_ns"`
 }
 
 // peerView is one peer's health row.
@@ -51,6 +56,13 @@ func (n *Node) handleClusterz(w http.ResponseWriter, r *http.Request) {
 		Forwarded:           n.cForwarded.Value(),
 		ForwardDeadLettered: n.cForwardDead.Value(),
 		Received:            n.cReceived.Value(),
+		ForwardCount:        n.hForward.Count(),
+	}
+	if d, ok := n.hForward.Quantile(0.5); ok {
+		p.ForwardP50Ns = int64(d)
+	}
+	if d, ok := n.hForward.Quantile(0.99); ok {
+		p.ForwardP99Ns = int64(d)
 	}
 	now := time.Now().UnixNano()
 	for _, id := range n.order {

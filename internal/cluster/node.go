@@ -17,6 +17,7 @@ import (
 	"triggerman/internal/metrics"
 	"triggerman/internal/parser"
 	"triggerman/internal/retry"
+	"triggerman/internal/trace"
 	"triggerman/internal/wire"
 )
 
@@ -113,6 +114,9 @@ type Node struct {
 	cDDLSent     *metrics.Counter
 	cDDLApplied  *metrics.Counter
 	cDDLFailed   *metrics.Counter
+	// hForward measures the forward hop's wire latency (successful
+	// synchronous ships only), independently of trace sampling.
+	hForward *metrics.Histogram
 }
 
 // New builds a cluster node around sys: the ring covers Self plus
@@ -163,6 +167,8 @@ func New(sys *triggerman.System, cfg Config) (*Node, error) {
 	n.cForwarded = met.Counter("tman_cluster_forward_total", fwdHelp, metrics.L("result", "forwarded"))
 	n.cForwardDead = met.Counter("tman_cluster_forward_total", fwdHelp, metrics.L("result", "dead_lettered"))
 	n.cReceived = met.Counter("tman_cluster_forward_total", fwdHelp, metrics.L("result", "received"))
+	n.hForward = met.Histogram("tman_cluster_forward_seconds",
+		"forward-hop wire latency: the synchronous ship of a non-owned token to its owner node", nil)
 	const ddlHelp = "catalog statement replication by kind"
 	n.cDDLSent = met.Counter("tman_cluster_ddl_total", ddlHelp, metrics.L("kind", "broadcast"))
 	n.cDDLApplied = met.Counter("tman_cluster_ddl_total", ddlHelp, metrics.L("kind", "applied"))
@@ -344,6 +350,7 @@ func (n *Node) Route(source string, tok datasource.Token, traceCtx string) (bool
 		return true, nil
 	}
 	cli, err := n.clientFor(p)
+	began := time.Now()
 	if err == nil {
 		err = cli.Forward(source, tok.Op, tok.Old, tok.New, traceCtx, n.cfg.Self.ID)
 	}
@@ -351,6 +358,16 @@ func (n *Node) Route(source string, tok datasource.Token, traceCtx string) (bool
 		n.markPeer(p, false)
 		n.deadLetterForward(tok, owner, err)
 		return true, nil
+	}
+	d := time.Since(began)
+	n.hForward.Observe(d)
+	// A sampled trace context gets an origin-side forward record: the
+	// token's local lifecycle ends here, and without this the origin
+	// half of the cross-node timeline would be empty.
+	if traceCtx != "" {
+		if id, flags, perr := trace.ParseContext(traceCtx); perr == nil && id != 0 && flags&trace.FlagSampled != 0 {
+			n.sys.Tracer().RecordForward(tok.SourceID, tok.Op.String(), id, began, d)
+		}
 	}
 	p.lastSeen.Store(time.Now().UnixNano())
 	n.cForwarded.Inc()
@@ -451,3 +468,48 @@ func (n *Node) PushToken(source string, op datasource.Op, old, new []wire.Value,
 
 // StatsText implements wire.Backend.
 func (n *Node) StatsText() string { return n.sys.StatsText() }
+
+// TraceFetch implements wire.IntrospectBackend (node-local trace
+// records for a tm1- id, as JSON).
+func (n *Node) TraceFetch(id string) (string, error) { return n.sys.TraceFetch(id) }
+
+// MetricsSnapshot implements wire.IntrospectBackend (this node's
+// registry as a JSON metrics.Snapshot).
+func (n *Node) MetricsSnapshot() (string, error) { return n.sys.MetricsSnapshot() }
+
+// --- fleet observability (internal/fleet's Cluster interface) ---------
+
+// SelfID returns this node's id.
+func (n *Node) SelfID() string { return n.cfg.Self.ID }
+
+// PeerIDs returns the peer ids in deterministic (sorted) order.
+func (n *Node) PeerIDs() []string { return append([]string(nil), n.order...) }
+
+// PeerTraceFetch asks one peer for its local trace records for a tm1-
+// trace id, over the same reconnecting client the forwarding path
+// uses.
+func (n *Node) PeerTraceFetch(peer, traceID string) (string, error) {
+	p := n.peers[peer]
+	if p == nil {
+		return "", fmt.Errorf("cluster: unknown peer %q", peer)
+	}
+	cli, err := n.clientFor(p)
+	if err != nil {
+		return "", err
+	}
+	return cli.TraceFetch(traceID)
+}
+
+// PeerMetricsSnapshot asks one peer for its metrics registry snapshot
+// (JSON).
+func (n *Node) PeerMetricsSnapshot(peer string) (string, error) {
+	p := n.peers[peer]
+	if p == nil {
+		return "", fmt.Errorf("cluster: unknown peer %q", peer)
+	}
+	cli, err := n.clientFor(p)
+	if err != nil {
+		return "", err
+	}
+	return cli.MetricsSnapshot()
+}

@@ -1,0 +1,398 @@
+// Package fleet is the cluster-wide observability layer: one pane of
+// glass over a multi-node trigger processor. Each node runs a Fleet
+// that (1) assembles cross-node trace timelines by fetching the
+// peers' local trace records for a propagated tm1- id (/tracez), (2)
+// federates metrics by scraping peer registry snapshots over the wire
+// and merging them — counters summed, gauges labeled per node,
+// histograms merged bucket-wise — into /fleetz JSON,
+// /metrics?scope=cluster Prometheus text, and a fleet-scope SLO
+// evaluation behind /sloz?scope=cluster, and (3) runs an
+// anomaly-triggered flight recorder that freezes a diagnostics bundle
+// at /debugz/bundle when an SLO burn fires, a peer goes down, or
+// dead letters spike.
+//
+// Everything here is off the token hot path: peer scrapes happen on
+// this package's own loop or inside ops requests, and the only
+// System-side coupling is an atomic.Value federation hook read by ops
+// handlers.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"triggerman"
+	"triggerman/internal/metrics"
+	"triggerman/internal/slo"
+)
+
+// Cluster is the peer surface Fleet needs, implemented by
+// *cluster.Node. Fleet deliberately does not import internal/cluster
+// (which imports the root package): the interface keeps the
+// dependency one-way and lets tests substitute misbehaving peers.
+// A nil Cluster is a single-node fleet — every endpoint still works,
+// covering just this node.
+type Cluster interface {
+	SelfID() string
+	PeerIDs() []string
+	PeerUp(id string) bool
+	PeerTraceFetch(peer, traceID string) (string, error)
+	PeerMetricsSnapshot(peer string) (string, error)
+}
+
+// Config tunes a Fleet.
+type Config struct {
+	// ScrapeEvery is the background federation refresh interval
+	// (default 2s). Ops requests additionally refresh on demand.
+	ScrapeEvery time.Duration
+	// PeerTimeout bounds every peer wire call made while serving an
+	// ops request, so a wedged peer degrades the answer instead of
+	// hanging it (default 2s).
+	PeerTimeout time.Duration
+	// Recorder tunes the flight recorder.
+	Recorder RecorderConfig
+}
+
+// NodeStatus is one node's row in /fleetz: whether its snapshot was
+// merged this round and its headline ingest counter.
+type NodeStatus struct {
+	ID       string `json:"id"`
+	Self     bool   `json:"self"`
+	OK       bool   `json:"ok"`
+	Error    string `json:"error,omitempty"`
+	TokensIn int64  `json:"tokens_in"`
+}
+
+// Fleet is one node's fleet-observability engine.
+type Fleet struct {
+	sys *triggerman.System
+	cl  Cluster
+	cfg Config
+	rec *Recorder
+
+	// sloEng evaluates the node's objectives over the merged fleet
+	// histograms. It shares no registry with the node-local engine (its
+	// gauges would collide) — verdicts surface via /sloz?scope=cluster
+	// and slo.burn events tagged scope=cluster.
+	sloEng *slo.Engine
+
+	// refreshMu single-flights scrape rounds; state below mu is the
+	// last completed round.
+	refreshMu sync.Mutex
+	mu        sync.Mutex
+	merged    *metrics.Snapshot
+	mergedAt  time.Time
+	rows      []NodeStatus
+
+	scrapes    atomic.Int64
+	scrapeErrs atomic.Int64
+
+	stop   chan struct{}
+	done   chan struct{}
+	closeO sync.Once
+}
+
+// New builds a Fleet around sys, registers /tracez, /fleetz, and
+// /debugz/bundle on its ops surface, installs the ?scope=cluster
+// federation hook, and starts the background scrape loop and flight
+// recorder. Close releases all of it.
+func New(sys *triggerman.System, cl Cluster, cfg Config) *Fleet {
+	if cfg.ScrapeEvery <= 0 {
+		cfg.ScrapeEvery = 2 * time.Second
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = 2 * time.Second
+	}
+	f := &Fleet{
+		sys:  sys,
+		cl:   cl,
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+
+	// Mirror the node's objectives at fleet scope: same names, targets
+	// and thresholds, evaluated over the merged per-class end-to-end
+	// histograms instead of the local ones.
+	var windows []slo.WindowPair
+	if eng := sys.SLO(); eng != nil {
+		windows = eng.Windows()
+	}
+	f.sloEng = slo.New(slo.Config{
+		Windows: windows,
+		OnEvent: func(event string, attrs ...any) {
+			sys.EventLog().Emit(event, append(attrs, "scope", "cluster")...)
+		},
+	})
+	for _, o := range sys.SLOObjectives() {
+		f.sloEng.Add(slo.Objective{
+			Name:      o.Name,
+			Class:     o.Class,
+			Target:    o.Target,
+			Threshold: o.Threshold,
+			Source:    f.classSource(o.Class, o.Threshold),
+		})
+	}
+
+	f.rec = newRecorder(sys, f.selfID(), cfg.Recorder)
+
+	sys.RegisterOpsHandler("/tracez", f.handleTracez)
+	sys.RegisterOpsHandler("/fleetz", f.handleFleetz)
+	sys.RegisterOpsHandler("/debugz/bundle", f.rec.handleBundle)
+	sys.SetFederation(f)
+
+	go f.loop()
+	f.rec.start()
+	return f
+}
+
+// Close stops the scrape loop and recorder and uninstalls the
+// federation hook. Registered ops handlers keep answering from the
+// last merged state (ops listeners may outlive the fleet briefly
+// during shutdown).
+func (f *Fleet) Close() {
+	f.closeO.Do(func() {
+		f.sys.SetFederation(nil)
+		close(f.stop)
+		<-f.done
+		f.rec.stop()
+	})
+}
+
+func (f *Fleet) loop() {
+	defer close(f.done)
+	tick := time.NewTicker(f.cfg.ScrapeEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-tick.C:
+			f.Refresh()
+		}
+	}
+}
+
+func (f *Fleet) selfID() string {
+	if f.cl != nil {
+		return f.cl.SelfID()
+	}
+	return f.sys.NodeID()
+}
+
+// classSource adapts one class's merged histogram for the fleet SLO
+// engine. It reads the last merged snapshot — never the wire — so an
+// engine Tick is always cheap and local.
+func (f *Fleet) classSource(class string, cutoff time.Duration) slo.FuncSource {
+	labels := metrics.LabelString(metrics.L("class", class))
+	return func() (int64, int64) {
+		f.mu.Lock()
+		snap := f.merged
+		f.mu.Unlock()
+		if snap == nil {
+			return 0, 0
+		}
+		h, ok := snap.Histogram("tman_token_duration_seconds", labels)
+		if !ok {
+			return 0, 0
+		}
+		return h.Count, h.CountAtOrBelow(cutoff)
+	}
+}
+
+// Refresh runs one federation round: snapshot the local registry,
+// fetch every up peer's snapshot (bounded by PeerTimeout), merge, and
+// re-evaluate the fleet SLO engine against the result. Down or failing
+// peers degrade the round to the reachable subset; the round itself
+// never fails.
+func (f *Fleet) Refresh() {
+	f.refreshMu.Lock()
+	defer f.refreshMu.Unlock()
+	f.scrapes.Add(1)
+
+	self := f.selfID()
+	snaps := map[string]*metrics.Snapshot{self: f.sys.Metrics().Snapshot()}
+	rows := []NodeStatus{{ID: self, Self: true, OK: true}}
+	if f.cl != nil {
+		for _, id := range f.cl.PeerIDs() {
+			row := NodeStatus{ID: id}
+			switch {
+			case !f.cl.PeerUp(id):
+				row.Error = "peer is down"
+				f.scrapeErrs.Add(1)
+			default:
+				raw, err := f.callPeer(func() (string, error) { return f.cl.PeerMetricsSnapshot(id) })
+				if err != nil {
+					row.Error = err.Error()
+					f.scrapeErrs.Add(1)
+					break
+				}
+				var snap metrics.Snapshot
+				if err := json.Unmarshal([]byte(raw), &snap); err != nil {
+					row.Error = fmt.Sprintf("bad snapshot: %v", err)
+					f.scrapeErrs.Add(1)
+					break
+				}
+				snaps[id] = &snap
+				row.OK = true
+			}
+			rows = append(rows, row)
+		}
+	}
+	for i := range rows {
+		if snap := snaps[rows[i].ID]; snap != nil {
+			rows[i].TokensIn = snap.FamilyTotal("tman_tokens_total")
+		}
+	}
+	merged := metrics.Merge(snaps)
+	now := time.Now()
+
+	f.mu.Lock()
+	f.merged = merged
+	f.mergedAt = now
+	f.rows = rows
+	f.mu.Unlock()
+
+	f.sloEng.Tick()
+}
+
+// callPeer bounds a peer wire call with the configured timeout. The
+// underlying call runs to completion in its own goroutine either way
+// (the reconnecting client serializes per-peer traffic); the bound is
+// on how long an ops request waits for it.
+func (f *Fleet) callPeer(fn func() (string, error)) (string, error) {
+	type result struct {
+		out string
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		out, err := fn()
+		ch <- result{out, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.out, r.err
+	case <-time.After(f.cfg.PeerTimeout):
+		return "", fmt.Errorf("fleet: peer call timed out after %v", f.cfg.PeerTimeout)
+	}
+}
+
+// --- federation hook (triggerman.Federation) --------------------------
+
+// ClusterMetrics implements triggerman.Federation: a fresh federation
+// round rendered as Prometheus text.
+func (f *Fleet) ClusterMetrics() (string, error) {
+	f.Refresh()
+	f.mu.Lock()
+	snap := f.merged
+	f.mu.Unlock()
+	var b strings.Builder
+	if err := snap.WritePrometheus(&b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// clusterSlozPayload is the /sloz?scope=cluster shape. It is a
+// distinct contract from node-scope /sloz (whose field set is pinned
+// by the ops golden tests): same windows/objectives vocabulary, plus
+// the scope and the node set the verdict was computed over.
+type clusterSlozPayload struct {
+	Enabled    bool                  `json:"enabled"`
+	Scope      string                `json:"scope"`
+	Node       string                `json:"node"`
+	Nodes      []string              `json:"nodes"`
+	Windows    []slo.WindowPair      `json:"windows"`
+	Objectives []slo.ObjectiveStatus `json:"objectives"`
+}
+
+// ClusterSloz implements triggerman.Federation: burn verdicts over the
+// merged per-class histograms. Refresh already ticked the engine
+// against the new merge.
+func (f *Fleet) ClusterSloz() (any, error) {
+	f.Refresh()
+	f.mu.Lock()
+	rows := append([]NodeStatus(nil), f.rows...)
+	f.mu.Unlock()
+	nodes := make([]string, 0, len(rows))
+	for _, r := range rows {
+		if r.OK {
+			nodes = append(nodes, r.ID)
+		}
+	}
+	sort.Strings(nodes)
+	return clusterSlozPayload{
+		Enabled:    true,
+		Scope:      "cluster",
+		Node:       f.selfID(),
+		Nodes:      nodes,
+		Windows:    f.sloEng.Windows(),
+		Objectives: f.sloEng.Snapshot(),
+	}, nil
+}
+
+// --- /fleetz ----------------------------------------------------------
+
+// fleetzPayload is the fleet health overview: per-node scrape status
+// and the fleet-summed headline counters.
+type fleetzPayload struct {
+	Node           string           `json:"node"`
+	Nodes          []NodeStatus     `json:"nodes"`
+	Scrapes        int64            `json:"scrapes"`
+	ScrapeErrors   int64            `json:"scrape_errors"`
+	MergedAtUnixNs int64            `json:"merged_at_unix_ns"`
+	Totals         map[string]int64 `json:"totals"`
+	Recorder       recorderStatus   `json:"recorder"`
+}
+
+// fleetTotals are the headline counter families always present in
+// fleetzPayload.Totals (0 when a family has no samples yet).
+var fleetTotals = []string{
+	"tman_tokens_total",
+	"tman_matches_total",
+	"tman_actions_total",
+	"tman_dead_letters_total",
+	"tman_cluster_forward_total",
+}
+
+func (f *Fleet) handleFleetz(w http.ResponseWriter, r *http.Request) {
+	f.Refresh()
+	f.mu.Lock()
+	merged := f.merged
+	mergedAt := f.mergedAt
+	rows := append([]NodeStatus(nil), f.rows...)
+	f.mu.Unlock()
+	p := fleetzPayload{
+		Node:           f.selfID(),
+		Nodes:          rows,
+		Scrapes:        f.scrapes.Load(),
+		ScrapeErrors:   f.scrapeErrs.Load(),
+		MergedAtUnixNs: mergedAt.UnixNano(),
+		Totals:         make(map[string]int64, len(fleetTotals)),
+		Recorder:       f.rec.status(),
+	}
+	for _, name := range fleetTotals {
+		var v int64
+		if merged != nil {
+			v = merged.FamilyTotal(name)
+		}
+		p.Totals[name] = v
+	}
+	writeJSON(w, p)
+}
+
+// writeJSON renders one indented JSON payload (the fleet package's
+// copy of the ops helper; ops.go's is unexported).
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

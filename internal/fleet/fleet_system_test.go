@@ -1,0 +1,522 @@
+// Package fleet_test boots real multi-node clusters with the fleet
+// observability layer attached to every member and drives the whole
+// story from one node's HTTP surface: cross-node trace assembly,
+// fleet-merged metrics, cluster-scope SLO verdicts, and the
+// anomaly-triggered flight recorder.
+package fleet_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"triggerman"
+	"triggerman/client"
+	"triggerman/internal/cluster"
+	"triggerman/internal/fleet"
+	"triggerman/internal/metrics"
+	"triggerman/internal/retry"
+	"triggerman/internal/types"
+)
+
+// fnode is one booted cluster member with its fleet layer.
+type fnode struct {
+	id   string
+	addr string
+	sys  *triggerman.System
+	node *cluster.Node
+	fl   *fleet.Fleet
+
+	stopO sync.Once
+}
+
+// stop is idempotent so churn tests can kill a node the cleanup will
+// visit again.
+func (n *fnode) stop() {
+	n.stopO.Do(func() {
+		if n.fl != nil {
+			n.fl.Close()
+		}
+		n.node.Close()
+		n.sys.Close()
+	})
+}
+
+func (n *fnode) opsURL(path string) string {
+	return "http://" + n.sys.OpsAddr() + path
+}
+
+// testRetry keeps forwarding/dial backoff short so down-node paths
+// resolve in milliseconds, not seconds.
+func testRetry() *retry.Policy {
+	return &retry.Policy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond}
+}
+
+// burnObjective is mirrored at fleet scope by every node: a
+// sub-bucket threshold means every completed token is "bad", so the
+// first federation round with data starts the burn — the injected
+// anomaly the acceptance test needs.
+func burnObjective() []triggerman.SLOObjective {
+	return []triggerman.SLOObjective{{
+		Name:      "interactive-instant",
+		Class:     "interactive",
+		Target:    0.99,
+		Threshold: time.Nanosecond,
+	}}
+}
+
+// startFleet boots a 3-node cluster A/B/C, each with an ops listener
+// and a Fleet: listeners first, then systems, then cluster start,
+// then the fleet layer (mirroring cmd/tmcluster's boot order).
+func startFleet(t *testing.T) map[string]*fnode {
+	t.Helper()
+	ids := []string{"A", "B", "C"}
+	lns := make([]net.Listener, len(ids))
+	members := make([]cluster.Member, len(ids))
+	for i, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		members[i] = cluster.Member{ID: id, Addr: ln.Addr().String()}
+	}
+	nodes := make(map[string]*fnode, len(ids))
+	for i, id := range ids {
+		sys, err := triggerman.Open(triggerman.Options{
+			Queue:            triggerman.MemoryQueue,
+			Synchronous:      true,
+			NodeID:           id,
+			TraceSampleEvery: 1,
+			MetricsAddr:      "127.0.0.1:0",
+			SLOObjectives:    burnObjective(),
+		})
+		if err != nil {
+			t.Fatalf("Open(%s): %v", id, err)
+		}
+		node, err := cluster.New(sys, cluster.Config{
+			Self:         members[i],
+			Peers:        members,
+			PingEvery:    50 * time.Millisecond,
+			ForwardRetry: testRetry(),
+		})
+		if err != nil {
+			t.Fatalf("cluster.New(%s): %v", id, err)
+		}
+		node.Serve(lns[i])
+		n := &fnode{id: id, addr: members[i].Addr, sys: sys, node: node}
+		nodes[id] = n
+		t.Cleanup(n.stop)
+	}
+	for _, n := range nodes {
+		n.node.Start()
+	}
+	for _, n := range nodes {
+		n.fl = fleet.New(n.sys, n.node, fleet.Config{
+			ScrapeEvery: 100 * time.Millisecond,
+			PeerTimeout: time.Second,
+			Recorder:    fleet.RecorderConfig{Interval: 50 * time.Millisecond},
+		})
+	}
+	return nodes
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// sourceOwnedBy scans generated names for one the ring places on
+// owner.
+func sourceOwnedBy(t *testing.T, r *cluster.Ring, owner string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		name := fmt.Sprintf("src%d", i)
+		if r.Owner(name) == owner {
+			return name
+		}
+	}
+	t.Fatalf("no generated source owned by %s", owner)
+	return ""
+}
+
+func mustCommand(t *testing.T, c *client.Client, text string) {
+	t.Helper()
+	if _, err := c.Command(text); err != nil {
+		t.Fatalf("command %q: %v", text, err)
+	}
+}
+
+func defineAndTrigger(t *testing.T, c *client.Client, src string) {
+	t.Helper()
+	mustCommand(t, c, fmt.Sprintf("define data source %s(x int)", src))
+	mustCommand(t, c, fmt.Sprintf(
+		"create trigger t_%s from %s when %s.x >= 0 do raise event Fired_%s(%s.x)",
+		src, src, src, src, src))
+}
+
+var opsClient = &http.Client{Timeout: 5 * time.Second}
+
+// getBody GETs a URL with a bounded client and returns status + body —
+// the "never hangs" guarantee is the client timeout.
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := opsClient.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	status, body := getBody(t, url)
+	if status != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, status, body)
+	}
+	if err := json.Unmarshal([]byte(body), into); err != nil {
+		t.Fatalf("decode %s: %v (body %q)", url, err, body)
+	}
+}
+
+// tracezView mirrors the /tracez payload fields the tests read.
+type tracezView struct {
+	ID       string `json:"id"`
+	Node     string `json:"node"`
+	Complete bool   `json:"complete"`
+	Nodes    []struct {
+		ID      string `json:"id"`
+		OK      bool   `json:"ok"`
+		Error   string `json:"error"`
+		Records int    `json:"records"`
+	} `json:"nodes"`
+	Segments []struct {
+		Node string `json:"node"`
+	} `json:"segments"`
+	ForwardHopNs int64    `json:"forward_hop_ns"`
+	Timeline     []string `json:"timeline"`
+}
+
+// segmentNodes reports which distinct nodes contributed segments.
+func (v *tracezView) segmentNodes() map[string]bool {
+	out := map[string]bool{}
+	for _, s := range v.Segments {
+		out[s.Node] = true
+	}
+	return out
+}
+
+// expositionValue extracts an exact (unlabeled) sample's value from
+// Prometheus text.
+func expositionValue(t *testing.T, text, sample string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, sample+" "); ok {
+			v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("sample %q not in exposition", sample)
+	return 0
+}
+
+// TestFleetAcceptance is the issue's acceptance path: push a token
+// whose source is owned by a remote node, then retrieve — from the
+// ORIGIN node's HTTP surface alone — the assembled cross-node
+// timeline (with a nonzero forward hop), the fleet-merged histogram
+// whose count equals the sum of the per-node counts, the
+// cluster-scope SLO burn, and the frozen flight-recorder bundle
+// carrying the triggering event.
+func TestFleetAcceptance(t *testing.T) {
+	nodes := startFleet(t)
+	a, b := nodes["A"], nodes["B"]
+	ring := a.node.Ring()
+
+	cliA, err := client.Dial(a.addr, 4)
+	if err != nil {
+		t.Fatalf("dial A: %v", err)
+	}
+	defer cliA.Close()
+
+	srcB := sourceOwnedBy(t, ring, "B")
+	defineAndTrigger(t, cliA, srcB)
+	waitUntil(t, "replication of "+srcB+" to B", func() bool {
+		for _, s := range b.sys.DataSources() {
+			if s == srcB {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Push traced tokens through A; the ring owns them on B, so every
+	// one crosses the forwarding hop.
+	const pushes = 5
+	var traceID string
+	for i := 0; i < pushes; i++ {
+		ctx, err := cliA.PushInsertTraced(srcB, types.Tuple{types.NewInt(int64(i))})
+		if err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+		if traceID == "" {
+			traceID = ctx
+		}
+	}
+	if !strings.HasPrefix(traceID, "tm1-") {
+		t.Fatalf("traced push returned %q, want tm1- context", traceID)
+	}
+	for _, n := range nodes {
+		n.sys.Drain()
+	}
+
+	// 1. Cross-node timeline from the origin: segments from both the
+	// origin (forward hop) and the owner (dequeue/match/action), the
+	// forward-hop stage explicit and nonzero.
+	var tz tracezView
+	waitUntil(t, "assembled cross-node timeline on A", func() bool {
+		tz = tracezView{}
+		getJSON(t, a.opsURL("/tracez?id="+traceID), &tz)
+		segs := tz.segmentNodes()
+		return tz.Complete && segs["A"] && segs["B"] && tz.ForwardHopNs > 0
+	})
+	if len(tz.Nodes) != 3 {
+		t.Fatalf("/tracez nodes = %+v, want 3 rows", tz.Nodes)
+	}
+	if len(tz.Timeline) == 0 {
+		t.Fatalf("/tracez timeline empty: %+v", tz)
+	}
+	sawForward := false
+	for _, line := range tz.Timeline {
+		if strings.Contains(line, "stage=forward") {
+			sawForward = true
+		}
+	}
+	if !sawForward {
+		t.Fatalf("timeline has no forward stage: %v", tz.Timeline)
+	}
+
+	// 2. Fleet-merged histogram from the origin: valid exposition, and
+	// the merged end-to-end count equals the sum of the per-node
+	// counts (everything is drained, so the counts are stable).
+	status, text := getBody(t, a.opsURL("/metrics?scope=cluster"))
+	if status != http.StatusOK {
+		t.Fatalf("/metrics?scope=cluster status %d: %s", status, text)
+	}
+	if err := metrics.CheckExposition(text); err != nil {
+		t.Fatalf("merged exposition invalid: %v", err)
+	}
+	var wantCount int64
+	for _, n := range nodes {
+		if h, ok := n.sys.Metrics().Snapshot().Histogram("tman_token_duration_seconds", ""); ok {
+			wantCount += h.Count
+		}
+	}
+	if wantCount < pushes {
+		t.Fatalf("per-node duration counts sum to %d, want >= %d", wantCount, pushes)
+	}
+	got := expositionValue(t, text, "tman_token_duration_seconds_count")
+	if got != wantCount {
+		t.Fatalf("merged tman_token_duration_seconds_count = %d, want per-node sum %d", got, wantCount)
+	}
+
+	// 3. Cluster-scope SLO from the origin: the nanosecond-threshold
+	// objective must burn once the merged histograms carry the tokens.
+	var sz struct {
+		Enabled    bool     `json:"enabled"`
+		Scope      string   `json:"scope"`
+		Nodes      []string `json:"nodes"`
+		Objectives []struct {
+			Name    string `json:"name"`
+			Burning bool   `json:"burning"`
+		} `json:"objectives"`
+	}
+	waitUntil(t, "cluster-scope SLO burn on A", func() bool {
+		sz = struct {
+			Enabled    bool     `json:"enabled"`
+			Scope      string   `json:"scope"`
+			Nodes      []string `json:"nodes"`
+			Objectives []struct {
+				Name    string `json:"name"`
+				Burning bool   `json:"burning"`
+			} `json:"objectives"`
+		}{}
+		getJSON(t, a.opsURL("/sloz?scope=cluster"), &sz)
+		for _, o := range sz.Objectives {
+			if o.Name == "interactive-instant" && o.Burning {
+				return true
+			}
+		}
+		return false
+	})
+	if !sz.Enabled || sz.Scope != "cluster" || len(sz.Nodes) != 3 {
+		t.Fatalf("/sloz?scope=cluster shape: %+v", sz)
+	}
+
+	// 4. The burn is an anomaly: the origin's flight recorder must
+	// freeze a bundle whose trigger is the slo.burn event.
+	var bz struct {
+		Node          string `json:"node"`
+		Frozen        bool   `json:"frozen"`
+		TriggersTotal int64  `json:"triggers_total"`
+		Bundle        *struct {
+			TriggerKind  string `json:"trigger_kind"`
+			TriggerEvent struct {
+				Event string         `json:"event"`
+				Attrs map[string]any `json:"attrs"`
+			} `json:"trigger_event"`
+			Goroutines string `json:"goroutines"`
+		} `json:"bundle"`
+	}
+	waitUntil(t, "frozen flight-recorder bundle on A", func() bool {
+		getJSON(t, a.opsURL("/debugz/bundle"), &bz)
+		return bz.Frozen && bz.Bundle != nil
+	})
+	if bz.Node != "A" {
+		t.Fatalf("bundle node = %q, want A", bz.Node)
+	}
+	if bz.Bundle.TriggerKind != "slo.burn" || bz.Bundle.TriggerEvent.Event != "slo.burn" {
+		t.Fatalf("bundle trigger = %q / event %q, want slo.burn", bz.Bundle.TriggerKind, bz.Bundle.TriggerEvent.Event)
+	}
+	if state, _ := bz.Bundle.TriggerEvent.Attrs["state"].(string); state != "firing" {
+		t.Fatalf("trigger event state = %v, want firing", bz.Bundle.TriggerEvent.Attrs)
+	}
+	if !strings.Contains(bz.Bundle.Goroutines, "goroutine") {
+		t.Fatal("bundle goroutine dump empty")
+	}
+	if bz.TriggersTotal < 1 {
+		t.Fatalf("triggers_total = %d, want >= 1", bz.TriggersTotal)
+	}
+
+	// /fleetz agrees: every node merged, the summed token counter is at
+	// least the pushes, and the recorder row shows the freeze.
+	var fz struct {
+		Node  string `json:"node"`
+		Nodes []struct {
+			ID string `json:"id"`
+			OK bool   `json:"ok"`
+		} `json:"nodes"`
+		Totals   map[string]int64 `json:"totals"`
+		Recorder struct {
+			Frozen bool `json:"frozen"`
+		} `json:"recorder"`
+	}
+	getJSON(t, a.opsURL("/fleetz"), &fz)
+	if fz.Node != "A" || len(fz.Nodes) != 3 {
+		t.Fatalf("/fleetz shape: %+v", fz)
+	}
+	for _, row := range fz.Nodes {
+		if !row.OK {
+			t.Fatalf("/fleetz node %s not ok: %+v", row.ID, fz.Nodes)
+		}
+	}
+	if fz.Totals["tman_tokens_total"] < pushes {
+		t.Fatalf("fleet tokens_total = %d, want >= %d", fz.Totals["tman_tokens_total"], pushes)
+	}
+	if !fz.Recorder.Frozen {
+		t.Fatal("/fleetz recorder row not frozen after bundle freeze")
+	}
+}
+
+// TestTracezOwnerDeathDegradesToPartial kills the node holding the
+// owner-side half of a trace while /tracez requests are in flight:
+// every response must stay 200 and bounded, and once the peer is gone
+// the assembly degrades to a partial timeline that still carries the
+// origin's forward segment — it never hangs and never 500s.
+func TestTracezOwnerDeathDegradesToPartial(t *testing.T) {
+	nodes := startFleet(t)
+	a, b := nodes["A"], nodes["B"]
+	ring := a.node.Ring()
+
+	cliA, err := client.Dial(a.addr, 4)
+	if err != nil {
+		t.Fatalf("dial A: %v", err)
+	}
+	defer cliA.Close()
+
+	srcB := sourceOwnedBy(t, ring, "B")
+	defineAndTrigger(t, cliA, srcB)
+	ctx, err := cliA.PushInsertTraced(srcB, types.Tuple{types.NewInt(1)})
+	if err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	url := a.opsURL("/tracez?id=" + ctx)
+
+	// Sanity: the full assembly works while everyone is up.
+	var tz tracezView
+	waitUntil(t, "complete pre-kill timeline", func() bool {
+		tz = tracezView{}
+		getJSON(t, url, &tz)
+		return tz.Complete && tz.segmentNodes()["B"]
+	})
+
+	// Hammer /tracez from a background goroutine while B dies, so
+	// requests race the kill itself. Every response must be 200.
+	stop := make(chan struct{})
+	var hammer sync.WaitGroup
+	hammer.Add(1)
+	go func() {
+		defer hammer.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			status, body := getBody(t, url)
+			if status != http.StatusOK {
+				t.Errorf("mid-churn /tracez status %d: %s", status, body)
+				return
+			}
+		}
+	}()
+
+	b.stop()
+	waitUntil(t, "A marks B down", func() bool { return !a.node.PeerUp("B") })
+	close(stop)
+	hammer.Wait()
+
+	// Degraded steady state: 200, complete=false, B's row carries the
+	// error, and the origin's own forward segment is still there.
+	tz = tracezView{}
+	getJSON(t, url, &tz)
+	if tz.Complete {
+		t.Fatalf("timeline still complete with B dead: %+v", tz)
+	}
+	var bErr string
+	for _, row := range tz.Nodes {
+		if row.ID == "B" {
+			if row.OK {
+				t.Fatalf("B row ok with B dead: %+v", tz.Nodes)
+			}
+			bErr = row.Error
+		}
+	}
+	if bErr == "" {
+		t.Fatalf("B row has no error: %+v", tz.Nodes)
+	}
+	if !tz.segmentNodes()["A"] || tz.ForwardHopNs <= 0 {
+		t.Fatalf("partial timeline lost the origin forward segment: %+v", tz)
+	}
+}

@@ -1,0 +1,296 @@
+package fleet_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"triggerman"
+	"triggerman/internal/fleet"
+	"triggerman/internal/metrics"
+)
+
+// openFleetSys opens a standalone System with an ops listener and a
+// Fleet over cl (nil = single-node fleet).
+func openFleetSys(t *testing.T, cl fleet.Cluster, cfg fleet.Config) (*triggerman.System, *fleet.Fleet) {
+	t.Helper()
+	sys, err := triggerman.Open(triggerman.Options{
+		Queue:            triggerman.MemoryQueue,
+		Synchronous:      true,
+		NodeID:           "solo",
+		TraceSampleEvery: 1,
+		MetricsAddr:      "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	fl := fleet.New(sys, cl, cfg)
+	t.Cleanup(fl.Close)
+	return sys, fl
+}
+
+// quietFleet keeps the background loops out of deterministic tests:
+// refreshes happen only on demand (ops requests still refresh).
+func quietFleet() fleet.Config {
+	return fleet.Config{
+		ScrapeEvery: time.Hour,
+		PeerTimeout: 250 * time.Millisecond,
+		Recorder:    fleet.RecorderConfig{Disable: true},
+	}
+}
+
+// fakeCluster substitutes misbehaving peers for the wire layer.
+type fakeCluster struct {
+	self   string
+	peers  []string
+	up     map[string]bool
+	snaps  map[string]string // peer -> metrics snapshot JSON
+	traces map[string]string // peer -> trace records JSON
+	delay  time.Duration     // per-call stall, to trip PeerTimeout
+}
+
+func (f *fakeCluster) SelfID() string    { return f.self }
+func (f *fakeCluster) PeerIDs() []string { return f.peers }
+func (f *fakeCluster) PeerUp(id string) bool {
+	return f.up[id]
+}
+func (f *fakeCluster) PeerTraceFetch(peer, traceID string) (string, error) {
+	time.Sleep(f.delay)
+	return f.traces[peer], nil
+}
+func (f *fakeCluster) PeerMetricsSnapshot(peer string) (string, error) {
+	time.Sleep(f.delay)
+	return f.snaps[peer], nil
+}
+
+// peerSnapshot builds a peer registry with a known counter value and
+// renders it the way the wire verb would.
+func peerSnapshot(t *testing.T, node string, tokens int64) string {
+	t.Helper()
+	r := metrics.NewRegistry()
+	r.Counter("tman_tokens_total", "tokens captured and queued").Add(tokens)
+	snap := r.Snapshot()
+	snap.Node = node
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(raw)
+}
+
+// jsonKeys decodes a JSON object and returns its sorted top-level
+// keys — the ops-contract fixture used across the triggerman repo.
+func jsonKeys(t *testing.T, body string) []string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("decode %q: %v", body, err)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestOpsContractGoldenFields pins the top-level JSON field sets of
+// the fleet endpoints. Dashboards and scrapers key on these names;
+// renaming one is a breaking change this test makes loud.
+func TestOpsContractGoldenFields(t *testing.T) {
+	sys, _ := openFleetSys(t, nil, quietFleet())
+	base := "http://" + sys.OpsAddr()
+
+	_, body := getBody(t, base+"/fleetz")
+	want := []string{"merged_at_unix_ns", "node", "nodes", "recorder", "scrape_errors", "scrapes", "totals"}
+	if got := jsonKeys(t, body); !reflect.DeepEqual(got, want) {
+		t.Fatalf("/fleetz fields = %v, want %v", got, want)
+	}
+
+	_, body = getBody(t, base+"/tracez?id=tm1-00000000000000ab-01")
+	want = []string{"complete", "forward_hop_ns", "id", "node", "nodes", "segments", "timeline"}
+	if got := jsonKeys(t, body); !reflect.DeepEqual(got, want) {
+		t.Fatalf("/tracez fields = %v, want %v", got, want)
+	}
+
+	_, body = getBody(t, base+"/debugz/bundle")
+	want = []string{"frozen", "node", "triggers_total"}
+	if got := jsonKeys(t, body); !reflect.DeepEqual(got, want) {
+		t.Fatalf("/debugz/bundle fields = %v, want %v", got, want)
+	}
+
+	status, body := getBody(t, base+"/sloz?scope=cluster")
+	if status != http.StatusOK {
+		t.Fatalf("/sloz?scope=cluster status %d: %s", status, body)
+	}
+	want = []string{"enabled", "node", "nodes", "objectives", "scope", "windows"}
+	if got := jsonKeys(t, body); !reflect.DeepEqual(got, want) {
+		t.Fatalf("/sloz?scope=cluster fields = %v, want %v", got, want)
+	}
+}
+
+// TestTracezRejectsBadIDs pins the input contract: a missing or
+// malformed id is a 400, never a 500 and never an empty 200.
+func TestTracezRejectsBadIDs(t *testing.T) {
+	sys, _ := openFleetSys(t, nil, quietFleet())
+	base := "http://" + sys.OpsAddr()
+	for _, q := range []string{"", "?id=garbage", "?id=tm1-zz-01", "?id=tm1-0000000000000000-01"} {
+		status, body := getBody(t, base+"/tracez"+q)
+		if status != http.StatusBadRequest {
+			t.Fatalf("/tracez%s status = %d (%s), want 400", q, status, body)
+		}
+	}
+}
+
+// TestClusterScopeNeedsFederation pins the standalone behavior: a
+// system with no fleet layer answers ?scope=cluster with 501, not a
+// confusing single-node payload.
+func TestClusterScopeNeedsFederation(t *testing.T) {
+	sys, err := triggerman.Open(triggerman.Options{
+		Queue:       triggerman.MemoryQueue,
+		Synchronous: true,
+		MetricsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer sys.Close()
+	status, _ := getBody(t, "http://"+sys.OpsAddr()+"/metrics?scope=cluster")
+	if status != http.StatusNotImplemented {
+		t.Fatalf("/metrics?scope=cluster without fleet: status %d, want 501", status)
+	}
+}
+
+// TestFederationMergesAndDegrades drives a Refresh against one
+// healthy fake peer and one down peer: the merged counter must be the
+// sum over reachable nodes, and the down peer must surface as a row
+// error, not a failed round.
+func TestFederationMergesAndDegrades(t *testing.T) {
+	fake := &fakeCluster{
+		self:  "solo",
+		peers: []string{"p1", "p2"},
+		up:    map[string]bool{"p1": true, "p2": false},
+		snaps: map[string]string{"p1": peerSnapshot(t, "p1", 40)},
+	}
+	sys, _ := openFleetSys(t, fake, quietFleet())
+	local := sys.Metrics().Snapshot().FamilyTotal("tman_tokens_total")
+
+	var fz struct {
+		Nodes []struct {
+			ID    string `json:"id"`
+			Self  bool   `json:"self"`
+			OK    bool   `json:"ok"`
+			Error string `json:"error"`
+		} `json:"nodes"`
+		ScrapeErrors int64            `json:"scrape_errors"`
+		Totals       map[string]int64 `json:"totals"`
+	}
+	getJSON(t, "http://"+sys.OpsAddr()+"/fleetz", &fz)
+	if len(fz.Nodes) != 3 {
+		t.Fatalf("fleetz rows = %+v, want self+2 peers", fz.Nodes)
+	}
+	for _, row := range fz.Nodes {
+		switch row.ID {
+		case "solo":
+			if !row.Self || !row.OK {
+				t.Fatalf("self row: %+v", row)
+			}
+		case "p1":
+			if !row.OK {
+				t.Fatalf("p1 row: %+v", row)
+			}
+		case "p2":
+			if row.OK || row.Error != "peer is down" {
+				t.Fatalf("p2 row: %+v", row)
+			}
+		}
+	}
+	if fz.ScrapeErrors < 1 {
+		t.Fatalf("scrape_errors = %d, want >= 1 for the down peer", fz.ScrapeErrors)
+	}
+	if want := local + 40; fz.Totals["tman_tokens_total"] != want {
+		t.Fatalf("merged tokens_total = %d, want local %d + peer 40", fz.Totals["tman_tokens_total"], local)
+	}
+
+	// The merged exposition is valid and carries the summed counter.
+	status, text := getBody(t, "http://"+sys.OpsAddr()+"/metrics?scope=cluster")
+	if status != http.StatusOK {
+		t.Fatalf("scope=cluster status %d", status)
+	}
+	if err := metrics.CheckExposition(text); err != nil {
+		t.Fatalf("merged exposition invalid: %v", err)
+	}
+}
+
+// TestTracezPeerTimeoutDegrades wedges a fake peer past PeerTimeout:
+// the assembly must come back within the bound, Complete=false, with
+// the timeout named in the peer's row.
+func TestTracezPeerTimeoutDegrades(t *testing.T) {
+	fake := &fakeCluster{
+		self:  "solo",
+		peers: []string{"slow"},
+		up:    map[string]bool{"slow": true},
+		delay: 2 * time.Second,
+	}
+	sys, _ := openFleetSys(t, fake, quietFleet()) // PeerTimeout 250ms
+
+	began := time.Now()
+	var tz tracezView
+	getJSON(t, "http://"+sys.OpsAddr()+"/tracez?id=tm1-00000000000000ab-01", &tz)
+	if el := time.Since(began); el > 2*time.Second {
+		t.Fatalf("tracez took %v despite 250ms peer timeout", el)
+	}
+	if tz.Complete {
+		t.Fatal("timeline complete despite wedged peer")
+	}
+	if len(tz.Nodes) != 2 || tz.Nodes[1].OK || !strings.Contains(tz.Nodes[1].Error, "timed out") {
+		t.Fatalf("slow peer row: %+v", tz.Nodes)
+	}
+}
+
+// TestRecorderFreezesOnPeerDown feeds the recorder a peer-down
+// transition through the event log and checks the freeze/rearm cycle
+// from the HTTP surface.
+func TestRecorderFreezesOnPeerDown(t *testing.T) {
+	cfg := quietFleet()
+	cfg.Recorder = fleet.RecorderConfig{Disable: true} // CheckNow runs in the handler
+	sys, _ := openFleetSys(t, nil, cfg)
+	base := "http://" + sys.OpsAddr()
+
+	// Baseline: armed, nothing frozen.
+	var bz struct {
+		Frozen        bool  `json:"frozen"`
+		TriggersTotal int64 `json:"triggers_total"`
+		Bundle        *struct {
+			TriggerKind string           `json:"trigger_kind"`
+			WindowNs    int64            `json:"window_ns"`
+			Events      []map[string]any `json:"events"`
+		} `json:"bundle"`
+	}
+	getJSON(t, base+"/debugz/bundle", &bz)
+	if bz.Frozen {
+		t.Fatalf("recorder frozen before any anomaly: %+v", bz)
+	}
+
+	// The cluster layer's down transition, as the pinger would emit it.
+	sys.EventLog().Warn("cluster.peer", "peer", "B", "state", "down")
+	getJSON(t, base+"/debugz/bundle", &bz)
+	if !bz.Frozen || bz.Bundle == nil || bz.Bundle.TriggerKind != "peer.down" {
+		t.Fatalf("no peer.down freeze: %+v", bz)
+	}
+	if bz.TriggersTotal != 1 {
+		t.Fatalf("triggers_total = %d, want 1", bz.TriggersTotal)
+	}
+
+	// Rearm clears the bundle; the already-consumed event must not
+	// re-freeze it.
+	getJSON(t, base+"/debugz/bundle?rearm=1", &bz)
+	if bz.Frozen {
+		t.Fatalf("recorder still frozen after rearm: %+v", bz)
+	}
+}

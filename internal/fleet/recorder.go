@@ -1,0 +1,337 @@
+package fleet
+
+import (
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"triggerman"
+	"triggerman/internal/eventlog"
+	"triggerman/internal/trace"
+)
+
+// RecorderConfig tunes the flight recorder.
+type RecorderConfig struct {
+	// Interval is the buffering tick (default 250ms); each tick stores
+	// one frame of scalar metric values and scans new event-log
+	// entries for triggers.
+	Interval time.Duration
+	// Frames bounds the frame ring (default 32 — with the default
+	// interval, an ~8s metrics-delta window).
+	Frames int
+	// DeadLetterSpike is the tman_dead_letters_total delta over the
+	// buffered window that counts as an anomaly (default 25).
+	DeadLetterSpike int64
+	// TraceTail and EventTail bound how many recent traces / events a
+	// frozen bundle carries (defaults 16 / 64).
+	TraceTail int
+	EventTail int
+	// Disable skips the background tick loop; CheckNow (and therefore
+	// /debugz/bundle) still evaluates triggers on demand.
+	Disable bool
+}
+
+// MetricDelta is one scalar instrument's change over the buffered
+// window.
+type MetricDelta struct {
+	Name  string `json:"name"`
+	Delta int64  `json:"delta"`
+}
+
+// Bundle is the frozen black box: what the node looked like the
+// moment the first anomaly fired. It is captured once and held until
+// rearmed, so the state near the incident survives however long the
+// operator takes to look.
+type Bundle struct {
+	Node           string `json:"node"`
+	FrozenAtUnixNs int64  `json:"frozen_at_unix_ns"`
+	// TriggerKind is "slo.burn", "peer.down", or "deadletter.spike".
+	TriggerKind  string          `json:"trigger_kind"`
+	TriggerEvent eventlog.Record `json:"trigger_event"`
+	// WindowNs is the metrics-delta observation window (oldest
+	// buffered frame to the freeze).
+	WindowNs     int64             `json:"window_ns"`
+	MetricsDelta []MetricDelta     `json:"metrics_delta"`
+	Events       []eventlog.Record `json:"events"`
+	Traces       []trace.Record    `json:"traces"`
+	Goroutines   string            `json:"goroutines"`
+}
+
+// frame is one buffered tick: every scalar instrument's value.
+type frame struct {
+	at      time.Time
+	scalars map[string]int64
+}
+
+// Recorder is the anomaly-triggered flight recorder: a bounded buffer
+// of recent system state plus a one-shot freeze.
+type Recorder struct {
+	sys  *triggerman.System
+	node string
+	cfg  RecorderConfig
+
+	// tickMu serializes tick bodies (background loop vs handler-driven
+	// CheckNow).
+	tickMu sync.Mutex
+
+	mu         sync.Mutex
+	frames     []frame
+	next, cnt  int
+	seenEvents int64
+	frozen     *Bundle
+
+	triggers atomic.Int64
+
+	stopC  chan struct{}
+	doneC  chan struct{}
+	closeO sync.Once
+}
+
+func newRecorder(sys *triggerman.System, node string, cfg RecorderConfig) *Recorder {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	if cfg.Frames <= 0 {
+		cfg.Frames = 32
+	}
+	if cfg.DeadLetterSpike <= 0 {
+		cfg.DeadLetterSpike = 25
+	}
+	if cfg.TraceTail <= 0 {
+		cfg.TraceTail = 16
+	}
+	if cfg.EventTail <= 0 {
+		cfg.EventTail = 64
+	}
+	return &Recorder{
+		sys:    sys,
+		node:   node,
+		cfg:    cfg,
+		frames: make([]frame, cfg.Frames),
+		// Start the event high-water at the current total: history from
+		// before the recorder existed must not fire it.
+		seenEvents: sys.EventLog().Total(),
+		stopC:      make(chan struct{}),
+		doneC:      make(chan struct{}),
+	}
+}
+
+func (r *Recorder) start() {
+	if r.cfg.Disable {
+		close(r.doneC)
+		return
+	}
+	go func() {
+		defer close(r.doneC)
+		tick := time.NewTicker(r.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-r.stopC:
+				return
+			case <-tick.C:
+				r.CheckNow()
+			}
+		}
+	}()
+}
+
+func (r *Recorder) stop() {
+	r.closeO.Do(func() {
+		close(r.stopC)
+		<-r.doneC
+	})
+}
+
+// scalarFrame flattens the registry's counters into name{labels} →
+// value. Counters only: their deltas are rates, which is what an
+// incident window wants; gauges and histograms ride along in the
+// bundle via events and traces.
+func (r *Recorder) scalarFrame() frame {
+	snap := r.sys.Metrics().Snapshot()
+	f := frame{at: time.Now(), scalars: make(map[string]int64, 64)}
+	for _, fam := range snap.Families {
+		if fam.Kind != "counter" {
+			continue
+		}
+		for _, inst := range fam.Insts {
+			f.scalars[fam.Name+inst.Labels] = inst.Value
+		}
+	}
+	return f
+}
+
+// CheckNow runs one recorder tick synchronously: buffer a frame, scan
+// for triggers, freeze on the first anomaly. The /debugz/bundle
+// handler calls it so a bundle request never races the tick interval.
+func (r *Recorder) CheckNow() {
+	r.tickMu.Lock()
+	defer r.tickMu.Unlock()
+
+	cur := r.scalarFrame()
+	elog := r.sys.EventLog()
+	total := elog.Total()
+
+	r.mu.Lock()
+	newN := total - r.seenEvents
+	r.seenEvents = total
+	var oldest *frame
+	if r.cnt > 0 {
+		idx := (r.next - r.cnt + len(r.frames)) % len(r.frames)
+		o := r.frames[idx]
+		oldest = &o
+	}
+	alreadyFrozen := r.frozen != nil
+	r.mu.Unlock()
+
+	// Trigger scan 1+2: fresh slo.burn firings and peer down
+	// transitions in the event log since the last tick.
+	var trigKind string
+	var trigEvent eventlog.Record
+	if newN > 0 {
+		recent := elog.Recent()
+		if newN > int64(len(recent)) {
+			newN = int64(len(recent))
+		}
+		for _, rec := range recent[len(recent)-int(newN):] {
+			switch rec.Event {
+			case "slo.burn":
+				if s, _ := rec.Attrs["state"].(string); s == "firing" {
+					trigKind, trigEvent = "slo.burn", rec
+				}
+			case "cluster.peer":
+				if s, _ := rec.Attrs["state"].(string); s == "down" && trigKind == "" {
+					trigKind, trigEvent = "peer.down", rec
+				}
+			}
+		}
+	}
+	// Trigger scan 3: dead-letter spike over the buffered window.
+	if trigKind == "" && oldest != nil {
+		const dl = "tman_dead_letters_total"
+		if delta := cur.scalars[dl] - oldest.scalars[dl]; delta >= r.cfg.DeadLetterSpike {
+			trigKind = "deadletter.spike"
+			trigEvent = eventlog.Record{
+				Time: cur.at, Level: "WARN", Event: "deadletter.spike",
+				Attrs: map[string]any{
+					"delta":     delta,
+					"window_ns": cur.at.Sub(oldest.at).Nanoseconds(),
+				},
+			}
+		}
+	}
+
+	if trigKind != "" {
+		r.triggers.Add(1)
+		if !alreadyFrozen {
+			r.freeze(trigKind, trigEvent, cur, oldest)
+		}
+	}
+
+	r.mu.Lock()
+	r.frames[r.next] = cur
+	r.next = (r.next + 1) % len(r.frames)
+	if r.cnt < len(r.frames) {
+		r.cnt++
+	}
+	r.mu.Unlock()
+}
+
+// freeze captures the bundle: goroutine dump, metrics delta over the
+// buffered window, recent events and traces — then announces itself in
+// the event log (where /eventz and peers can see it).
+func (r *Recorder) freeze(kind string, ev eventlog.Record, cur frame, oldest *frame) {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	b := &Bundle{
+		Node:           r.node,
+		FrozenAtUnixNs: cur.at.UnixNano(),
+		TriggerKind:    kind,
+		TriggerEvent:   ev,
+		MetricsDelta:   []MetricDelta{},
+		Goroutines:     string(buf[:n]),
+	}
+	if oldest != nil {
+		b.WindowNs = cur.at.Sub(oldest.at).Nanoseconds()
+		for name, v := range cur.scalars {
+			if d := v - oldest.scalars[name]; d != 0 {
+				b.MetricsDelta = append(b.MetricsDelta, MetricDelta{Name: name, Delta: d})
+			}
+		}
+		sort.Slice(b.MetricsDelta, func(i, j int) bool { return b.MetricsDelta[i].Name < b.MetricsDelta[j].Name })
+	}
+	events := r.sys.EventLog().Recent()
+	if len(events) > r.cfg.EventTail {
+		events = events[len(events)-r.cfg.EventTail:]
+	}
+	b.Events = events
+	traces := r.sys.Tracer().Recent()
+	if len(traces) > r.cfg.TraceTail {
+		traces = traces[len(traces)-r.cfg.TraceTail:]
+	}
+	b.Traces = traces
+
+	r.mu.Lock()
+	if r.frozen == nil {
+		r.frozen = b
+	}
+	r.mu.Unlock()
+	r.sys.EventLog().Warn("flightrecorder.freeze", "node", r.node, "trigger", kind)
+}
+
+// Rearm clears a frozen bundle so the recorder can capture the next
+// anomaly.
+func (r *Recorder) Rearm() {
+	r.mu.Lock()
+	r.frozen = nil
+	r.mu.Unlock()
+}
+
+// recorderStatus is the /fleetz summary row.
+type recorderStatus struct {
+	Enabled       bool  `json:"enabled"`
+	Frozen        bool  `json:"frozen"`
+	TriggersTotal int64 `json:"triggers_total"`
+}
+
+func (r *Recorder) status() recorderStatus {
+	r.mu.Lock()
+	frozen := r.frozen != nil
+	r.mu.Unlock()
+	return recorderStatus{
+		Enabled:       !r.cfg.Disable,
+		Frozen:        frozen,
+		TriggersTotal: r.triggers.Load(),
+	}
+}
+
+// bundlePayload is the /debugz/bundle shape; Bundle is present only
+// once frozen.
+type bundlePayload struct {
+	Node          string  `json:"node"`
+	Frozen        bool    `json:"frozen"`
+	TriggersTotal int64   `json:"triggers_total"`
+	Bundle        *Bundle `json:"bundle,omitempty"`
+}
+
+// handleBundle serves /debugz/bundle. ?rearm=1 clears a frozen bundle
+// first; the handler then evaluates triggers synchronously so a burn
+// that just fired is visible without waiting for the next tick.
+func (r *Recorder) handleBundle(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("rearm") == "1" {
+		r.Rearm()
+	}
+	r.CheckNow()
+	r.mu.Lock()
+	b := r.frozen
+	r.mu.Unlock()
+	writeJSON(w, bundlePayload{
+		Node:          r.node,
+		Frozen:        b != nil,
+		TriggersTotal: r.triggers.Load(),
+		Bundle:        b,
+	})
+}

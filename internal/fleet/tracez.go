@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"triggerman/internal/trace"
+)
+
+// tracezPayload is the assembled cross-node timeline for one
+// propagated trace id. Complete is false when any peer could not be
+// asked (down, timed out, or returned garbage) — the timeline then
+// covers the reachable subset, which is the useful degradation: a
+// partial answer now beats a complete answer never.
+type tracezPayload struct {
+	ID       string       `json:"id"`
+	Node     string       `json:"node"`
+	Complete bool         `json:"complete"`
+	Nodes    []tracezNode `json:"nodes"`
+	// Segments are every node's records for this id, merged and sorted
+	// by start time: origin capture → forward hop → owner
+	// dequeue/match/action.
+	Segments []tracezSegment `json:"segments"`
+	// ForwardHopNs totals the forward-stage time across segments — the
+	// cross-node cost, made explicit so "slow because of the hop" and
+	// "slow on the owner" are distinguishable at a glance.
+	ForwardHopNs int64 `json:"forward_hop_ns"`
+	// Timeline is a human-readable rendering: one line per stage,
+	// offset from the earliest segment's start.
+	Timeline []string `json:"timeline"`
+}
+
+// tracezNode is one node's contribution to the assembly.
+type tracezNode struct {
+	ID      string `json:"id"`
+	OK      bool   `json:"ok"`
+	Error   string `json:"error,omitempty"`
+	Records int    `json:"records"`
+}
+
+// tracezSegment is one node's trace record, stamped with the node it
+// came from.
+type tracezSegment struct {
+	Node string `json:"node"`
+	trace.Record
+}
+
+// handleTracez serves /tracez?id=tm1-...: the local trace ring's
+// records for the id plus every reachable peer's, assembled into one
+// timeline. Peer failures degrade the answer (Complete=false); they
+// never 500 it, and PeerTimeout guarantees it cannot hang.
+func (f *Fleet) handleTracez(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("id")
+	if raw == "" {
+		http.Error(w, "tracez: ?id=tm1-<traceid>-<flags> required", http.StatusBadRequest)
+		return
+	}
+	tid, _, err := trace.ParseContext(raw)
+	if err != nil || tid == 0 {
+		http.Error(w, fmt.Sprintf("tracez: bad trace id %q", raw), http.StatusBadRequest)
+		return
+	}
+	id := trace.FormatContext(tid, trace.FlagSampled)
+	self := f.selfID()
+	p := tracezPayload{
+		ID:       id,
+		Node:     self,
+		Complete: true,
+		Nodes:    []tracezNode{},
+		Segments: []tracezSegment{},
+		Timeline: []string{},
+	}
+
+	local := f.sys.Tracer().RecordsByParent(tid)
+	p.Nodes = append(p.Nodes, tracezNode{ID: self, OK: true, Records: len(local)})
+	for _, rec := range local {
+		p.Segments = append(p.Segments, tracezSegment{Node: self, Record: rec})
+	}
+
+	if f.cl != nil {
+		for _, pid := range f.cl.PeerIDs() {
+			row := tracezNode{ID: pid}
+			switch {
+			case !f.cl.PeerUp(pid):
+				row.Error = "peer is down"
+				p.Complete = false
+			default:
+				out, err := f.callPeer(func() (string, error) { return f.cl.PeerTraceFetch(pid, id) })
+				if err != nil {
+					row.Error = err.Error()
+					p.Complete = false
+					break
+				}
+				var recs []trace.Record
+				if err := json.Unmarshal([]byte(out), &recs); err != nil {
+					row.Error = fmt.Sprintf("bad trace payload: %v", err)
+					p.Complete = false
+					break
+				}
+				row.OK = true
+				row.Records = len(recs)
+				for _, rec := range recs {
+					p.Segments = append(p.Segments, tracezSegment{Node: pid, Record: rec})
+				}
+			}
+			p.Nodes = append(p.Nodes, row)
+		}
+	}
+
+	sort.SliceStable(p.Segments, func(i, j int) bool {
+		return p.Segments[i].Start.Before(p.Segments[j].Start)
+	})
+	for _, seg := range p.Segments {
+		for _, st := range seg.Stages {
+			if st.Stage == trace.StageForward.String() {
+				p.ForwardHopNs += int64(st.Total)
+			}
+		}
+	}
+	if len(p.Segments) > 0 {
+		t0 := p.Segments[0].Start
+		for _, seg := range p.Segments {
+			off := seg.Start.Sub(t0)
+			for _, st := range seg.Stages {
+				p.Timeline = append(p.Timeline, fmt.Sprintf(
+					"+%.3fms node=%s stage=%s took=%.3fms",
+					float64(off.Nanoseconds())/1e6, seg.Node, st.Stage,
+					float64(st.Total.Nanoseconds())/1e6))
+			}
+		}
+	}
+	writeJSON(w, p)
+}

@@ -1,0 +1,247 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates Prometheus text exposition format (0.0.4)
+// strictly enough to catch a broken federation renderer: well-formed
+// HELP/TYPE comments, metric-name and label syntax, parseable sample
+// values, every sample preceded by its family's TYPE line, and
+// histogram invariants (monotone cumulative buckets, _count equal to
+// the +Inf bucket). The cluster-scrape smoke step fails on the first
+// error.
+func CheckExposition(text string) error {
+	types := map[string]string{}
+	// histState tracks the in-progress histogram checks per family.
+	type histState struct {
+		lastCum  int64
+		infSeen  bool
+		infVal   int64
+		countVal int64
+		hasCount bool
+	}
+	hists := map[string]*histState{} // keyed family + base labels
+	for lineno, line := range strings.Split(text, "\n") {
+		n := lineno + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", n, line)
+			}
+			if !validMetricName(fields[2]) {
+				return fmt.Errorf("line %d: bad metric name %q", n, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE needs a kind", n)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q", n, fields[3])
+				}
+				if _, dup := types[fields[2]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", n, fields[2])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", n, err)
+		}
+		fam := name
+		suffix := ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name && types[base] == "histogram" {
+				fam, suffix = base, sfx
+				break
+			}
+		}
+		if _, ok := types[fam]; !ok {
+			return fmt.Errorf("line %d: sample %s before its TYPE line", n, name)
+		}
+		if types[fam] == "histogram" && suffix == "" {
+			return fmt.Errorf("line %d: bare sample %s in histogram family", n, name)
+		}
+		if types[fam] == "histogram" {
+			le, base := splitLE(labels)
+			key := fam + base
+			st := hists[key]
+			if st == nil {
+				st = &histState{}
+				hists[key] = st
+			}
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label", n)
+				}
+				cum := int64(value)
+				if cum < st.lastCum {
+					return fmt.Errorf("line %d: non-monotone cumulative bucket in %s%s", n, fam, base)
+				}
+				st.lastCum = cum
+				if le == "+Inf" {
+					st.infSeen = true
+					st.infVal = cum
+				}
+			case "_count":
+				st.hasCount = true
+				st.countVal = int64(value)
+			}
+		}
+	}
+	for key, st := range hists {
+		if !st.infSeen {
+			return fmt.Errorf("histogram %s has no +Inf bucket", key)
+		}
+		if !st.hasCount {
+			return fmt.Errorf("histogram %s has no _count", key)
+		}
+		if st.countVal != st.infVal {
+			return fmt.Errorf("histogram %s: _count %d != +Inf bucket %d", key, st.countVal, st.infVal)
+		}
+	}
+	return nil
+}
+
+// parseSample splits `name{labels} value` (labels optional) and parses
+// the value as a float.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i : j+1]
+		rest = strings.TrimSpace(rest[j+1:])
+		if err := checkLabels(labels); err != nil {
+			return "", "", 0, err
+		}
+	} else {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("no value in %q", line)
+		}
+		name, rest = fields[0], strings.TrimSpace(fields[1])
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("bad metric name %q", name)
+	}
+	// A sample may carry an optional timestamp after the value.
+	valField := strings.Fields(rest)
+	if len(valField) < 1 || len(valField) > 2 {
+		return "", "", 0, fmt.Errorf("bad sample tail %q", rest)
+	}
+	v, perr := strconv.ParseFloat(valField[0], 64)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("bad sample value %q", valField[0])
+	}
+	return name, labels, v, nil
+}
+
+// checkLabels validates a rendered `{k="v",...}` set.
+func checkLabels(rendered string) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(rendered, "{"), "}")
+	if inner == "" {
+		return nil
+	}
+	for len(inner) > 0 {
+		eq := strings.Index(inner, `="`)
+		if eq <= 0 || !validLabelName(inner[:eq]) {
+			return fmt.Errorf("bad label in %q", rendered)
+		}
+		rest := inner[eq+2:]
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value in %q", rendered)
+		}
+		inner = rest[end+1:]
+		if inner == "" {
+			break
+		}
+		if !strings.HasPrefix(inner, ",") {
+			return fmt.Errorf("bad label separator in %q", rendered)
+		}
+		inner = inner[1:]
+	}
+	return nil
+}
+
+// splitLE extracts the le="..." pair from a rendered label set,
+// returning its value and the remaining labels (the histogram's own
+// identity, used to key per-series bucket checks).
+func splitLE(rendered string) (le, base string) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(rendered, "{"), "}")
+	var kept []string
+	for _, part := range strings.Split(inner, ",") {
+		if v, ok := strings.CutPrefix(part, `le="`); ok {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		if part != "" {
+			kept = append(kept, part)
+		}
+	}
+	if len(kept) == 0 {
+		return le, ""
+	}
+	return le, "{" + strings.Join(kept, ",") + "}"
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

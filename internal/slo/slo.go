@@ -46,6 +46,14 @@ func (s HistogramSource) Totals() (total, good int64) {
 	return s.H.Count(), s.H.CountAtOrBelow(s.Cutoff)
 }
 
+// FuncSource adapts a closure — the fleet layer uses it to evaluate
+// objectives over merged cross-node histogram snapshots, which have no
+// live *metrics.Histogram to hand to HistogramSource.
+type FuncSource func() (total, good int64)
+
+// Totals implements Source.
+func (f FuncSource) Totals() (total, good int64) { return f() }
+
 // Objective is one declarative latency contract.
 type Objective struct {
 	// Name identifies the objective in metrics, /sloz, and events

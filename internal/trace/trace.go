@@ -53,6 +53,12 @@ const (
 	// StageDeliver is event-bus publication within a raise event
 	// action.
 	StageDeliver
+	// StageForward is the cross-node forward hop: the origin node's
+	// synchronous wire call shipping a non-owned token to its owner.
+	// It is recorded origin-side as a synthesized record (the token's
+	// local lifecycle ends at the forward); the owner's stages continue
+	// under the same propagated trace id.
+	StageForward
 	numStages
 )
 
@@ -73,6 +79,8 @@ func (s Stage) String() string {
 		return "action"
 	case StageDeliver:
 		return "deliver"
+	case StageForward:
+		return "forward"
 	default:
 		return "unknown"
 	}
@@ -569,6 +577,65 @@ func (t *Tracer) Recent() []Record {
 	start := (t.next - t.count + len(t.ring)) % len(t.ring)
 	for i := 0; i < t.count; i++ {
 		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// RecordForward synthesizes a completed origin-side record for a
+// token forwarded to its owner node: the origin never dequeues the
+// token, so without this the forward hop would vanish from the trace
+// ring and a cross-node timeline would start at the owner. The record
+// carries the propagated trace id as its TraceParent — the same id the
+// owner's record will carry — so RecordsByParent stitches both halves
+// together. No-op when tracing is disabled or the id is unsampled.
+func (t *Tracer) RecordForward(source int32, op string, parent uint64, start time.Time, d time.Duration) {
+	if t == nil || t.cfg.SampleEvery <= 0 || parent == 0 {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	if h := t.stageHists[StageForward]; h != nil {
+		h.Observe(d)
+	}
+	rec := Record{
+		Source:      source,
+		Op:          op,
+		Start:       start,
+		TraceParent: FormatContext(parent, FlagSampled),
+		Total:       d,
+		ServiceNs:   int64(d),
+		Stages:      []StageStat{{Stage: StageForward.String(), Count: 1, Total: d}},
+	}
+	if fn := t.cfg.ClassOf; fn != nil {
+		rec.Class = fn(source)
+	}
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % len(t.ring)
+	if t.count < len(t.ring) {
+		t.count++
+	}
+	t.mu.Unlock()
+}
+
+// RecordsByParent returns every retained record carrying the given
+// propagated trace id, oldest first — the node-local slice of a
+// cross-node trace, served over the wire by ReqTraceFetch.
+func (t *Tracer) RecordsByParent(parent uint64) []Record {
+	if t == nil || parent == 0 {
+		return nil
+	}
+	want := FormatContext(parent, FlagSampled)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Record
+	start := (t.next - t.count + len(t.ring)) % len(t.ring)
+	for i := 0; i < t.count; i++ {
+		rec := t.ring[(start+i)%len(t.ring)]
+		if rec.TraceParent == want {
+			out = append(out, rec)
+		}
 	}
 	return out
 }

@@ -42,6 +42,17 @@ type ForwardBackend interface {
 	ForwardToken(source string, op datasource.Op, old, new []Value, trace, origin string) error
 }
 
+// IntrospectBackend is implemented by backends that serve the fleet
+// observability verbs: TraceFetch returns the node-local trace records
+// for a tm1- trace id as a JSON array, MetricsSnapshot the node's
+// metrics registry as a JSON metrics.Snapshot. Both are read-only and
+// bounded (trace ring, registry walk), so peers may call them on every
+// scrape tick.
+type IntrospectBackend interface {
+	TraceFetch(id string) (string, error)
+	MetricsSnapshot() (string, error)
+}
+
 // Config tunes a Server beyond its backend.
 type Config struct {
 	// NodeID is this endpoint's identity, returned in the hello
@@ -257,6 +268,28 @@ func (s *Server) dispatch(sess *session, req *Request) *Response {
 			return fail(err)
 		}
 		resp.OK = true
+	case ReqTraceFetch:
+		ib, ok := s.backend.(IntrospectBackend)
+		if !ok {
+			return fail(fmt.Errorf("wire: this server has no introspection backend"))
+		}
+		out, err := ib.TraceFetch(req.Text)
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Output = out
+	case ReqSnapshot:
+		ib, ok := s.backend.(IntrospectBackend)
+		if !ok {
+			return fail(fmt.Errorf("wire: this server has no introspection backend"))
+		}
+		out, err := ib.MetricsSnapshot()
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Output = out
 	default:
 		return fail(fmt.Errorf("wire: unknown op %q", req.Op))
 	}

@@ -41,6 +41,14 @@ const (
 	ReqPing        = "ping"
 	ReqDDL         = "ddl"
 	ReqForward     = "forward"
+	// ReqTraceFetch and ReqSnapshot are the fleet-observability verbs:
+	// tracefetch returns a node's local trace records for a tm1- trace
+	// id (carried in Text), metricsnap a JSON snapshot of its metrics
+	// registry; both answer in Response.Output. Adding verbs is a
+	// compatible protocol change — an old server answers them with a
+	// clean unknown-op error, which the fleet layer degrades on.
+	ReqTraceFetch = "tracefetch"
+	ReqSnapshot   = "metricsnap"
 )
 
 // VersionError reports a protocol version mismatch discovered during

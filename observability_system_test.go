@@ -371,6 +371,11 @@ func TestChaosTelemetry(t *testing.T) {
 			// through one task, so the stage is legitimately empty.
 			continue
 		}
+		if st == trace.StageForward {
+			// Only recorded when a cluster node forwards a token to a
+			// remote owner; this is a single-node system.
+			continue
+		}
 		p99, ok := sys.Tracer().StageQuantile(st, 0.99)
 		if !ok {
 			t.Errorf("stage %s has no recorded durations", st)

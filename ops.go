@@ -112,6 +112,25 @@ func (s *System) MetricsText() (string, error) {
 }
 
 func (s *System) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// ?scope=cluster answers with the fleet-merged registry when a
+	// federation provider is installed (internal/fleet). Branching here
+	// keeps one route: collectors scrape the same path per node or per
+	// fleet and only the query parameter differs.
+	if r.URL.Query().Get("scope") == "cluster" {
+		fed := s.federation()
+		if fed == nil {
+			http.Error(w, "triggerman: scope=cluster needs fleet federation (standalone node)", http.StatusNotImplemented)
+			return
+		}
+		text, err := fed.ClusterMetrics()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, text)
+		return
+	}
 	text, err := s.MetricsText()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
@@ -252,6 +271,24 @@ type slozPayload struct {
 func (s *System) handleSloz(w http.ResponseWriter, r *http.Request) {
 	if s.isClosed() {
 		http.Error(w, errClosed.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	// ?scope=cluster: burn verdicts over the fleet-merged per-class
+	// histograms. The default (node-scope) payload shape is a pinned
+	// ops contract, so cluster scope returns its own payload instead of
+	// mutating this one.
+	if r.URL.Query().Get("scope") == "cluster" {
+		fed := s.federation()
+		if fed == nil {
+			http.Error(w, "triggerman: scope=cluster needs fleet federation (standalone node)", http.StatusNotImplemented)
+			return
+		}
+		payload, err := fed.ClusterSloz()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, payload)
 		return
 	}
 	if s.sloEng == nil {

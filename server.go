@@ -1,6 +1,7 @@
 package triggerman
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 
@@ -72,6 +73,45 @@ func (s *System) decodeWireToken(source string, op datasource.Op, old, new []wir
 		return datasource.Token{}, err
 	}
 	return datasource.Token{SourceID: src.ID, Op: op, Old: oldT, New: newT}, nil
+}
+
+// TraceFetch implements wire.IntrospectBackend: the node-local slice
+// of a cross-node trace, as a JSON array of trace.Record. Peers call
+// it (via ReqTraceFetch) when assembling a /tracez timeline.
+func (s *System) TraceFetch(id string) (string, error) {
+	if s.isClosed() {
+		return "", errClosed
+	}
+	tid, _, err := trace.ParseContext(id)
+	if err != nil {
+		return "", err
+	}
+	if tid == 0 {
+		return "", fmt.Errorf("triggerman: trace fetch needs a tm1- trace id")
+	}
+	recs := s.tracer.RecordsByParent(tid)
+	if recs == nil {
+		recs = []trace.Record{}
+	}
+	b, err := json.Marshal(recs)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// MetricsSnapshot implements wire.IntrospectBackend: the registry as a
+// JSON metrics.Snapshot, the mergeable form metrics federation ships
+// between nodes.
+func (s *System) MetricsSnapshot() (string, error) {
+	if s.isClosed() {
+		return "", errClosed
+	}
+	b, err := json.Marshal(s.met.Snapshot())
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
 }
 
 // StatsText renders a human-readable stats summary for the console's

@@ -221,6 +221,25 @@ type TokenRouter interface {
 // consistent concrete type, including the nil "no router" state).
 type routerBox struct{ r TokenRouter }
 
+// Federation is the fleet-scope observability provider. internal/fleet
+// installs one via SetFederation; the ops handlers consult it when a
+// request carries ?scope=cluster, so the same /metrics and /sloz
+// endpoints answer for the whole fleet without new routes. All
+// federation work (peer scrapes, merging) happens inside these calls
+// or on the fleet's own background loop — never on the token path.
+type Federation interface {
+	// ClusterMetrics renders the fleet-merged registry in Prometheus
+	// text exposition format (/metrics?scope=cluster).
+	ClusterMetrics() (string, error)
+	// ClusterSloz returns the fleet-scope SLO payload
+	// (/sloz?scope=cluster): burn verdicts evaluated over the merged
+	// per-class end-to-end histograms.
+	ClusterSloz() (any, error)
+}
+
+// fedBox wraps a Federation for atomic.Value, like routerBox.
+type fedBox struct{ f Federation }
+
 // SLOObjective is one declarative latency contract: "Target fraction
 // of Class-priority tokens complete within Threshold". The engine
 // evaluates it against the per-class end-to-end histogram
@@ -340,6 +359,14 @@ type System struct {
 	// every capture, so it is an atomic.Value rather than a mutex.
 	routerV atomic.Value
 
+	// fedV holds the installed Federation as a fedBox; read only by
+	// ops handlers, atomic so installation never blocks a scrape.
+	fedV atomic.Value
+
+	// sloObjs are the resolved SLO objectives (defaults applied), kept
+	// so the fleet layer can mirror them at cluster scope.
+	sloObjs []SLOObjective
+
 	// extraOps are additional ops-endpoint handlers (RegisterOpsHandler)
 	// picked up by ListenOps; internal/cluster mounts /clusterz here.
 	extraOps map[string]http.HandlerFunc
@@ -357,6 +384,26 @@ func (s *System) router() TokenRouter {
 		return b.r
 	}
 	return nil
+}
+
+// SetFederation installs (or, with nil, removes) the fleet-scope
+// observability provider consulted by ?scope=cluster ops requests.
+func (s *System) SetFederation(f Federation) { s.fedV.Store(fedBox{f: f}) }
+
+// federation returns the installed Federation, or nil.
+func (s *System) federation() Federation {
+	if b, ok := s.fedV.Load().(fedBox); ok {
+		return b.f
+	}
+	return nil
+}
+
+// SLOObjectives reports the resolved latency objectives the SLO engine
+// runs with (explicit Options.SLOObjectives or the defaults; empty
+// when Options.DisableSLO is set). The fleet layer mirrors them for
+// cluster-scope evaluation.
+func (s *System) SLOObjectives() []SLOObjective {
+	return append([]SLOObjective(nil), s.sloObjs...)
 }
 
 // NodeID reports this instance's node identity ("local" when
@@ -545,6 +592,7 @@ func Open(opts Options) (*System, error) {
 		if len(objs) == 0 {
 			objs = defaultSLOObjectives()
 		}
+		sys.sloObjs = objs
 		for _, o := range objs {
 			if err := eng.Add(slo.Objective{
 				Name:      o.Name,
