@@ -334,7 +334,7 @@ func BenchmarkE5_TriggerCache(b *testing.B) {
 			loadTriggers(b, sys, workload.EqualityTriggers(triggers, triggers))
 			src, _ := sys.reg.ByName("emp")
 			rng := rand.New(rand.NewSource(5))
-			ids := workload.ZipfIDs(rng, 65536, triggers, 1.07)
+			ids := workload.ZipfIDs(rng, 65536, triggers, workload.DefaultZipfGoBench)
 			// Warm to steady state so the measured window reflects the
 			// capacity-dependent hit ratio, not cold-start misses.
 			for i := 0; i < 16384; i++ {

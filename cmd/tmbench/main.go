@@ -66,6 +66,8 @@ var (
 	syncLat     time.Duration
 	arrivalSet  string
 	openLoopDur time.Duration
+	zipfExp     float64
+	contention  float64
 	benchRows   = map[string][]benchRow{}
 )
 
@@ -156,13 +158,17 @@ func main() {
 		"open-loop arrival rates in tokens/s for -exp latency (comma-separated)")
 	flag.DurationVar(&openLoopDur, "openloopdur", time.Second,
 		"duration of each open-loop latency run")
+	flag.Float64Var(&zipfExp, "zipf", workload.DefaultZipf,
+		"zipf exponent for skewed draws (e5 cache skew, skew-sweep background)")
+	flag.Float64Var(&contention, "contention", 0.5,
+		"contended fraction for -exp skew: share of tokens carrying the one viral constant")
 	flag.Parse()
 	defer flushBench()
 	experiments := map[string]func(int){
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
 		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
 		"e13": e13, "scaling": scaling, "latency": latency, "slo": sloSmoke,
-		"cluster": clusterExp,
+		"cluster": clusterExp, "skew": skew,
 	}
 	if *exp == "all" {
 		keys := make([]string, 0, len(experiments))
@@ -447,7 +453,7 @@ func e4(scale int) {
 func e5(scale int) {
 	header("e5", "trigger cache (§5.1)")
 	triggers := 8000 * scale
-	fmt.Printf("triggers: %d, zipf-skewed firings\n", triggers)
+	fmt.Printf("triggers: %d, zipf(%.2f)-skewed firings\n", triggers, zipfExp)
 	fmt.Printf("%-12s %12s %14s\n", "capacity", "hit-ratio", "time/firing")
 	for _, capacity := range []int{triggers / 16, triggers / 4, triggers} {
 		sys := sysWith(triggerman.Options{Synchronous: true, TriggerCacheSize: capacity})
@@ -457,7 +463,7 @@ func e5(scale int) {
 		load(sys, workload.EqualityTriggers(triggers, triggers))
 		src := mustSource(sys, "emp")
 		rng := rand.New(rand.NewSource(5))
-		ids := workload.ZipfIDs(rng, 40000, triggers, 1.3)
+		ids := workload.ZipfIDs(rng, 40000, triggers, zipfExp)
 		start := time.Now()
 		for _, id := range ids {
 			src.Push(datasource.Token{Op: datasource.OpInsert,
@@ -770,6 +776,80 @@ func runE13(rows int, yzPred string, gator bool) (time.Duration, float64) {
 			func(discrim.Combo) bool { fired++; return true })
 	}
 	return time.Since(start) / toks, float64(fired) / toks
+}
+
+// skew is the viral-entity sweep for the phase-reconciled match spine:
+// a population of single-constant equality triggers takes a token
+// stream in which a contended fraction f of tokens all carry one name
+// ("user0000000" goes viral) while the rest spread over the background
+// — zipf when the exponent > 1, uniform otherwise. Every hot token
+// probes the same constant-set entry, so that entry's probe/match
+// counters are exactly the cache lines the per-driver slices protect.
+// The sweep crosses background-exponent x contended-fraction x driver
+// count; f=0 rows are the uniform baseline the acceptance bar compares
+// hot rows against (hot ns/op within 2x of uniform at f=0.5, 8
+// drivers). Counters on each row report how many counters went sliced
+// and how many reconcile epochs ran, so a flat row with zero
+// promotions is visibly a detection failure rather than a win.
+func skew(scale int) {
+	header("skew", "hot-constant skew sweep: phase-reconciled counters")
+	counts := parseDriverCounts(driverSet)
+	triggers := popCap(4000 * scale)
+	const batch = 4000
+	fracs := []float64{0, contention / 2, contention}
+	exps := []float64{0, zipfExp} // 0 = uniform background
+	fmt.Printf("triggers: %d, tokens per cell: %d, contended fractions %v, background exps %v\n",
+		triggers, batch, fracs, exps)
+	fmt.Printf("%-10s %-8s %-8s %14s %12s %8s %8s\n",
+		"drivers", "frac", "zipf", "time/token", "tokens/s", "sliced", "recons")
+	for _, d := range counts {
+		var base time.Duration
+		for _, s := range exps {
+			for _, f := range fracs {
+				sys := sysWith(triggerman.Options{Drivers: d})
+				if _, err := sys.DefineStreamSource("emp", workload.EmpSchema.Columns...); err != nil {
+					log.Fatal(err)
+				}
+				load(sys, workload.EqualityTriggers(triggers, triggers))
+				src := mustSource(sys, "emp")
+				rng := rand.New(rand.NewSource(42))
+				push := func(toks []datasource.Token) {
+					for i := range toks {
+						if err := src.Push(toks[i]); err != nil {
+							log.Fatal(err)
+						}
+					}
+					sys.Drain()
+				}
+				push(workload.ContendedTokens(rng, batch/4, triggers, f, s, 1_000_000, 0)) // warmup
+				toks := workload.ContendedTokens(rng, batch, triggers, f, s, 1_000_000, 0)
+				name := fmt.Sprintf("drivers=%d/frac=%.2f/zipf=%.2f", d, f, s)
+				el := measure("skew", name, triggers, batch, func() { push(toks) })
+				sys.Reconcile() // fold straggler deltas so the row's counters are current
+				cs := sys.Contention()
+				if jsonMode {
+					rows := benchRows["skew"]
+					rows[len(rows)-1].Counters = map[string]int64{
+						"index_sliced":     int64(cs.Index.Sliced),
+						"index_promotions": cs.Index.Promotions,
+						"index_reconciles": cs.Index.Reconciles,
+						"sketch_sliced":    int64(cs.Profile.Sliced),
+					}
+				}
+				if f == 0 && s == 0 {
+					base = el
+				}
+				ratio := ""
+				if base > 0 && el != base {
+					ratio = fmt.Sprintf(" (%.2fx uniform)", float64(el)/float64(base))
+				}
+				fmt.Printf("%-10d %-8.2f %-8.2f %14s %12.0f %8d %8d%s\n",
+					d, f, s, el/batch, batch/el.Seconds(),
+					cs.Index.Sliced, cs.Index.Reconciles, ratio)
+				sys.Close()
+			}
+		}
+	}
 }
 
 // commitLatDisk adds a fixed commit latency in front of every Sync,

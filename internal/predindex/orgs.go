@@ -2,6 +2,7 @@ package predindex
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -9,6 +10,7 @@ import (
 	"triggerman/internal/intervalskiplist"
 	"triggerman/internal/minisql"
 	"triggerman/internal/parser"
+	"triggerman/internal/phasecounter"
 	"triggerman/internal/storage"
 	"triggerman/internal/types"
 )
@@ -24,22 +26,36 @@ import (
 type constantSet interface {
 	add(consts types.Tuple, ref Ref) error
 	remove(consts types.Tuple, exprID uint64) (bool, error)
-	match(tuple types.Tuple, part int, emit func(Ref) bool) (int, error)
+	match(tuple types.Tuple, part int, pc probe, emit func(Ref) bool) (int, error)
 	forEach(fn func(consts types.Tuple, ref Ref) error) error
 	repartition(n int) error
 	// describe names the concrete predicate-testing structure for
 	// introspection (/indexz, explain).
 	describe() string
+	// hotConstants lists the set's contended constants (centries whose
+	// probe counters went sliced), hottest first, at most max. Table
+	// organizations return nil: their per-row state lives in SQL, not
+	// in shared memory, so there is nothing to slice.
+	hotConstants(max int) []HotConst
 }
 
 // centry is one constant (or constant tuple) with its triggerID set,
 // round-robin partitioned per Figure 5.
+//
+// cProbes counts tokens whose indexable part landed on this constant;
+// cMatches counts refs streamed to the rest-test from it. Both are
+// phase-reconciled: a viral constant's tallies split into per-driver
+// slices instead of bouncing one cache line across every core, and a
+// sliced centry is exactly what Snapshot reports as a hot constant.
 type centry struct {
 	id     uint64
 	consts types.Tuple
 	eqKey  []byte // set for equality signatures
 	parts  [][]Ref
 	rr     int // round-robin cursor for partition assignment
+
+	cProbes  phasecounter.Counter
+	cMatches phasecounter.Counter
 }
 
 func (c *centry) addRef(ref Ref) {
@@ -58,6 +74,23 @@ func (c *centry) removeRef(exprID uint64) bool {
 		}
 	}
 	return false
+}
+
+// emitCounted charges the centry's phase-reconciled probe/match stats
+// and streams the selected partition(s). The probe charge lands before
+// emission (a token consulted this constant); the match charge batches
+// the streamed-ref count in one add.
+func (c *centry) emitCounted(part int, pc probe, emit func(Ref) bool) bool {
+	c.cProbes.Add(pc.dom, pc.slot, 1)
+	var n int64
+	ok := c.emit(part, func(r Ref) bool {
+		n++
+		return emit(r)
+	})
+	if n != 0 {
+		c.cMatches.Add(pc.dom, pc.slot, n)
+	}
+	return ok
 }
 
 func (c *centry) emit(part int, emit func(Ref) bool) bool {
@@ -97,6 +130,29 @@ func (c *centry) repartition(n int) {
 	for _, r := range all {
 		c.addRef(r)
 	}
+}
+
+// collectHot gathers the sliced centries seen by visit, hottest first,
+// capped at max — the shared body behind the memory organizations'
+// hotConstants.
+func collectHot(max int, visit func(fn func(*centry))) []HotConst {
+	var out []HotConst
+	visit(func(c *centry) {
+		if c.cProbes.Phase() != phasecounter.PhaseSliced {
+			return
+		}
+		out = append(out, HotConst{
+			Consts:  c.consts.String(),
+			Probes:  c.cProbes.Value(),
+			Matches: c.cMatches.Value(),
+			Slices:  c.cProbes.Slices(),
+		})
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Probes > out[j].Probes })
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
 }
 
 // matchesIndexable tests the signature's indexable part for one constant
@@ -199,13 +255,13 @@ func (m *memList) remove(consts types.Tuple, exprID uint64) (bool, error) {
 	return true, nil
 }
 
-func (m *memList) match(tuple types.Tuple, part int, emit func(Ref) bool) (int, error) {
-	probe := eqProbeFor(m.sig, tuple)
+func (m *memList) match(tuple types.Tuple, part int, pc probe, emit func(Ref) bool) (int, error) {
+	eqp := eqProbeFor(m.sig, tuple)
 	compares := 0
 	for _, c := range m.entries {
 		compares++
-		if matchesIndexable(m.sig, c, tuple, probe) {
-			if !c.emit(part, emit) {
+		if matchesIndexable(m.sig, c, tuple, eqp) {
+			if !c.emitCounted(part, pc, emit) {
 				break
 			}
 		}
@@ -236,6 +292,14 @@ func (m *memList) repartition(n int) error {
 
 func (m *memList) describe() string {
 	return fmt.Sprintf("linear list, %d constant(s)", len(m.entries))
+}
+
+func (m *memList) hotConstants(max int) []HotConst {
+	return collectHot(max, func(fn func(*centry)) {
+		for _, c := range m.entries {
+			fn(c)
+		}
+	})
 }
 
 // --- organization 2: main-memory index ---
@@ -380,12 +444,12 @@ func (m *memIndex) remove(consts types.Tuple, exprID uint64) (bool, error) {
 	}
 }
 
-func (m *memIndex) match(tuple types.Tuple, part int, emit func(Ref) bool) (int, error) {
+func (m *memIndex) match(tuple types.Tuple, part int, pc probe, emit func(Ref) bool) (int, error) {
 	switch m.sig.Indexability() {
 	case expr.IndexEquality:
-		probe := eqProbeFor(m.sig, tuple)
-		if c, ok := m.byKey[string(probe)]; ok {
-			c.emit(part, emit)
+		eqp := eqProbeFor(m.sig, tuple)
+		if c, ok := m.byKey[string(eqp)]; ok {
+			c.emitCounted(part, pc, emit)
 		}
 		return 1, nil
 	case expr.IndexRange:
@@ -400,7 +464,7 @@ func (m *memIndex) match(tuple types.Tuple, part int, emit func(Ref) bool) (int,
 			if !ok {
 				return true
 			}
-			return c.emit(part, emit)
+			return c.emitCounted(part, pc, emit)
 		})
 		if compares == 0 {
 			compares = 1
@@ -410,7 +474,7 @@ func (m *memIndex) match(tuple types.Tuple, part int, emit func(Ref) bool) (int,
 		compares := 0
 		for _, c := range m.plain {
 			compares++
-			if !c.emit(part, emit) {
+			if !c.emitCounted(part, pc, emit) {
 				break
 			}
 		}
@@ -459,6 +523,20 @@ func (m *memIndex) repartition(n int) error {
 		c.repartition(n)
 	}
 	return nil
+}
+
+func (m *memIndex) hotConstants(max int) []HotConst {
+	return collectHot(max, func(fn func(*centry)) {
+		for _, c := range m.byKey {
+			fn(c)
+		}
+		for _, c := range m.byID {
+			fn(c)
+		}
+		for _, c := range m.plain {
+			fn(c)
+		}
+	})
 }
 
 func (m *memIndex) describe() string {
@@ -637,7 +715,7 @@ func (ts *tableSet) whereFor(tuple types.Tuple) expr.Node {
 	}
 }
 
-func (ts *tableSet) match(tuple types.Tuple, part int, emit func(Ref) bool) (int, error) {
+func (ts *tableSet) match(tuple types.Tuple, part int, _ probe, emit func(Ref) bool) (int, error) {
 	if !ts.created {
 		return 0, nil
 	}
@@ -740,6 +818,8 @@ func (ts *tableSet) repartition(n int) error {
 	ts.nparts = n
 	return nil
 }
+
+func (ts *tableSet) hotConstants(int) []HotConst { return nil }
 
 func (ts *tableSet) describe() string {
 	if ts.indexed {

@@ -2,9 +2,13 @@ package profile
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"triggerman/internal/phasecounter"
 )
 
 func TestSketchExactWhenUnderCapacity(t *testing.T) {
@@ -220,5 +224,98 @@ func TestSketchAdd2Replacement(t *testing.T) {
 	}
 	if s.Evictions() != 1 {
 		t.Fatalf("evictions = %d, want 1", s.Evictions())
+	}
+}
+
+// TestSlicedSketchExactUnderReconcile: on a sliced sketch, per-key
+// totals must equal the single-threaded reference while a reconciler
+// folds epochs (and promotes the top-ranked keys) concurrently with
+// slot-stamped updates from every driver. Run under -race.
+func TestSlicedSketchExactUnderReconcile(t *testing.T) {
+	const (
+		writers = 8
+		rounds  = 3000
+		keys    = 12
+	)
+	s := NewSlicedSketch(256, writers) // under capacity: no evictions
+	var stop atomic.Bool
+	var recons sync.WaitGroup
+	recons.Add(1)
+	go func() {
+		defer recons.Done()
+		for !stop.Load() {
+			s.Reconcile()
+			runtime.Gosched()
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				for k := uint64(1); k <= keys; k++ {
+					// Key 1 is viral: double traffic, via both entry points.
+					if k == 1 {
+						s.Add2Slot(k, slot, Probes, 1, Matches, 1)
+					}
+					s.AddSlot(k, slot, Probes, 1)
+				}
+				if i%16 == 0 {
+					runtime.Gosched() // interleave on single-P schedulers too
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stop.Store(true)
+	recons.Wait()
+	s.Reconcile() // final fold at quiescence
+
+	if ev := s.Evictions(); ev != 0 {
+		t.Fatalf("evictions = %d, want 0 (under capacity)", ev)
+	}
+	for k := uint64(1); k <= keys; k++ {
+		e, ok := s.Get(k)
+		if !ok {
+			t.Fatalf("key %d not tracked", k)
+		}
+		wantProbes := int64(writers * rounds)
+		wantMatches := int64(0)
+		wantWeight := int64(writers * rounds)
+		if k == 1 {
+			wantProbes *= 2
+			wantMatches = int64(writers * rounds)
+			wantWeight *= 2
+		}
+		if e.Counts[Probes] != wantProbes || e.Counts[Matches] != wantMatches {
+			t.Fatalf("key %d: probes/matches = %d/%d, want %d/%d",
+				k, e.Counts[Probes], e.Counts[Matches], wantProbes, wantMatches)
+		}
+		if e.Weight != wantWeight || e.Err != 0 {
+			t.Fatalf("key %d: weight/err = %d/%d, want %d/0", k, e.Weight, e.Err, wantWeight)
+		}
+	}
+	// The viral key must have been routed through sliced cells — either
+	// by rank pre-split or by the writer-switch probe.
+	st := s.Contention()
+	if st.Slots != writers || st.Sliced == 0 || st.Reconciles == 0 {
+		t.Fatalf("contention stats = %+v, want sliced counters under %d slots", st, writers)
+	}
+}
+
+// TestPlainSketchUnchanged: a sketch built without slots never slices
+// and keeps zero-cost domain stats, whatever the traffic.
+func TestPlainSketchUnchanged(t *testing.T) {
+	s := NewSketch(64)
+	for i := 0; i < 1000; i++ {
+		s.AddSlot(7, i%8, Probes, 1)
+	}
+	s.Reconcile() // no-op
+	if st := s.Contention(); st != (phasecounter.DomainStats{}) {
+		t.Fatalf("plain sketch domain stats = %+v, want zero", st)
+	}
+	if e, _ := s.Get(7); e.Counts[Probes] != 1000 {
+		t.Fatalf("probes = %d, want 1000", e.Counts[Probes])
 	}
 }

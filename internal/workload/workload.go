@@ -125,6 +125,16 @@ func InsertTokens(rng *rand.Rand, count, nameSpace int, maxSalary int64, sourceI
 	return out
 }
 
+// DefaultZipf is the zipf exponent the tmbench harness has always used
+// for its skewed draws (cache skew, hot-key sweeps); the -zipf flag
+// defaults to it.
+const DefaultZipf = 1.3
+
+// DefaultZipfGoBench is the exponent the go-test benchmark harness
+// (BenchmarkE5 in bench_test.go) has always used for its cache-skew
+// draw.
+const DefaultZipfGoBench = 1.07
+
 // ZipfIDs returns count trigger IDs in [1, n] drawn from a Zipf
 // distribution with parameter s (skew grows with s); used by the
 // trigger-cache experiment.
@@ -133,6 +143,65 @@ func ZipfIDs(rng *rand.Rand, count, n int, s float64) []uint64 {
 	out := make([]uint64, count)
 	for i := range out {
 		out[i] = z.Uint64() + 1
+	}
+	return out
+}
+
+// ContendedIDs returns count IDs in [1, n] where an expected fraction f
+// of the draws hit the single contended key (ID 1 — the "viral
+// entity") and the remainder spread over the background domain
+// [2, n]: zipf with exponent s when s > 1, uniform otherwise. The
+// background never lands on the contended key, so the hot key's
+// observed fraction equals f up to sampling noise — the property the
+// skew sweep's axes depend on. f is clamped to [0, 1].
+func ContendedIDs(rng *rand.Rand, count, n int, f, s float64) []uint64 {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	if n < 2 {
+		f = 1 // degenerate domain: only the contended key exists
+	}
+	var z *rand.Zipf
+	if s > 1 && n > 2 {
+		z = rand.NewZipf(rng, s, 1, uint64(n-2))
+	}
+	out := make([]uint64, count)
+	for i := range out {
+		if rng.Float64() < f {
+			out[i] = 1
+			continue
+		}
+		if z != nil {
+			out[i] = z.Uint64() + 2
+		} else {
+			out[i] = uint64(rng.Intn(n-1)) + 2
+		}
+	}
+	return out
+}
+
+// ContendedTokens returns count insert descriptors over the emp schema
+// whose names follow the ContendedIDs distribution: an expected
+// fraction f carries the one viral name (user0000000), the rest spread
+// over nameSpace names — zipf-s when s > 1, uniform otherwise. This is
+// the skew experiment's update stream: every hot token probes the same
+// constant-set entry, so the per-centry counters behind it are exactly
+// the cache lines the phase-reconciled slices protect.
+func ContendedTokens(rng *rand.Rand, count, nameSpace int, f, s float64, maxSalary int64, sourceID int32) []datasource.Token {
+	ids := ContendedIDs(rng, count, nameSpace, f, s)
+	out := make([]datasource.Token, count)
+	for i := range out {
+		out[i] = datasource.Token{
+			SourceID: sourceID,
+			Op:       datasource.OpInsert,
+			New: EmpRow(
+				fmt.Sprintf("user%07d", ids[i]-1),
+				rng.Int63n(maxSalary),
+				fmt.Sprintf("d%07d", rng.Intn(nameSpace))),
+		}
 	}
 	return out
 }

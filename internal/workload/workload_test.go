@@ -145,3 +145,60 @@ func TestEmpRowShape(t *testing.T) {
 		t.Fatal("kinds")
 	}
 }
+
+// TestContendedIDsDistribution pins the generator's contract: the hot
+// key's observed fraction stays within ±2 points of the requested f,
+// for both uniform and zipf backgrounds, and every ID stays in [1, n].
+func TestContendedIDsDistribution(t *testing.T) {
+	const draws = 200000
+	for _, tc := range []struct {
+		name string
+		f, s float64
+	}{
+		{"half-uniform", 0.5, 0},
+		{"half-zipf", 0.5, DefaultZipf},
+		{"tenth-uniform", 0.1, 0},
+		{"ninety-zipf", 0.9, 1.07},
+		{"none", 0, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			ids := ContendedIDs(rng, draws, 1000, tc.f, tc.s)
+			hot := 0
+			for _, id := range ids {
+				if id < 1 || id > 1000 {
+					t.Fatalf("id %d out of [1, 1000]", id)
+				}
+				if id == 1 {
+					hot++
+				}
+			}
+			got := float64(hot) / draws
+			// The background draws over [2, n], so the hot key's observed
+			// fraction is f up to sampling noise — pinned at ±2 points.
+			if got < tc.f-0.02 || got > tc.f+0.02 {
+				t.Fatalf("hot fraction = %.4f, want %.2f ±2%%", got, tc.f)
+			}
+		})
+	}
+}
+
+// TestContendedTokensShape: the token stream carries the same hot
+// fraction in its name column and stays schema-valid.
+func TestContendedTokensShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	toks := ContendedTokens(rng, 50000, 500, 0.5, 0, 1000, 3)
+	hot := 0
+	for _, tok := range toks {
+		if tok.SourceID != 3 || tok.Op != datasource.OpInsert || len(tok.New) != EmpSchema.Arity() {
+			t.Fatalf("malformed token %+v", tok)
+		}
+		if tok.New.Get(0).Str() == "user0000000" {
+			hot++
+		}
+	}
+	got := float64(hot) / 50000
+	if got < 0.48 || got > 0.525 {
+		t.Fatalf("hot-name fraction = %.4f, want 0.50 ±2%%", got)
+	}
+}

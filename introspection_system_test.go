@@ -221,6 +221,7 @@ func TestExplainVerb(t *testing.T) {
 		"trigger hot (id",
 		"predicate index:",
 		"organization mm-list",
+		"counters plain",
 		"match probes=5 matches=5",
 		"actions=5",
 		"cache hits=",
@@ -236,6 +237,9 @@ func TestExplainVerb(t *testing.T) {
 	}
 	if !strings.Contains(out, "expression signature(s)") || !strings.Contains(out, "probes=5") {
 		t.Errorf("bare explain missing signature table:\n%s", out)
+	}
+	if !strings.Contains(out, "sliced counter(s)") || !strings.Contains(out, "counters plain") {
+		t.Errorf("bare explain missing phase-reconciliation state:\n%s", out)
 	}
 	if _, err := sys.Command("explain nosuch"); err == nil {
 		t.Error("explain of unknown trigger should fail")
